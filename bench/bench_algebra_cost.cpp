@@ -1,0 +1,108 @@
+// Ablation A3 (google-benchmark): cost of the event-model algebra and the
+// analyses - OR-fold width, eta inversion, busy-window analysis, pack +
+// inner update, and the full paper-system CPA run.
+
+#include <benchmark/benchmark.h>
+
+#include "core/combinators.hpp"
+#include "core/standard_event_model.hpp"
+#include "hierarchical/pack_constructor.hpp"
+#include "scenarios/body_network.hpp"
+#include "scenarios/paper_system.hpp"
+#include "sched/spp.hpp"
+
+namespace {
+
+using namespace hem;
+
+void BM_SemEtaPlus(benchmark::State& state) {
+  const auto m = StandardEventModel::sporadic(100, 250, 10);
+  Time dt = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->eta_plus(dt));
+    dt = dt % 100'000 + 17;
+  }
+}
+BENCHMARK(BM_SemEtaPlus);
+
+void BM_GenericEtaInversion(benchmark::State& state) {
+  // An OR node has no closed-form eta+: measures the galloping inversion.
+  const auto m = std::make_shared<OrModel>(StandardEventModel::periodic(250),
+                                           StandardEventModel::periodic(450));
+  Time dt = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->eta_plus(dt));
+    dt = dt % 50'000 + 13;
+  }
+}
+BENCHMARK(BM_GenericEtaInversion);
+
+void BM_OrFoldWidth(benchmark::State& state) {
+  const auto width = state.range(0);
+  std::vector<ModelPtr> inputs;
+  for (int i = 0; i < width; ++i)
+    inputs.push_back(StandardEventModel::periodic(100 + 37 * i));
+  for (auto _ : state) {
+    const auto combined = or_combine(inputs);
+    benchmark::DoNotOptimize(combined->delta_min(64));
+  }
+}
+BENCHMARK(BM_OrFoldWidth)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BusyWindowSpp(benchmark::State& state) {
+  const auto n_tasks = state.range(0);
+  std::vector<sched::TaskParams> tasks;
+  for (int i = 0; i < n_tasks; ++i)
+    tasks.push_back(sched::TaskParams{"t" + std::to_string(i), i,
+                                      sched::ExecutionTime(2 + i),
+                                      StandardEventModel::periodic(100 * (i + 1))});
+  for (auto _ : state) {
+    sched::SppAnalysis a(tasks);
+    benchmark::DoNotOptimize(a.analyze(static_cast<std::size_t>(n_tasks - 1)).wcrt);
+  }
+}
+BENCHMARK(BM_BusyWindowSpp)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PackAndInnerUpdate(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::vector<PackInput> inputs;
+  for (int i = 0; i < n; ++i)
+    inputs.push_back({StandardEventModel::periodic(200 + 50 * i),
+                      i % 3 == 2 ? SignalCoupling::kPending : SignalCoupling::kTriggering});
+  for (auto _ : state) {
+    const auto hemodel = pack(inputs);
+    const auto after = hemodel->after_response(4, 6);
+    benchmark::DoNotOptimize(after->inner(0)->delta_min(32));
+  }
+}
+BENCHMARK(BM_PackAndInnerUpdate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FullPaperSystemFlat(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sys = scenarios::build_paper_system({}, false);
+    benchmark::DoNotOptimize(cpa::CpaEngine(sys).run().iterations);
+  }
+}
+BENCHMARK(BM_FullPaperSystemFlat);
+
+void BM_FullPaperSystemHem(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sys = scenarios::build_paper_system({}, true);
+    benchmark::DoNotOptimize(cpa::CpaEngine(sys).run().iterations);
+  }
+}
+BENCHMARK(BM_FullPaperSystemHem);
+
+void BM_BodyNetworkScale(benchmark::State& state) {
+  scenarios::BodyNetworkParams p;
+  p.replicas = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenarios::analyze_body_network(p).tasks.size());
+  }
+  state.SetLabel(std::to_string(12 * p.replicas) + " tasks");
+}
+BENCHMARK(BM_BodyNetworkScale)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

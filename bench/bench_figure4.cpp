@@ -1,0 +1,30 @@
+// Regenerates the paper's Figure 4: eta+ functions of the output event
+// stream of frame F1 (total frame arrivals) and of the unpacked input
+// event streams of T1, T2 and T3.  Prints an aligned table and a CSV block
+// (redirect to a file to plot).
+
+#include <iostream>
+
+#include "core/model_io.hpp"
+#include "scenarios/paper_system.hpp"
+
+int main() {
+  using namespace hem;
+
+  const auto results = scenarios::analyze_paper_system();
+
+  std::vector<EtaSeries> series;
+  series.push_back(sample_eta_plus(*results.f1_total, "F1_total", 5000, 125));
+  const char* names[] = {"T1_unpacked", "T2_unpacked", "T3_unpacked"};
+  for (std::size_t i = 0; i < 3; ++i)
+    series.push_back(sample_eta_plus(*results.f1_unpacked[i], names[i], 5000, 125));
+
+  std::cout << "=== Figure 4: eta+(dt) series ===\n" << format_eta_table(series);
+
+  std::cout << "\n=== CSV ===\n";
+  write_eta_csv(std::cout, series);
+
+  std::cout << "\nReading: using the per-signal unpacked functions instead of the total\n"
+               "frame-arrival function removes the overestimation on CPU1's inputs.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Sensitivity sweep: design headroom under flat vs hierarchical analysis.
+// For the paper system, compute (a) the maximum CET of each receiver task
+// and (b) the minimum period of source S1 that keep all receivers within a
+// 250-tick deadline, under both analyses.  The HEM analysis certifies far
+// more headroom - the practical payoff of tighter bounds.
+
+#include <cstdio>
+
+#include "core/standard_event_model.hpp"
+#include "model/sensitivity.hpp"
+#include "scenarios/paper_system.hpp"
+
+int main() {
+  using namespace hem;
+  using cpa::DeadlineMap;
+
+  const scenarios::PaperSystemParams p;
+  const cpa::System flat = scenarios::build_paper_system(p, false);
+  const cpa::System hier = scenarios::build_paper_system(p, true);
+  const DeadlineMap deadlines{{"T1", 250}, {"T2", 250}, {"T3", 250}};
+
+  std::puts("=== Sensitivity: max CET keeping all CPU1 deadlines at 250 ===");
+  std::printf("%-6s %12s %12s %12s\n", "Task", "paper CET", "max (flat)", "max (HEM)");
+  const struct {
+    const char* name;
+    Time cet;
+  } tasks[] = {{"T1", p.t1_cet}, {"T2", p.t2_cet}, {"T3", p.t3_cet}};
+  for (const auto& t : tasks) {
+    const Time f = cpa::max_feasible_cet(flat, t.name, 1, 400, deadlines);
+    const Time h = cpa::max_feasible_cet(hier, t.name, 1, 400, deadlines);
+    std::printf("%-6s %12lld %12lld %12lld\n", t.name, static_cast<long long>(t.cet),
+                static_cast<long long>(f), static_cast<long long>(h));
+  }
+
+  std::puts("\n=== Sensitivity: min period of S1 keeping deadlines at 250 ===");
+  // S1 feeds F1 (packed input 0) and, unpacked, T1.
+  const auto sweep = [&](const cpa::System& base) {
+    const cpa::TaskId f1 = base.task_id("F1");
+    const auto mutator = [f1](cpa::System& sys, Time period) {
+      // Rebuild F1's packed activation with the probed S1 period.
+      const scenarios::PaperSystemParams pp;
+      sys.activate_packed(f1,
+                          {{StandardEventModel::periodic(period), SignalCoupling::kTriggering},
+                           {StandardEventModel::periodic(pp.s2_period),
+                            SignalCoupling::kTriggering},
+                           {StandardEventModel::periodic(pp.s3_period),
+                            SignalCoupling::kPending}});
+    };
+    return cpa::min_feasible_value(base, mutator, 10, 250, deadlines);
+  };
+  std::printf("flat: S1 period can shrink to %lld\n", static_cast<long long>(sweep(flat)));
+  std::printf("HEM:  S1 period can shrink to %lld\n", static_cast<long long>(sweep(hier)));
+
+  std::puts("\n(Values beyond the probed range print as range bound + 1.)");
+  return 0;
+}

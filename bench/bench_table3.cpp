@@ -1,0 +1,51 @@
+// Regenerates the paper's Table 3 (and echoes the Table 1/2 inputs):
+// worst-case response times of T1..T3 on CPU1 with flat event streams vs.
+// hierarchical event models, plus the reduction column.
+//
+// Paper reference values (DATE'08, Table 3): the absolute WCRTs use
+// unspecified time units; the reproduction criterion is the SHAPE - every
+// task improves, with large double-digit reductions for the lower-priority
+// receivers.
+
+#include <cstdio>
+
+#include "scenarios/paper_system.hpp"
+
+int main() {
+  using namespace hem;
+
+  std::puts("=== Table 1: Sources ===");
+  std::puts("Source  Period  Type");
+  std::puts("S1      250     triggering");
+  std::puts("S2      450     triggering");
+  std::puts("S3      1000    pending");
+  std::puts("S4      400     triggering");
+
+  std::puts("\n=== Table 2: Bus (CAN - scheduled) ===");
+  std::puts("Frame   C (ticks)   Priority");
+  std::puts("F1      [4:4]       High");
+  std::puts("F2      [2:2]       Low");
+
+  const auto results = scenarios::analyze_paper_system();
+
+  std::puts("\n=== Table 3: CPU (SPP - scheduled), reproduced ===");
+  std::printf("%-6s %-8s %-6s %10s %10s %9s\n", "Task", "CET", "Prio", "R+ flat", "R+ HEM",
+              "Red.");
+  for (const auto& row : results.table3) {
+    std::printf("%-6s [%lld:%lld] %-6s %10lld %10lld %8.1f%%\n", row.task.c_str(),
+                static_cast<long long>(row.cet), static_cast<long long>(row.cet),
+                row.priority.c_str(), static_cast<long long>(row.wcrt_flat),
+                static_cast<long long>(row.wcrt_hem), row.reduction_percent);
+  }
+
+  std::puts("\nBus frame response times (both modes agree):");
+  std::printf("F1: R = [%lld:%lld]   F2: R = [%lld:%lld]\n",
+              static_cast<long long>(results.hem.task("F1").bcrt),
+              static_cast<long long>(results.hem.task("F1").wcrt),
+              static_cast<long long>(results.hem.task("F2").bcrt),
+              static_cast<long long>(results.hem.task("F2").wcrt));
+
+  std::printf("\nGlobal iterations: flat %d, HEM %d\n", results.flat.iterations,
+              results.hem.iterations);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Design-space exploration with the sensitivity API: starting from the
+// paper system, find how much execution-time budget each receiver task has
+// before deadlines break, and how fast source S1 may run - comparing what
+// the flat and the hierarchical analyses certify.
+//
+// Run:  ./build/examples/example_sensitivity_tuning
+
+#include <array>
+#include <iostream>
+
+#include "hem/hem.hpp"
+#include "scenarios/paper_system.hpp"
+
+int main() {
+  using namespace hem;
+  using cpa::DeadlineMap;
+
+  const scenarios::PaperSystemParams params;
+  const cpa::System flat = scenarios::build_paper_system(params, false);
+  const cpa::System hier = scenarios::build_paper_system(params, true);
+
+  // Deadlines: each receiver must finish within its source's period.
+  const DeadlineMap deadlines{{"T1", 250}, {"T2", 450}, {"T3", 1000}};
+
+  std::cout << "Baseline feasibility:\n";
+  for (const auto* mode : {"flat", "HEM"}) {
+    const auto& sys = std::string(mode) == "flat" ? flat : hier;
+    const auto result = cpa::check_feasible(sys, deadlines);
+    std::cout << "  " << mode << ": " << (result.feasible ? "feasible" : result.reason)
+              << "\n";
+  }
+
+  std::cout << "\nExecution-time headroom (max CET keeping all deadlines):\n";
+  const std::array<std::pair<const char*, Time>, 3> tasks{
+      std::pair{"T1", params.t1_cet}, std::pair{"T2", params.t2_cet},
+      std::pair{"T3", params.t3_cet}};
+  for (const auto& [name, cet] : tasks) {
+    const Time f = cpa::max_feasible_cet(flat, name, 1, 1000, deadlines);
+    const Time h = cpa::max_feasible_cet(hier, name, 1, 1000, deadlines);
+    std::cout << "  " << name << ": paper " << cet << ", flat certifies " << f
+              << ", HEM certifies " << h << " (+" << (h - f) << ")\n";
+  }
+
+  std::cout << "\nInterpretation: the flat analysis wastes most of the budget on\n"
+               "phantom activations; the hierarchical analysis certifies the same\n"
+               "hardware for substantially heavier (or slower, cheaper) receivers.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file com_layer.hpp
+/// The COM layer: turns frame definitions into hierarchical event models
+/// (section 5.1 of the paper) and prepares the bus analysis inputs.
+///
+/// For each frame the layer provides
+///   * the frame *activation* model (OR of all triggering signals, with the
+///     periodic send timer as one more triggering signal - section 4), and
+///   * the packed hierarchical event model Omega_pa (Def. 8), whose outer
+///     stream equals the activation model and whose inner streams bound,
+///     per signal, the frames that carry a new value of that signal.
+///
+/// After the bus analysis delivered the frame's response times [r-, r+],
+/// `transmitted()` applies Theta_tau to the HEM (outer output stream +
+/// inner update, section 5.2); `unpack` (Psi_pa, Def. 10) then yields the
+/// receiver-side activation models.
+
+#include <vector>
+
+#include "com/frame.hpp"
+#include "hierarchical/hierarchical_event_model.hpp"
+
+namespace hem::com {
+
+class ComLayer {
+ public:
+  /// \param frames  validated on construction.
+  explicit ComLayer(std::vector<Frame> frames);
+
+  [[nodiscard]] const std::vector<Frame>& frames() const noexcept { return frames_; }
+  [[nodiscard]] const Frame& frame(std::size_t i) const { return frames_.at(i); }
+
+  /// Activation stream of frame `i` (the outer stream of its HEM).
+  [[nodiscard]] ModelPtr activation_model(std::size_t i) const;
+
+  /// Packed hierarchical event model of frame `i` (Omega_pa).
+  /// Inner stream j corresponds to the j-th DELIVERY UNIT of the frame
+  /// (`Frame::delivery_units()`): an ungrouped signal, or a whole signal
+  /// group (whose delivery stream is the OR of its members).  For frames
+  /// without groups this is signal order.
+  [[nodiscard]] HemPtr packed_model(std::size_t i) const;
+
+  /// HEM of frame `i` after transmission with response interval [r-, r+]
+  /// (outer stream via Theta_tau, inner streams via Def. 9).
+  [[nodiscard]] HemPtr transmitted(std::size_t i, Time r_minus, Time r_plus) const;
+
+  /// Flat baseline for comparison: the receiver of ANY signal of frame `i`
+  /// is conservatively activated by EVERY frame arrival - the total frame
+  /// output stream, with no per-signal information (what a flat event
+  /// stream model must assume; paper section 6, "flat" column).
+  [[nodiscard]] ModelPtr flat_receiver_model(std::size_t i, Time r_minus, Time r_plus) const;
+
+  /// Result of analysing every frame on one CAN bus.
+  struct CanBusResult {
+    std::vector<sched::ResponseResult> responses;  ///< per frame
+    std::vector<HemPtr> transmitted;  ///< per frame, HEM after the bus hop
+  };
+
+  /// Convenience: run the CAN (SPNP) bus analysis over all frames (using
+  /// each frame's transmission_time, which must be set) and apply the
+  /// response intervals to the packed hierarchical models.
+  [[nodiscard]] CanBusResult analyze_on_can(sched::FixpointLimits limits = {}) const;
+
+ private:
+  std::vector<Frame> frames_;
+};
+
+}  // namespace hem::com

@@ -1,0 +1,72 @@
+#include "com/frame.hpp"
+
+#include <stdexcept>
+
+namespace hem::com {
+
+int Frame::payload_bytes() const {
+  int total = 0;
+  for (const auto& s : signals) total += s.width_bytes;
+  return total;
+}
+
+void Frame::validate() const {
+  if (name.empty()) throw std::invalid_argument("Frame: empty name");
+  if (signals.empty()) throw std::invalid_argument("Frame '" + name + "': no signals");
+  for (const auto& s : signals) {
+    if (!s.source)
+      throw std::invalid_argument("Frame '" + name + "': signal '" + s.name +
+                                  "' has no source model");
+    if (s.width_bytes <= 0)
+      throw std::invalid_argument("Frame '" + name + "': signal '" + s.name +
+                                  "' has non-positive width");
+  }
+  const bool timed = type == FrameType::kPeriodic || type == FrameType::kMixed;
+  if (timed && period <= 0)
+    throw std::invalid_argument("Frame '" + name + "': periodic/mixed frame needs a period");
+  if (!timed) {
+    bool any_trigger = false;
+    for (const auto& s : signals) any_trigger |= (s.kind == SignalKind::kTriggering);
+    if (!any_trigger)
+      throw std::invalid_argument("Frame '" + name +
+                                  "': direct frame with only pending signals is never sent");
+  }
+  // Signal-group members are latched and delivered together; mixing
+  // triggering and pending members would make the group's delivery timing
+  // ill-defined.
+  for (const auto& unit : delivery_units()) {
+    for (const std::size_t m : unit.members) {
+      if (signals[m].kind != signals[unit.members.front()].kind)
+        throw std::invalid_argument("Frame '" + name + "': signal group '" + unit.name +
+                                    "' mixes triggering and pending members");
+    }
+  }
+}
+
+bool Frame::signal_triggers(std::size_t index) const {
+  if (type == FrameType::kPeriodic) return false;
+  return signals.at(index).kind == SignalKind::kTriggering;
+}
+
+std::vector<Frame::DeliveryUnit> Frame::delivery_units() const {
+  std::vector<DeliveryUnit> units;
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    const std::string& group = signals[i].group;
+    if (group.empty()) {
+      units.push_back(DeliveryUnit{signals[i].name, {i}});
+      continue;
+    }
+    bool merged = false;
+    for (auto& u : units) {
+      if (u.name == group && !signals[u.members.front()].group.empty()) {
+        u.members.push_back(i);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) units.push_back(DeliveryUnit{group, {i}});
+  }
+  return units;
+}
+
+}  // namespace hem::com

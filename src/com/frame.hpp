@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file frame.hpp
+/// Frames of the AUTOSAR-style COM layer (paper section 4).
+///
+/// A frame transports all register values assigned to it.  Transmission is
+/// triggered according to the frame type:
+///   * periodic - sent strictly periodically, signal arrivals are ignored;
+///   * direct   - sent whenever a triggering signal arrives;
+///   * mixed    - both: periodically AND on every triggering signal.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "com/signal.hpp"
+#include "sched/busy_window.hpp"
+
+namespace hem::com {
+
+enum class FrameType { kPeriodic, kDirect, kMixed };
+
+/// A frame definition: its trigger rule, its bus priority, and the signals
+/// packed into it.
+struct Frame {
+  std::string name;
+  FrameType type = FrameType::kDirect;
+  Time period = 0;  ///< send period for periodic/mixed frames (> 0 there)
+  int priority = 0; ///< bus priority (CAN identifier order): smaller = higher
+  std::vector<Signal> signals;
+
+  /// Transmission time on the bus.  Either set explicitly, or derive it
+  /// from the total signal payload via can_frame_time().
+  std::optional<sched::ExecutionTime> transmission_time;
+
+  /// Sum of the signal register widths in bytes.
+  [[nodiscard]] int payload_bytes() const;
+
+  /// Validates the definition (positive period where required, at least one
+  /// signal, at least one trigger source, payload <= 8 bytes when the
+  /// transmission time is to be derived from CAN timing).
+  void validate() const;
+
+  /// True if the signal at `index` actually triggers this frame: it must be
+  /// a triggering signal AND the frame type must react to signals.  In a
+  /// periodic frame every signal is effectively pending.
+  [[nodiscard]] bool signal_triggers(std::size_t index) const;
+
+  /// A delivery unit: an ungrouped signal, or all members of one signal
+  /// group.  The COM layer packs/unpacks one inner stream per unit.
+  struct DeliveryUnit {
+    std::string name;                  ///< signal name or group name
+    std::vector<std::size_t> members;  ///< indices into `signals`
+  };
+
+  /// Delivery units in declaration order (a group appears at the position
+  /// of its first member).
+  [[nodiscard]] std::vector<DeliveryUnit> delivery_units() const;
+};
+
+}  // namespace hem::com

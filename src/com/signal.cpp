@@ -1,0 +1,5 @@
+#include "com/signal.hpp"
+
+// Signal is a plain aggregate; this translation unit exists so the header
+// participates in the library build (and future validation helpers have a
+// home).

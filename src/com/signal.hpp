@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file signal.hpp
+/// Signals of the AUTOSAR-style COM layer (paper section 4).
+///
+/// A task does not access the bus directly; it writes its output value into
+/// a register provided by the communication layer, overwriting the previous
+/// value.  Each register has a fixed position in a frame.  A signal is
+/// either *triggering* (its arrival triggers the transmission of its frame,
+/// for direct/mixed frames) or *pending* (the value waits in the register
+/// for the next transmission).
+
+#include <string>
+
+#include "core/event_model.hpp"
+#include "hierarchical/pack_constructor.hpp"
+
+namespace hem::com {
+
+/// How a signal asks its frame to be sent.
+enum class SignalKind { kTriggering, kPending };
+
+/// One signal: a named stream of value updates written into a COM register.
+struct Signal {
+  std::string name;
+  ModelPtr source;      ///< event model of the writing task's output stream
+  SignalKind kind = SignalKind::kTriggering;
+  int width_bytes = 1;  ///< register width; frame payload must cover all signals
+  std::string destination;  ///< receiver task name (informational routing)
+  /// AUTOSAR signal group: members with the same non-empty group name in
+  /// one frame are latched and delivered together (one receiver-side
+  /// activation per group update, not per member).
+  std::string group;
+};
+
+}  // namespace hem::com

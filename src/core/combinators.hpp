@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file combinators.hpp
+/// Stream combination operations: OR- and AND-activation.
+///
+/// OR-activation (paper eqs. 3-4, originally Jersak): a task activated by
+/// any event of any input sees the union of the input streams.  For the
+/// contribution vector K = (k_1..k_m) with sum k_i = n:
+///
+///   delta-_or(n) = min_K  max_i delta-_i(k_i)                      (3)
+///   delta+_or(n) = max_{K: sum = n-2}  min_i delta+_i(k_i + 2)     (4)
+///
+/// Both folds are associative, so m-ary combination is built from binary
+/// nodes; each binary query costs O(n) child evaluations and is memoised.
+///
+/// AND-activation: an activation occurs once every input has delivered an
+/// event.  Following Jersak/SymTA/S practice, AND requires all inputs to
+/// share the same long-run period (otherwise token buffers grow without
+/// bound); the result is a SEM with the common period, the maximum input
+/// jitter, and the minimum input dmin (conservative: consecutive AND
+/// completions are separated by at least min_i dmin_i).
+
+#include <span>
+#include <string>
+
+#include "core/event_model.hpp"
+
+namespace hem {
+
+/// Binary OR-combination node (eqs. 3-4).
+class OrModel final : public EventModel {
+ public:
+  OrModel(ModelPtr left, ModelPtr right);
+
+  [[nodiscard]] const ModelPtr& left() const noexcept { return left_; }
+  [[nodiscard]] const ModelPtr& right() const noexcept { return right_; }
+
+  [[nodiscard]] std::string describe() const override;
+
+ protected:
+  [[nodiscard]] Time delta_min_raw(Count n) const override;
+  [[nodiscard]] Time delta_plus_raw(Count n) const override;
+
+ private:
+  ModelPtr left_;
+  ModelPtr right_;
+};
+
+/// m-ary OR-combination by pairwise folding.  Requires at least one input;
+/// a single input is returned unchanged.
+[[nodiscard]] ModelPtr or_combine(std::span<const ModelPtr> inputs);
+
+/// AND-combination of standard event models with a common period.
+/// \throws std::invalid_argument if any input is not a StandardEventModel
+///         or periods differ.
+[[nodiscard]] ModelPtr and_combine(std::span<const ModelPtr> inputs);
+
+}  // namespace hem

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file errors.hpp
+/// Error types thrown by the HEM/CPA library.
+
+#include <stdexcept>
+#include <string>
+
+namespace hem {
+
+/// A scheduling analysis could not produce a bound: the resource is
+/// overloaded, a fixpoint iteration diverged, or a model is used outside its
+/// validity domain (e.g. shaping a stream whose long-run rate exceeds the
+/// shaper rate).
+class AnalysisError : public std::runtime_error {
+ public:
+  explicit AnalysisError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace hem

@@ -1,0 +1,103 @@
+#include "core/event_model.hpp"
+
+#include <algorithm>
+
+namespace hem {
+
+namespace {
+
+constexpr Time kUnset = -1;
+
+}  // namespace
+
+Time EventModel::delta_min(Count n) const {
+  if (n < 2) return 0;
+  const auto idx = static_cast<std::size_t>(n - 2);
+  if (idx < dmin_cache_.size() && dmin_cache_[idx] != kUnset) return dmin_cache_[idx];
+  const Time v = delta_min_raw(n);
+  if (idx >= dmin_cache_.size()) {
+    // Grow geometrically but bound the cache: very large n (from galloping
+    // searches) are computed without being stored.
+    constexpr std::size_t kMaxCache = std::size_t{1} << 20;
+    if (idx < kMaxCache) dmin_cache_.resize(std::max(dmin_cache_.size() * 2, idx + 1), kUnset);
+  }
+  if (idx < dmin_cache_.size()) dmin_cache_[idx] = v;
+  return v;
+}
+
+Time EventModel::delta_plus(Count n) const {
+  if (n < 2) return 0;
+  const auto idx = static_cast<std::size_t>(n - 2);
+  if (idx < dplus_cache_.size() && dplus_cache_[idx] != kUnset) return dplus_cache_[idx];
+  const Time v = delta_plus_raw(n);
+  if (idx >= dplus_cache_.size()) {
+    constexpr std::size_t kMaxCache = std::size_t{1} << 20;
+    if (idx < kMaxCache)
+      dplus_cache_.resize(std::max(dplus_cache_.size() * 2, idx + 1), kUnset);
+  }
+  if (idx < dplus_cache_.size()) dplus_cache_[idx] = v;
+  return v;
+}
+
+Count EventModel::eta_plus(Time dt) const {
+  if (dt <= 0) return 0;
+  return eta_plus_raw(dt);
+}
+
+Count EventModel::eta_minus(Time dt) const {
+  if (dt <= 0) return 0;
+  return eta_minus_raw(dt);
+}
+
+Count EventModel::eta_plus_raw(Time dt) const {
+  // eq. (1): eta+(dt) = max [ { n >= 2 | delta-(n) < dt } U { 1 } ].
+  if (delta_min(2) >= dt) return 1;
+  // Galloping search for the first n with delta-(n) >= dt.
+  Count lo = 2;  // delta-(lo) < dt invariant
+  Count hi = 4;
+  while (hi <= kEtaSearchCeiling && delta_min(hi) < dt) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi > kEtaSearchCeiling) return kCountInfinity;
+  // Binary search: find largest n in [lo, hi) with delta-(n) < dt.
+  while (lo + 1 < hi) {
+    const Count mid = lo + (hi - lo) / 2;
+    if (delta_min(mid) < dt)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+Count EventModel::eta_minus_raw(Time dt) const {
+  // eq. (2): eta-(dt) = min { n >= 0 | delta+(n + 2) > dt }.
+  if (delta_plus(2) > dt) return 0;
+  // Galloping search for the first n with delta+(n + 2) > dt.
+  Count lo = 0;  // delta+(lo + 2) <= dt invariant
+  Count hi = 2;
+  while (hi <= kEtaSearchCeiling && delta_plus(hi + 2) <= dt) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi > kEtaSearchCeiling) return kCountInfinity;
+  while (lo + 1 < hi) {
+    const Count mid = lo + (hi - lo) / 2;
+    if (delta_plus(mid + 2) <= dt)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+bool models_equal(const EventModel& a, const EventModel& b, Count n_max) {
+  for (Count n = 2; n <= n_max; ++n) {
+    if (a.delta_min(n) != b.delta_min(n)) return false;
+    if (a.delta_plus(n) != b.delta_plus(n)) return false;
+  }
+  return true;
+}
+
+}  // namespace hem

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file intersection_model.hpp
+/// Intersection of two event-model specifications: a stream known to
+/// conform to BOTH models conforms to the point-wise tightest combination
+///
+///   delta-(n) = max( a.delta-(n), b.delta-(n) )
+///   delta+(n) = min( a.delta+(n), b.delta+(n) )
+///
+/// Useful when independent knowledge sources constrain the same stream
+/// (e.g. a leaky-bucket contract plus a measured trace envelope, or a SEM
+/// datasheet plus an offset table).  Construction validates consistency
+/// (delta- <= delta+ point-wise on a horizon); contradictory
+/// specifications are rejected.
+
+#include <string>
+
+#include "core/event_model.hpp"
+
+namespace hem {
+
+class IntersectionModel final : public EventModel {
+ public:
+  /// \param check_horizon  number of curve points validated for
+  ///                       consistency at construction.
+  IntersectionModel(ModelPtr a, ModelPtr b, Count check_horizon = 64);
+
+  [[nodiscard]] std::string describe() const override;
+
+ protected:
+  [[nodiscard]] Time delta_min_raw(Count n) const override;
+  [[nodiscard]] Time delta_plus_raw(Count n) const override;
+
+ private:
+  ModelPtr a_;
+  ModelPtr b_;
+};
+
+}  // namespace hem

@@ -1,0 +1,74 @@
+#include "core/model_io.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hem {
+
+std::string format_time(Time t) {
+  if (is_infinite(t)) return "inf";
+  return std::to_string(t);
+}
+
+EtaSeries sample_eta_plus(const EventModel& model, std::string label, Time dt_max, Time step) {
+  if (step <= 0 || dt_max < step)
+    throw std::invalid_argument("sample_eta_plus: need 0 < step <= dt_max");
+  EtaSeries s;
+  s.label = std::move(label);
+  for (Time dt = step; dt <= dt_max; dt += step) {
+    s.dt.push_back(dt);
+    s.value.push_back(model.eta_plus(dt));
+  }
+  return s;
+}
+
+std::string format_eta_table(const std::vector<EtaSeries>& series) {
+  if (series.empty()) return {};
+  const std::size_t rows = series.front().dt.size();
+  for (const auto& s : series)
+    if (s.dt.size() != rows)
+      throw std::invalid_argument("format_eta_table: series have different sample counts");
+
+  std::ostringstream os;
+  os << std::setw(10) << "dt";
+  for (const auto& s : series) os << std::setw(14) << s.label;
+  os << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << std::setw(10) << series.front().dt[r];
+    for (const auto& s : series) {
+      if (is_infinite_count(s.value[r]))
+        os << std::setw(14) << "inf";
+      else
+        os << std::setw(14) << s.value[r];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void write_eta_csv(std::ostream& os, const std::vector<EtaSeries>& series) {
+  if (series.empty()) return;
+  os << "dt";
+  for (const auto& s : series) os << ',' << s.label;
+  os << '\n';
+  const std::size_t rows = series.front().dt.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << series.front().dt[r];
+    for (const auto& s : series) os << ',' << s.value[r];
+    os << '\n';
+  }
+}
+
+std::string format_delta_table(const EventModel& model, Count n_max) {
+  std::ostringstream os;
+  os << std::setw(6) << "n" << std::setw(14) << "delta-" << std::setw(14) << "delta+" << '\n';
+  for (Count n = 2; n <= n_max; ++n) {
+    os << std::setw(6) << n << std::setw(14) << format_time(model.delta_min(n)) << std::setw(14)
+       << format_time(model.delta_plus(n)) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hem

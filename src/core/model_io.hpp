@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file model_io.hpp
+/// Formatting helpers for event models: eta/delta series for reports,
+/// benchmark tables, and CSV export (used to regenerate the paper's
+/// figure 4 series).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/event_model.hpp"
+
+namespace hem {
+
+/// One sampled series of eta+ values.
+struct EtaSeries {
+  std::string label;
+  std::vector<Time> dt;      ///< sampled interval sizes
+  std::vector<Count> value;  ///< eta+(dt) per sample
+};
+
+/// Sample eta+ of `model` at dt = step, 2*step, ..., dt_max.
+[[nodiscard]] EtaSeries sample_eta_plus(const EventModel& model, std::string label, Time dt_max,
+                                        Time step);
+
+/// Render several eta+ series as an aligned text table (one row per dt).
+[[nodiscard]] std::string format_eta_table(const std::vector<EtaSeries>& series);
+
+/// Write several eta+ series as CSV: "dt,label1,label2,...".
+void write_eta_csv(std::ostream& os, const std::vector<EtaSeries>& series);
+
+/// Render delta-(n) / delta+(n) for n in [2, n_max] as a text table.
+[[nodiscard]] std::string format_delta_table(const EventModel& model, Count n_max);
+
+/// Format a Time value, printing "inf" for the infinity sentinel.
+[[nodiscard]] std::string format_time(Time t);
+
+}  // namespace hem

@@ -1,0 +1,40 @@
+#include "core/output_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hem {
+
+OutputModel::OutputModel(ModelPtr input, Time r_minus, Time r_plus)
+    : input_(std::move(input)), r_minus_(r_minus), r_plus_(r_plus) {
+  if (!input_) throw std::invalid_argument("OutputModel: null input model");
+  if (r_minus < 0 || r_plus < r_minus)
+    throw std::invalid_argument("OutputModel: need 0 <= r- <= r+");
+  if (is_infinite(r_plus))
+    throw std::invalid_argument("OutputModel: unbounded response time (analysis failed?)");
+}
+
+Time OutputModel::delta_min_raw(Count n) const {
+  const Time spread = r_plus_ - r_minus_;
+  // Extend the materialised recursion up to n.
+  while (static_cast<Count>(rec_dmin_.size()) + 1 < n) {
+    const Count m = static_cast<Count>(rec_dmin_.size()) + 2;  // next n to compute
+    const Time prev = rec_dmin_.empty() ? 0 : rec_dmin_.back();  // delta'-(m - 1)
+    const Time shifted = std::max<Time>(0, sat_sub(input_->delta_min(m), spread));
+    rec_dmin_.push_back(std::max(shifted, sat_add(prev, r_minus_)));
+  }
+  return rec_dmin_[static_cast<std::size_t>(n - 2)];
+}
+
+Time OutputModel::delta_plus_raw(Count n) const {
+  return sat_add(input_->delta_plus(n), r_plus_ - r_minus_);
+}
+
+std::string OutputModel::describe() const {
+  std::ostringstream os;
+  os << "Out(" << input_->describe() << ", r=[" << r_minus_ << ":" << r_plus_ << "])";
+  return os.str();
+}
+
+}  // namespace hem

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file output_model.hpp
+/// Output event stream of an analysed task (operation Theta_tau).
+///
+/// Given the input stream F = (delta-, delta+) and the task's response-time
+/// interval [r-, r+] delivered by local analysis, the output stream (paper,
+/// section 3) is:
+///
+///   delta'-(n) = max{ delta-(n) - (r+ - r-),  delta'-(n - 1) + r- }
+///   delta'+(n) = delta+(n) + (r+ - r-)
+///
+/// The first term of delta'- shifts the input curve by the response-time
+/// spread (classic jitter propagation); the recursive second term encodes
+/// that consecutive completions of one task on one resource are separated by
+/// at least the minimum response time.
+
+#include <string>
+#include <vector>
+
+#include "core/event_model.hpp"
+
+namespace hem {
+
+class OutputModel final : public EventModel {
+ public:
+  /// \param input    activation stream of the analysed task.
+  /// \param r_minus  minimum response time, 0 <= r- <= r+.
+  /// \param r_plus   maximum response time (finite; an unbounded response
+  ///                 time means the analysis failed upstream).
+  OutputModel(ModelPtr input, Time r_minus, Time r_plus);
+
+  [[nodiscard]] const ModelPtr& input() const noexcept { return input_; }
+  [[nodiscard]] Time r_minus() const noexcept { return r_minus_; }
+  [[nodiscard]] Time r_plus() const noexcept { return r_plus_; }
+
+  [[nodiscard]] std::string describe() const override;
+
+ protected:
+  [[nodiscard]] Time delta_min_raw(Count n) const override;
+  [[nodiscard]] Time delta_plus_raw(Count n) const override;
+
+ private:
+  ModelPtr input_;
+  Time r_minus_;
+  Time r_plus_;
+
+  // The recursive delta'- is materialised incrementally: rec_dmin_[i] holds
+  // delta'-(i + 2) for every prefix value computed so far.
+  mutable std::vector<Time> rec_dmin_;
+};
+
+}  // namespace hem

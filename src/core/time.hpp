@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file time.hpp
+/// Discrete time base for the HEM/CPA library.
+///
+/// All timing quantities (periods, jitters, distances, response times) are
+/// expressed as integer ticks.  The tick granularity is chosen by the user of
+/// the library (the paper's example uses abstract time units).  Infinity is a
+/// first-class value: the hierarchical event model assigns
+/// `delta+ = infinity` to pending signal streams (paper eq. 8), and
+/// `eta-` of any stream with unbounded gaps is zero.  All arithmetic helpers
+/// below saturate at infinity instead of overflowing.
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace hem {
+
+/// A point or span in discrete time, measured in ticks.
+using Time = std::int64_t;
+
+/// A number of events.
+using Count = std::int64_t;
+
+/// Sentinel for an unbounded time span.  One quarter of the representable
+/// range so that sums of a few "infinities" cannot wrap around.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
+
+/// Sentinel for an unbounded event count (e.g. eta+ of a stream that allows
+/// infinitely dense bursts).
+inline constexpr Count kCountInfinity = std::numeric_limits<Count>::max() / 4;
+
+/// True if `t` represents an unbounded span.
+[[nodiscard]] constexpr bool is_infinite(Time t) noexcept { return t >= kTimeInfinity; }
+
+/// True if `n` represents an unbounded count.
+[[nodiscard]] constexpr bool is_infinite_count(Count n) noexcept {
+  return n >= kCountInfinity;
+}
+
+/// Saturating addition: infinity absorbs.
+[[nodiscard]] constexpr Time sat_add(Time a, Time b) noexcept {
+  if (is_infinite(a) || is_infinite(b)) return kTimeInfinity;
+  const Time s = a + b;
+  return s >= kTimeInfinity ? kTimeInfinity : s;
+}
+
+/// Saturating subtraction: `infinity - finite == infinity`.
+/// Subtracting from a finite value never saturates (result may be negative).
+[[nodiscard]] constexpr Time sat_sub(Time a, Time b) noexcept {
+  if (is_infinite(a)) return kTimeInfinity;
+  assert(!is_infinite(b) && "cannot subtract infinity from a finite time");
+  return a - b;
+}
+
+/// Saturating multiplication of a time by a non-negative count.
+[[nodiscard]] constexpr Time sat_mul(Time a, Count k) noexcept {
+  assert(k >= 0);
+  if (k == 0) return 0;
+  if (is_infinite(a)) return kTimeInfinity;
+  if (a != 0 && k > kTimeInfinity / (a < 0 ? -a : a)) return kTimeInfinity;
+  const Time p = a * k;
+  return p >= kTimeInfinity ? kTimeInfinity : p;
+}
+
+/// Ceiling division of non-negative integers; `ceil_div(x, y) == ceil(x/y)`.
+[[nodiscard]] constexpr Time ceil_div(Time num, Time den) noexcept {
+  assert(den > 0);
+  assert(num >= 0);
+  return (num + den - 1) / den;
+}
+
+/// Floor division that is well defined for negative numerators
+/// (rounds towards minus infinity, unlike C++ integer division).
+[[nodiscard]] constexpr Time floor_div(Time num, Time den) noexcept {
+  assert(den > 0);
+  Time q = num / den;
+  if (num % den != 0 && num < 0) --q;
+  return q;
+}
+
+}  // namespace hem

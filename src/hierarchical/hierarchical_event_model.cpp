@@ -1,0 +1,40 @@
+#include "hierarchical/hierarchical_event_model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/output_model.hpp"
+
+namespace hem {
+
+HierarchicalEventModel::HierarchicalEventModel(ModelPtr outer, std::vector<ModelPtr> inner,
+                                               std::shared_ptr<const ConstructionRule> rule)
+    : outer_(std::move(outer)), inner_(std::move(inner)), rule_(std::move(rule)) {
+  if (!outer_) throw std::invalid_argument("HierarchicalEventModel: null outer model");
+  if (inner_.empty())
+    throw std::invalid_argument("HierarchicalEventModel: needs at least one inner stream");
+  for (const auto& m : inner_)
+    if (!m) throw std::invalid_argument("HierarchicalEventModel: null inner model");
+  if (!rule_) throw std::invalid_argument("HierarchicalEventModel: null construction rule");
+}
+
+HemPtr HierarchicalEventModel::after_response(Time r_minus, Time r_plus) const {
+  // Outer stream: ordinary flat output stream calculation Theta_tau.
+  ModelPtr new_outer = std::make_shared<OutputModel>(outer_, r_minus, r_plus);
+  // Inner streams: rule-specific inner update function B (Def. 7).
+  std::vector<ModelPtr> new_inner;
+  new_inner.reserve(inner_.size());
+  for (const auto& m : inner_)
+    new_inner.push_back(rule_->update_inner_after_response(m, outer_, r_minus, r_plus));
+  return std::make_shared<HierarchicalEventModel>(std::move(new_outer), std::move(new_inner),
+                                                  rule_);
+}
+
+std::string HierarchicalEventModel::describe() const {
+  std::ostringstream os;
+  os << "HEM{outer=" << outer_->describe() << ", inner=" << inner_.size()
+     << ", rule=" << rule_->describe() << "}";
+  return os.str();
+}
+
+}  // namespace hem

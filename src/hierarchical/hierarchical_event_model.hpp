@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file hierarchical_event_model.hpp
+/// Hierarchical event streams and hierarchical event models -- the core
+/// contribution of Rox/Ernst (DATE'08).
+///
+/// A hierarchical event stream ES_h is the result of combining n input
+/// streams; it keeps
+///   * one OUTER event stream (the combined stream as a flat operation
+///     would see it, e.g. the frame activations of a communication layer),
+///   * one INNER event stream per combined input (the timing of exactly
+///     those outer events that carry events of that input), and
+///   * the CONSTRUCTION RULE that produced it (Def. 5: H = (F_out, L, C)).
+///
+/// Flat stream operations (task/bus transmission Theta_tau, shapers, ...)
+/// are applied to the outer stream; the construction rule then provides the
+/// matching *inner update function* (Def. 7) that transforms every inner
+/// stream consistently.  The deconstructor Psi (Def. 6, Def. 10) finally
+/// extracts the inner streams as ordinary flat models for downstream local
+/// analysis -- which is where the precision gain over flat analysis comes
+/// from.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event_model.hpp"
+
+namespace hem {
+
+class HierarchicalEventModel;
+using HemPtr = std::shared_ptr<const HierarchicalEventModel>;
+
+/// Construction rule C of a hierarchical event model (Def. 5).  The rule
+/// records *how* the inner streams relate to the outer stream and therefore
+/// owns the inner update function B (Def. 7) for each supported operation.
+class ConstructionRule {
+ public:
+  virtual ~ConstructionRule() = default;
+
+  /// Inner update B_{Theta_tau, C} (Def. 7): adapt one inner model after the
+  /// outer stream passed through a task/transmission operation with response
+  /// times [r-, r+].
+  ///
+  /// \param inner      the inner model before the operation
+  /// \param outer_old  the outer model before the operation (provides the
+  ///                   simultaneity parameter k where needed)
+  [[nodiscard]] virtual ModelPtr update_inner_after_response(const ModelPtr& inner,
+                                                             const ModelPtr& outer_old,
+                                                             Time r_minus,
+                                                             Time r_plus) const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// A hierarchical event model H = (F_out, L, C) (Def. 5).
+///
+/// Immutable: operations return new instances.
+class HierarchicalEventModel {
+ public:
+  HierarchicalEventModel(ModelPtr outer, std::vector<ModelPtr> inner,
+                         std::shared_ptr<const ConstructionRule> rule);
+
+  /// The outer event stream F_out -- what any flat operation sees.
+  [[nodiscard]] const ModelPtr& outer() const noexcept { return outer_; }
+
+  /// Number of embedded inner streams.
+  [[nodiscard]] std::size_t inner_count() const noexcept { return inner_.size(); }
+
+  /// Deconstructor Psi (Def. 6 / Def. 10): the i-th inner stream, L(i),
+  /// as a flat event model (0-based index).
+  [[nodiscard]] const ModelPtr& inner(std::size_t i) const { return inner_.at(i); }
+
+  /// All inner streams (Psi applied to every index).
+  [[nodiscard]] const std::vector<ModelPtr>& unpack() const noexcept { return inner_; }
+
+  /// The construction rule C.
+  [[nodiscard]] const std::shared_ptr<const ConstructionRule>& rule() const noexcept {
+    return rule_;
+  }
+
+  /// Apply a task/transmission operation Theta_tau with response-time
+  /// interval [r-, r+] to the hierarchical stream: the outer stream becomes
+  /// the operation's output stream and every inner stream is transformed by
+  /// the rule's inner update function (section 5.2 of the paper).
+  [[nodiscard]] HemPtr after_response(Time r_minus, Time r_plus) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  ModelPtr outer_;
+  std::vector<ModelPtr> inner_;
+  std::shared_ptr<const ConstructionRule> rule_;
+};
+
+}  // namespace hem

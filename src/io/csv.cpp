@@ -1,0 +1,58 @@
+#include "io/csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/model_io.hpp"
+
+namespace hem::io {
+
+void write_report_csv(std::ostream& os, const cpa::AnalysisReport& report) {
+  os << "task,resource,bcrt,wcrt,activations,busy_period,utilization\n";
+  for (const auto& t : report.tasks) {
+    os << t.name << ',' << t.resource << ',' << t.bcrt << ',' << t.wcrt << ','
+       << t.activations_in_busy_period << ',' << t.busy_period << ',' << t.utilization
+       << '\n';
+  }
+}
+
+void write_trace_csv(std::ostream& os, std::span<const Time> trace) {
+  for (const Time t : trace) os << t << '\n';
+}
+
+std::vector<Time> read_trace_csv(std::istream& is) {
+  std::vector<Time> trace;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim whitespace.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(begin, end - begin + 1);
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(token, &pos);
+      if (pos != token.size()) throw std::invalid_argument("");
+      trace.push_back(static_cast<Time>(v));
+    } catch (...) {
+      throw std::invalid_argument("read_trace_csv: line " + std::to_string(line_no) +
+                                  ": not a timestamp: '" + token + "'");
+    }
+  }
+  return trace;
+}
+
+void write_delta_csv(std::ostream& os, const EventModel& model, Count n_max) {
+  os << "n,delta_min,delta_plus\n";
+  for (Count n = 2; n <= n_max; ++n)
+    os << n << ',' << format_time(model.delta_min(n)) << ','
+       << format_time(model.delta_plus(n)) << '\n';
+}
+
+}  // namespace hem::io

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file csv.hpp
+/// CSV import/export: analysis reports, event traces, and delta curves.
+/// Traces use one timestamp per line ('#' comments allowed) so they round-
+/// trip with standard tooling; reports and curves use a header row.
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/event_model.hpp"
+#include "model/analysis_report.hpp"
+
+namespace hem::io {
+
+/// Write the per-task results as CSV:
+/// `task,resource,bcrt,wcrt,activations,busy_period,utilization`.
+void write_report_csv(std::ostream& os, const cpa::AnalysisReport& report);
+
+/// Write one event timestamp per line.
+void write_trace_csv(std::ostream& os, std::span<const Time> trace);
+
+/// Read a trace written by write_trace_csv (or any newline-separated list
+/// of integers; blank lines and '#' comments are skipped).
+/// \throws std::invalid_argument on malformed lines.
+[[nodiscard]] std::vector<Time> read_trace_csv(std::istream& is);
+
+/// Write `n,delta_min,delta_plus` rows for n in [2, n_max]
+/// (infinite values as the literal `inf`).
+void write_delta_csv(std::ostream& os, const EventModel& model, Count n_max);
+
+}  // namespace hem::io

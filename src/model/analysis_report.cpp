@@ -1,0 +1,39 @@
+#include "model/analysis_report.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace hem::cpa {
+
+const TaskResult& AnalysisReport::task(std::string_view name) const {
+  for (const auto& t : tasks)
+    if (t.name == name) return t;
+  throw std::invalid_argument("AnalysisReport: no task named '" + std::string(name) + "'");
+}
+
+std::string AnalysisReport::format() const {
+  std::ostringstream os;
+  os << std::setw(12) << "task" << std::setw(12) << "resource" << std::setw(10) << "R-"
+     << std::setw(10) << "R+" << std::setw(8) << "q_max" << std::setw(12) << "busy" << std::setw(8) << "queue" << std::setw(8)
+     << "util%" << '\n';
+  for (const auto& t : tasks) {
+    os << std::setw(12) << t.name << std::setw(12) << t.resource << std::setw(10) << t.bcrt
+       << std::setw(10) << t.wcrt << std::setw(8) << t.activations_in_busy_period << std::setw(12)
+       << t.busy_period << std::setw(8) << t.backlog << std::setw(8) << std::fixed
+       << std::setprecision(1)
+       << (t.utilization * 100.0) << '\n';
+  }
+  os << "iterations: " << iterations << (converged ? " (converged)" : " (NOT converged)")
+     << '\n';
+  return os.str();
+}
+
+double long_run_rate(const EventModel& model, Time horizon) {
+  const Count n = model.eta_plus(horizon);
+  if (is_infinite_count(n)) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(n) / static_cast<double>(horizon);
+}
+
+}  // namespace hem::cpa

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file analysis_report.hpp
+/// Results of a compositional system analysis run.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/event_model.hpp"
+#include "hierarchical/hierarchical_event_model.hpp"
+
+namespace hem::cpa {
+
+/// Per-task outcome of the global analysis.
+struct TaskResult {
+  std::string name;
+  std::string resource;
+  Time bcrt = 0;
+  Time wcrt = 0;
+  Count activations_in_busy_period = 0;
+  Time busy_period = 0;
+  Count backlog = 0;  ///< activation-queue bound from the local analysis
+  ModelPtr activation;   ///< flat activation model used by the local analysis
+  ModelPtr output;       ///< flat output stream (Theta_tau applied)
+  HemPtr hem_output;     ///< hierarchical output, for frame tasks only
+  double utilization = 0.0;  ///< long-run load this task puts on its resource
+};
+
+/// Full report of a CpaEngine run.
+struct AnalysisReport {
+  std::vector<TaskResult> tasks;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Lookup by task name; throws std::invalid_argument if absent.
+  [[nodiscard]] const TaskResult& task(std::string_view name) const;
+
+  /// Aligned text table of all task results.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Estimate the long-run event rate of a model as eta+(T)/T over a large
+/// horizon (used for utilisation reporting and overload warnings).
+[[nodiscard]] double long_run_rate(const EventModel& model, Time horizon = 1'000'000);
+
+}  // namespace hem::cpa

@@ -1,0 +1,275 @@
+#include "model/cpa_engine.hpp"
+
+#include <algorithm>
+
+#include "core/combinators.hpp"
+#include "core/errors.hpp"
+#include "core/output_model.hpp"
+#include "core/sem_fit.hpp"
+#include "sched/can_bus.hpp"
+#include "sched/edf.hpp"
+#include "sched/flexray_static.hpp"
+#include "sched/round_robin.hpp"
+#include "sched/spp.hpp"
+#include "sched/tdma.hpp"
+
+namespace hem::cpa {
+
+CpaEngine::CpaEngine(const System& system, EngineOptions options)
+    : system_(system), options_(options) {
+  system_.validate();
+  state_.resize(system_.tasks().size());
+}
+
+void CpaEngine::resolve_activations() {
+  const auto& tasks = system_.tasks();
+  for (TaskId t = 0; t < tasks.size(); ++t) {
+    const ActivationSpec& spec = system_.activation(t);
+    TaskState& st = state_[t];
+
+    if (const auto* ext = std::get_if<ExternalActivation>(&spec)) {
+      st.act_flat = ext->model;
+      continue;
+    }
+    if (const auto* by = std::get_if<TaskOutputActivation>(&spec)) {
+      std::vector<ModelPtr> producers;
+      bool complete = true;
+      for (TaskId p : by->producers) {
+        if (!state_[p].out_flat) {
+          complete = false;
+          break;
+        }
+        producers.push_back(state_[p].out_flat);
+      }
+      if (complete) st.act_flat = or_combine(producers);
+      continue;
+    }
+    if (const auto* andj = std::get_if<AndActivation>(&spec)) {
+      std::vector<ModelPtr> fitted;
+      bool complete = true;
+      for (TaskId p : andj->producers) {
+        if (!state_[p].out_flat) {
+          complete = false;
+          break;
+        }
+        fitted.push_back(fit_sem(*state_[p].out_flat, andj->period));
+      }
+      if (complete) st.act_flat = and_combine(fitted);
+      continue;
+    }
+    if (const auto* packed = std::get_if<PackedActivation>(&spec)) {
+      std::vector<PackInput> inputs;
+      bool complete = true;
+      for (const auto& in : packed->inputs) {
+        ModelPtr m;
+        if (const auto* tid = std::get_if<TaskId>(&in.source)) {
+          m = state_[*tid].out_flat;
+        } else {
+          m = std::get<ModelPtr>(in.source);
+        }
+        if (!m) {
+          complete = false;
+          break;
+        }
+        inputs.push_back(PackInput{std::move(m), in.coupling});
+      }
+      if (complete) {
+        st.act_hem = pack(inputs, packed->timer);
+        st.act_flat = st.act_hem->outer();
+      }
+      continue;
+    }
+    if (const auto* up = std::get_if<UnpackedActivation>(&spec)) {
+      const TaskState& frame = state_[up->frame_task];
+      if (frame.out_hem) st.act_flat = frame.out_hem->inner(up->index);
+      continue;
+    }
+  }
+}
+
+void CpaEngine::check_resource_load() const {
+  const auto& tasks = system_.tasks();
+  for (ResourceId r = 0; r < system_.resources().size(); ++r) {
+    double load = 0.0;
+    bool complete = true;
+    for (TaskId t = 0; t < tasks.size(); ++t) {
+      if (tasks[t].resource != r) continue;
+      if (!state_[t].act_flat) {
+        complete = false;
+        break;
+      }
+      load +=
+          long_run_rate(*state_[t].act_flat) * static_cast<double>(tasks[t].cet.worst);
+    }
+    if (complete && load > 1.0)
+      throw AnalysisError("CpaEngine: resource '" + system_.resources()[r].name +
+                          "' is overloaded (load " + std::to_string(load) + " > 1)");
+  }
+}
+
+void CpaEngine::analyze_resources() {
+  const auto& tasks = system_.tasks();
+  for (ResourceId r = 0; r < system_.resources().size(); ++r) {
+    const ResourceSpec& res = system_.resources()[r];
+    // Analyse the resolved subset of the resource's tasks.  Tasks whose
+    // activation depends on not-yet-analysed producers (e.g. same-resource
+    // chains) join in a later global iteration; interference only grows, so
+    // the iteration converges to the full-fixpoint result and the final
+    // round always covers the complete task set.
+    std::vector<TaskId> ids;
+    for (TaskId t = 0; t < tasks.size(); ++t) {
+      if (tasks[t].resource != r) continue;
+      if (state_[t].act_flat) ids.push_back(t);
+    }
+    if (ids.empty()) continue;
+
+    const auto record = [&](const std::vector<sched::ResponseResult>& results) {
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        TaskState& st = state_[ids[i]];
+        st.analyzed = true;
+        st.bcrt = results[i].bcrt;
+        st.wcrt = results[i].wcrt;
+        st.q_max = results[i].activations;
+        st.backlog = results[i].backlog;
+        st.busy = results[i].busy_period;
+      }
+    };
+
+    const auto params_for = [&](TaskId t) {
+      return sched::TaskParams{tasks[t].name, tasks[t].priority, tasks[t].cet,
+                               state_[t].act_flat};
+    };
+
+    switch (res.policy) {
+      case Policy::kSppPreemptive: {
+        std::vector<sched::TaskParams> params;
+        for (TaskId t : ids) params.push_back(params_for(t));
+        record(sched::SppAnalysis(std::move(params), options_.fixpoint_limits).analyze_all());
+        break;
+      }
+      case Policy::kSpnpCan: {
+        std::vector<sched::TaskParams> params;
+        for (TaskId t : ids) params.push_back(params_for(t));
+        record(sched::CanBusAnalysis(std::move(params), options_.fixpoint_limits).analyze_all());
+        break;
+      }
+      case Policy::kRoundRobin: {
+        std::vector<sched::RoundRobinTask> params;
+        for (TaskId t : ids)
+          params.push_back(sched::RoundRobinTask{params_for(t), tasks[t].slot});
+        record(
+            sched::RoundRobinAnalysis(std::move(params), options_.fixpoint_limits).analyze_all());
+        break;
+      }
+      case Policy::kTdma: {
+        std::vector<sched::TdmaTask> params;
+        for (TaskId t : ids) params.push_back(sched::TdmaTask{params_for(t), tasks[t].slot});
+        record(sched::TdmaAnalysis(std::move(params), res.tdma_cycle, options_.fixpoint_limits)
+                   .analyze_all());
+        break;
+      }
+      case Policy::kFlexRayStatic: {
+        std::vector<sched::FlexRayFrame> params;
+        for (TaskId t : ids) params.push_back(sched::FlexRayFrame{params_for(t)});
+        record(sched::FlexRayStaticAnalysis(std::move(params), res.tdma_cycle,
+                                            res.slot_length, options_.fixpoint_limits)
+                   .analyze_all());
+        break;
+      }
+      case Policy::kEdf: {
+        std::vector<sched::EdfTask> params;
+        for (TaskId t : ids)
+          params.push_back(sched::EdfTask{params_for(t), tasks[t].deadline});
+        record(sched::EdfAnalysis(std::move(params), options_.fixpoint_limits).analyze_all());
+        break;
+      }
+    }
+  }
+}
+
+void CpaEngine::compute_outputs() {
+  for (TaskState& st : state_) {
+    if (!st.analyzed) continue;
+    st.out_flat = std::make_shared<OutputModel>(st.act_flat, st.bcrt, st.wcrt);
+    if (options_.propagate_fitted_sem) st.out_flat = fit_sem(*st.out_flat);
+    if (st.act_hem) st.out_hem = st.act_hem->after_response(st.bcrt, st.wcrt);
+  }
+}
+
+std::vector<Time> CpaEngine::signature() const {
+  std::vector<Time> sig;
+  for (const TaskState& st : state_) {
+    sig.push_back(st.analyzed ? 1 : 0);
+    sig.push_back(st.bcrt);
+    sig.push_back(st.wcrt);
+    if (st.act_flat) {
+      for (Count n = 2; n <= options_.compare_horizon; ++n) {
+        sig.push_back(st.act_flat->delta_min(n));
+        sig.push_back(st.act_flat->delta_plus(n));
+      }
+    } else {
+      sig.push_back(-2);
+    }
+  }
+  return sig;
+}
+
+AnalysisReport CpaEngine::run() {
+  std::vector<Time> prev_sig;
+  int iter = 0;
+  bool converged = false;
+
+  for (iter = 1; iter <= options_.max_iterations; ++iter) {
+    resolve_activations();
+    if (options_.check_overload) check_resource_load();
+    analyze_resources();
+    compute_outputs();
+
+    std::vector<Time> sig = signature();
+    const bool all_analyzed =
+        std::all_of(state_.begin(), state_.end(), [](const TaskState& s) { return s.analyzed; });
+    if (all_analyzed && sig == prev_sig) {
+      converged = true;
+      break;
+    }
+    prev_sig = std::move(sig);
+  }
+
+  if (!converged) {
+    std::string unresolved;
+    for (TaskId t = 0; t < system_.tasks().size(); ++t) {
+      if (!state_[t].analyzed) unresolved += (unresolved.empty() ? "" : ", ") + system_.tasks()[t].name;
+    }
+    throw AnalysisError(
+        "CpaEngine: no fixpoint after " + std::to_string(options_.max_iterations) +
+        " global iterations" +
+        (unresolved.empty() ? std::string(" (cyclic dependency diverging)")
+                            : " (unresolved activations: " + unresolved +
+                                  " - likely a dependency cycle that cannot bootstrap)"));
+  }
+
+  AnalysisReport report;
+  report.iterations = iter;
+  report.converged = converged;
+  const auto& tasks = system_.tasks();
+  for (TaskId t = 0; t < tasks.size(); ++t) {
+    const TaskState& st = state_[t];
+    TaskResult res;
+    res.name = tasks[t].name;
+    res.resource = system_.resources()[tasks[t].resource].name;
+    res.bcrt = st.bcrt;
+    res.wcrt = st.wcrt;
+    res.activations_in_busy_period = st.q_max;
+    res.backlog = st.backlog;
+    res.busy_period = st.busy;
+    res.activation = st.act_flat;
+    res.output = st.out_flat;
+    res.hem_output = st.out_hem;
+    res.utilization =
+        long_run_rate(*st.act_flat) * static_cast<double>(tasks[t].cet.worst);
+    report.tasks.push_back(std::move(res));
+  }
+  return report;
+}
+
+}  // namespace hem::cpa

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file cpa_engine.hpp
+/// Global compositional analysis: iterate between local scheduling analysis
+/// and output event-stream calculation until the system reaches a fixpoint.
+///
+/// Each global iteration (paper section 1):
+///   1. resolve every task's activation stream from the current output
+///      streams of its producers (external models, OR-combinations, packed
+///      hierarchical models, unpacked inner streams);
+///   2. run the local analysis of every resource whose tasks are all
+///      resolved, obtaining response-time intervals [r-, r+];
+///   3. compute output streams: Theta_tau on flat streams, outer output +
+///      inner update on hierarchical streams.
+/// Convergence is detected by comparing response times and sampled
+/// activation curves between consecutive iterations.  Feed-forward systems
+/// converge in as many iterations as the depth of the stream graph; cyclic
+/// systems iterate to a fixpoint or hit the iteration cap (AnalysisError).
+
+#include "model/analysis_report.hpp"
+#include "model/system.hpp"
+
+namespace hem::cpa {
+
+struct EngineOptions {
+  int max_iterations = 64;
+  Count compare_horizon = 64;  ///< delta-curve samples used for convergence
+  sched::FixpointLimits fixpoint_limits{};
+  bool check_overload = true;  ///< fail fast when a resource's load exceeds 1
+  /// Classic SymTA/S-style propagation: re-fit every output stream to a
+  /// standard event model instead of propagating exact curves.  Lossy but
+  /// keeps the representation closed; exposed for the A4 ablation and for
+  /// users reproducing parameter-based tool results.
+  bool propagate_fitted_sem = false;
+};
+
+class CpaEngine {
+ public:
+  explicit CpaEngine(const System& system, EngineOptions options = {});
+
+  /// Run the global iteration; throws AnalysisError on divergence or
+  /// overload.
+  [[nodiscard]] AnalysisReport run();
+
+ private:
+  struct TaskState {
+    ModelPtr act_flat;   ///< resolved flat activation (outer for HEMs)
+    HemPtr act_hem;      ///< packed activation, if any
+    ModelPtr out_flat;   ///< flat output after local analysis
+    HemPtr out_hem;      ///< hierarchical output, frame tasks only
+    bool analyzed = false;
+    Time bcrt = 0;
+    Time wcrt = 0;
+    Count q_max = 0;
+    Count backlog = 0;
+    Time busy = 0;
+  };
+
+  void resolve_activations();
+  void analyze_resources();
+  void compute_outputs();
+  [[nodiscard]] std::vector<Time> signature() const;
+  void check_resource_load() const;
+
+  const System& system_;
+  EngineOptions options_;
+  std::vector<TaskState> state_;
+};
+
+}  // namespace hem::cpa

@@ -1,0 +1,32 @@
+#include "model/path_latency.hpp"
+
+#include <stdexcept>
+
+namespace hem::cpa {
+
+Time path_wcrt(const AnalysisReport& report, std::span<const std::string> tasks) {
+  if (tasks.empty()) throw std::invalid_argument("path_wcrt: empty path");
+  Time sum = 0;
+  for (const auto& t : tasks) sum = sat_add(sum, report.task(t).wcrt);
+  return sum;
+}
+
+Time path_bcrt(const AnalysisReport& report, std::span<const std::string> tasks) {
+  if (tasks.empty()) throw std::invalid_argument("path_bcrt: empty path");
+  Time sum = 0;
+  for (const auto& t : tasks) sum = sat_add(sum, report.task(t).bcrt);
+  return sum;
+}
+
+Time path_wcrt_with_sampling(const AnalysisReport& report,
+                             std::span<const std::string> tasks,
+                             std::span<const Time> sampling_delays) {
+  Time sum = path_wcrt(report, tasks);
+  for (const Time d : sampling_delays) {
+    if (d < 0) throw std::invalid_argument("path_wcrt_with_sampling: negative delay");
+    sum = sat_add(sum, d);
+  }
+  return sum;
+}
+
+}  // namespace hem::cpa

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file path_latency.hpp
+/// End-to-end path latency over a chain of analysed tasks.
+///
+/// The classic compositional bound sums per-hop response times; because the
+/// event models already carry the jitter accumulated upstream, the sum of
+/// local WCRTs is a sound end-to-end bound for event-triggered chains
+/// (every hop is activated by the previous hop's output).  For chains
+/// crossing a pending COM signal, the sampling delay of up to one maximum
+/// frame gap must be added; `path_wcrt_with_sampling` exposes that term.
+
+#include <span>
+#include <string>
+
+#include "model/analysis_report.hpp"
+
+namespace hem::cpa {
+
+/// Sum of worst-case response times along `tasks` (in path order).
+/// \throws std::invalid_argument if a task is unknown.
+[[nodiscard]] Time path_wcrt(const AnalysisReport& report, std::span<const std::string> tasks);
+
+/// Sum of best-case response times along the path.
+[[nodiscard]] Time path_bcrt(const AnalysisReport& report, std::span<const std::string> tasks);
+
+/// Path WCRT plus explicit sampling delays (e.g. the delta+_f(2) a pending
+/// signal can wait in its COM register before hop k picks it up).
+[[nodiscard]] Time path_wcrt_with_sampling(const AnalysisReport& report,
+                                           std::span<const std::string> tasks,
+                                           std::span<const Time> sampling_delays);
+
+}  // namespace hem::cpa

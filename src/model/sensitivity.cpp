@@ -1,0 +1,143 @@
+#include "model/sensitivity.hpp"
+
+#include "core/errors.hpp"
+
+namespace hem::cpa {
+
+FeasibilityResult check_feasible(const System& system, const DeadlineMap& deadlines,
+                                 EngineOptions options) {
+  FeasibilityResult result;
+  try {
+    result.report = CpaEngine(system, options).run();
+  } catch (const AnalysisError& e) {
+    result.feasible = false;
+    result.reason = e.what();
+    return result;
+  }
+  for (const auto& [task, deadline] : deadlines) {
+    const Time wcrt = result.report.task(task).wcrt;
+    if (wcrt > deadline) {
+      result.feasible = false;
+      result.reason = "task '" + task + "' misses its deadline (" + std::to_string(wcrt) +
+                      " > " + std::to_string(deadline) + ")";
+      return result;
+    }
+  }
+  result.feasible = true;
+  return result;
+}
+
+namespace {
+
+bool feasible_at(const System& base, const ParameterMutator& apply, Time value,
+                 const DeadlineMap& deadlines, const EngineOptions& options) {
+  System probe = base;  // Systems are value types; copying is cheap
+  apply(probe, value);
+  return check_feasible(probe, deadlines, options).feasible;
+}
+
+}  // namespace
+
+Time max_feasible_value(const System& base, const ParameterMutator& apply, Time lo, Time hi,
+                        const DeadlineMap& deadlines, EngineOptions options) {
+  if (lo > hi) throw std::invalid_argument("max_feasible_value: empty interval");
+  if (!feasible_at(base, apply, lo, deadlines, options)) return lo - 1;
+  // Invariant: lo feasible, hi + 1 "infeasible frontier".
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo + 1) / 2;
+    if (feasible_at(base, apply, mid, deadlines, options))
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+Time min_feasible_value(const System& base, const ParameterMutator& apply, Time lo, Time hi,
+                        const DeadlineMap& deadlines, EngineOptions options) {
+  if (lo > hi) throw std::invalid_argument("min_feasible_value: empty interval");
+  if (!feasible_at(base, apply, hi, deadlines, options)) return hi + 1;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (feasible_at(base, apply, mid, deadlines, options))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+Time max_feasible_cet(const System& base, const std::string& task, Time lo, Time hi,
+                      const DeadlineMap& deadlines, EngineOptions options) {
+  const TaskId id = base.task_id(task);
+  return max_feasible_value(
+      base,
+      [id](System& sys, Time value) { sys.set_task_cet(id, sched::ExecutionTime(value)); },
+      lo, hi, deadlines, options);
+}
+
+std::optional<std::map<std::string, int>> optimize_priorities(System& system,
+                                                              const std::string& resource,
+                                                              const DeadlineMap& deadlines,
+                                                              EngineOptions options) {
+  std::size_t rid = system.resources().size();
+  for (std::size_t r = 0; r < system.resources().size(); ++r)
+    if (system.resources()[r].name == resource) rid = r;
+  if (rid == system.resources().size())
+    throw std::invalid_argument("optimize_priorities: unknown resource '" + resource + "'");
+  const Policy policy = system.resources()[rid].policy;
+  if (policy != Policy::kSppPreemptive && policy != Policy::kSpnpCan)
+    throw std::invalid_argument(
+        "optimize_priorities: only static-priority resources are supported");
+
+  std::vector<TaskId> members;
+  for (TaskId t = 0; t < system.tasks().size(); ++t)
+    if (system.tasks()[t].resource == rid) members.push_back(t);
+  if (members.empty())
+    throw std::invalid_argument("optimize_priorities: resource has no tasks");
+
+  // Audsley: fill levels from the bottom; System `work` carries the levels
+  // assigned so far, unassigned tasks get temporary top priorities.
+  System work = system;
+  std::vector<TaskId> unassigned = members;
+  std::map<std::string, int> assignment;
+
+  for (int level = static_cast<int>(members.size()); level >= 1; --level) {
+    bool placed = false;
+    for (std::size_t pos = 0; pos < unassigned.size(); ++pos) {
+      const TaskId candidate = unassigned[pos];
+      System probe = work;
+      probe.set_task_priority(candidate, level);
+      int filler = 1;
+      for (const TaskId other : unassigned)
+        if (other != candidate) probe.set_task_priority(other, filler++);
+
+      // Audsley oracle: only the candidate's own deadline matters at this
+      // level (other tasks are checked at their own levels).
+      bool ok = true;
+      try {
+        const auto report = CpaEngine(probe, options).run();
+        const auto& name = system.tasks()[candidate].name;
+        const auto dl = deadlines.find(name);
+        if (dl != deadlines.end() && report.task(name).wcrt > dl->second) ok = false;
+      } catch (const AnalysisError&) {
+        ok = false;
+      }
+      if (ok) {
+        work.set_task_priority(candidate, level);
+        assignment[system.tasks()[candidate].name] = level;
+        unassigned.erase(unassigned.begin() + static_cast<std::ptrdiff_t>(pos));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+
+  // Final sanity: the complete assignment must satisfy ALL deadlines.
+  if (!check_feasible(work, deadlines, options).feasible) return std::nullopt;
+  system = std::move(work);
+  return assignment;
+}
+
+}  // namespace hem::cpa

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file sensitivity.hpp
+/// Sensitivity analysis on top of the CPA engine: how far can a design
+/// parameter move before the system stops meeting its deadlines?  The
+/// classic design-space question SymTA/S-class tools answer with repeated
+/// global analyses and a binary search over one parameter.
+///
+/// Feasibility of a system is monotone in the supported parameters
+/// (increasing a CET or decreasing a period only adds load), so binary
+/// search applies.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "model/cpa_engine.hpp"
+#include "model/system.hpp"
+
+namespace hem::cpa {
+
+/// Per-task deadline constraints (task name -> relative deadline).
+/// Tasks not listed are unconstrained (only the analysis itself must
+/// succeed, i.e. no overload/divergence).
+using DeadlineMap = std::map<std::string, Time>;
+
+struct FeasibilityResult {
+  bool feasible = false;
+  std::string reason;       ///< violated deadline or analysis error
+  AnalysisReport report;    ///< valid only when the analysis converged
+};
+
+/// Run the engine and evaluate deadlines.
+[[nodiscard]] FeasibilityResult check_feasible(const System& system,
+                                               const DeadlineMap& deadlines,
+                                               EngineOptions options = {});
+
+/// Applies the probed value to a copy of the base system.
+using ParameterMutator = std::function<void(System&, Time value)>;
+
+/// Largest value in [lo, hi] for which the mutated system stays feasible.
+/// Feasibility must be monotone non-increasing in the value (e.g. the value
+/// is a CET).  Returns lo - 1 if even `lo` is infeasible.
+[[nodiscard]] Time max_feasible_value(const System& base, const ParameterMutator& apply,
+                                      Time lo, Time hi, const DeadlineMap& deadlines,
+                                      EngineOptions options = {});
+
+/// Smallest value in [lo, hi] for which the mutated system stays feasible.
+/// Feasibility must be monotone non-decreasing in the value (e.g. the value
+/// is a period).  Returns hi + 1 if even `hi` is infeasible.
+[[nodiscard]] Time min_feasible_value(const System& base, const ParameterMutator& apply,
+                                      Time lo, Time hi, const DeadlineMap& deadlines,
+                                      EngineOptions options = {});
+
+/// Convenience: the largest worst-case execution time of `task` (best-case
+/// scaled along) meeting all deadlines.
+[[nodiscard]] Time max_feasible_cet(const System& base, const std::string& task, Time lo,
+                                    Time hi, const DeadlineMap& deadlines,
+                                    EngineOptions options = {});
+
+/// System-level Audsley priority optimisation: find priorities for the
+/// tasks on `resource` (an SPP or CAN resource) such that the WHOLE system
+/// meets `deadlines`, using the global engine as the schedulability oracle.
+/// Tasks on other resources keep their priorities.  On success the mapping
+/// task-name -> priority (1 = highest, within the resource) is returned
+/// and `system` is updated in place; std::nullopt if no assignment works.
+[[nodiscard]] std::optional<std::map<std::string, int>> optimize_priorities(
+    System& system, const std::string& resource, const DeadlineMap& deadlines,
+    EngineOptions options = {});
+
+}  // namespace hem::cpa

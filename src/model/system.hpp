@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file system.hpp
+/// Declarative system model for compositional performance analysis:
+/// resources (with a local scheduling policy), tasks (computation or frame
+/// transmission), and the event-stream graph connecting them.
+///
+/// This is the "abstract system model consisting of operations and event
+/// streams" of the paper's Fig. 1: external sources stimulate tasks, task
+/// outputs stimulate connected tasks (possibly OR-combined), a COM layer
+/// packs signal streams into hierarchical frame streams, frames travel over
+/// a bus task, and unpack edges extract the per-signal inner streams for
+/// the receiving tasks.
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/event_model.hpp"
+#include "hierarchical/pack_constructor.hpp"
+#include "sched/busy_window.hpp"
+
+namespace hem::cpa {
+
+using TaskId = std::size_t;
+using ResourceId = std::size_t;
+
+/// Local scheduling policy of a resource.
+enum class Policy {
+  kSppPreemptive,  ///< static-priority preemptive (CPU)
+  kSpnpCan,        ///< static-priority non-preemptive with blocking (CAN bus)
+  kRoundRobin,     ///< round-robin with per-task slots
+  kTdma,           ///< TDMA with per-task slots and a global cycle
+  kFlexRayStatic,  ///< FlexRay static segment: one slot per frame per cycle
+  kEdf             ///< earliest deadline first (per-task deadlines required)
+};
+
+struct ResourceSpec {
+  std::string name;
+  Policy policy = Policy::kSppPreemptive;
+  Time tdma_cycle = 0;   ///< required for kTdma and kFlexRayStatic (cycle length)
+  Time slot_length = 0;  ///< required for kFlexRayStatic
+};
+
+struct TaskSpec {
+  std::string name;
+  ResourceId resource = 0;
+  int priority = 0;  ///< smaller value = higher priority (SPP / CAN)
+  sched::ExecutionTime cet{0, 0};
+  Time slot = 0;      ///< round-robin or TDMA slot, where applicable
+  Time deadline = 0;  ///< relative deadline, required on EDF resources
+};
+
+/// Activation by an external stimulus with a fixed event model.
+struct ExternalActivation {
+  ModelPtr model;
+};
+
+/// Activation by the output streams of other tasks (OR-combined if > 1).
+struct TaskOutputActivation {
+  std::vector<TaskId> producers;
+};
+
+/// AND-activation: one activation per complete set of producer tokens
+/// (Jersak semantics).  All producers must share the given long-run
+/// period; their outputs are conservatively re-fitted to SEMs with that
+/// period before combination.
+struct AndActivation {
+  std::vector<TaskId> producers;
+  Time period = 0;
+};
+
+/// Activation of a *frame* task by a packed hierarchical stream (Omega_pa):
+/// the sources are task outputs and/or external models, each triggering or
+/// pending, plus an optional periodic send timer.
+struct PackedActivation {
+  struct Input {
+    std::variant<TaskId, ModelPtr> source;
+    SignalCoupling coupling = SignalCoupling::kTriggering;
+  };
+  std::vector<Input> inputs;
+  ModelPtr timer;  ///< may be null (direct frames)
+};
+
+/// Activation by one inner stream of a frame task's hierarchical output
+/// (deconstructor Psi_pa applied at `index`).
+struct UnpackedActivation {
+  TaskId frame_task = 0;
+  std::size_t index = 0;
+};
+
+using ActivationSpec = std::variant<std::monostate, ExternalActivation, TaskOutputActivation,
+                                    AndActivation, PackedActivation, UnpackedActivation>;
+
+/// The system under analysis.  Build it up with the add_/activate_ methods,
+/// then hand it to CpaEngine.
+class System {
+ public:
+  ResourceId add_resource(ResourceSpec spec);
+  TaskId add_task(TaskSpec spec);
+
+  /// Stimulate `task` with a fixed external event model.
+  void activate_external(TaskId task, ModelPtr model);
+
+  /// Stimulate `task` with the (OR-combined) outputs of `producers`.
+  void activate_by(TaskId task, std::vector<TaskId> producers);
+
+  /// Stimulate `task` once per complete token set of `producers`
+  /// (AND-activation); all producers must run at `period`.
+  void activate_and(TaskId task, std::vector<TaskId> producers, Time period);
+
+  /// Stimulate the frame task `frame` with the pack-HSC of `inputs`
+  /// (+ optional periodic timer).
+  void activate_packed(TaskId frame, std::vector<PackedActivation::Input> inputs,
+                       ModelPtr timer = nullptr);
+
+  /// Stimulate `task` with inner stream `index` of frame task `frame`.
+  void activate_unpacked(TaskId task, TaskId frame, std::size_t index);
+
+  [[nodiscard]] const std::vector<ResourceSpec>& resources() const noexcept {
+    return resources_;
+  }
+  [[nodiscard]] const std::vector<TaskSpec>& tasks() const noexcept { return tasks_; }
+  [[nodiscard]] const ActivationSpec& activation(TaskId t) const { return activations_.at(t); }
+
+  [[nodiscard]] TaskId task_id(std::string_view name) const;
+
+  /// Replace a task's execution-time interval (used by sensitivity
+  /// analysis to probe design parameters).
+  void set_task_cet(TaskId task, sched::ExecutionTime cet);
+
+  /// Replace a task's priority (used by priority optimisation).
+  void set_task_priority(TaskId task, int priority);
+
+  /// Structural validation: every task has an activation, references are in
+  /// range, resources have the parameters their policy needs.
+  void validate() const;
+
+ private:
+  std::vector<ResourceSpec> resources_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<ActivationSpec> activations_;
+};
+
+}  // namespace hem::cpa

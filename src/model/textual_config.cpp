@@ -1,0 +1,334 @@
+#include "model/textual_config.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/delta_function_model.hpp"
+#include "core/leaky_bucket_model.hpp"
+#include "core/offset_transaction_model.hpp"
+#include "core/standard_event_model.hpp"
+
+namespace hem::cpa {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + message);
+}
+
+/// Split a line into whitespace-separated tokens, dropping comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line.substr(0, line.find('#')));
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// Key=value arguments after the positional tokens.
+class Args {
+ public:
+  Args(const std::vector<std::string>& tokens, std::size_t first, int line) : line_(line) {
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos) fail(line, "expected key=value, got '" + tokens[i] + "'");
+      kv_[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const { return kv_.count(key) != 0; }
+
+  [[nodiscard]] std::string str(const std::string& key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) fail(line_, "missing required argument '" + key + "'");
+    return it->second;
+  }
+
+  [[nodiscard]] std::string str_or(const std::string& key, const std::string& def) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+  }
+
+  [[nodiscard]] Time time(const std::string& key) const { return to_time(str(key)); }
+
+  [[nodiscard]] Time time_or(const std::string& key, Time def) const {
+    return has(key) ? to_time(str(key)) : def;
+  }
+
+  [[nodiscard]] Time to_time(const std::string& text) const {
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(text, &pos);
+      if (pos != text.size()) throw std::invalid_argument("");
+      return static_cast<Time>(v);
+    } catch (...) {
+      fail(line_, "not a number: '" + text + "'");
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  int line_;
+};
+
+sched::ExecutionTime parse_cet(const std::string& text, int line) {
+  const auto colon = text.find(':');
+  try {
+    if (colon == std::string::npos) {
+      return sched::ExecutionTime(static_cast<Time>(std::stoll(text)));
+    }
+    return sched::ExecutionTime(static_cast<Time>(std::stoll(text.substr(0, colon))),
+                                static_cast<Time>(std::stoll(text.substr(colon + 1))));
+  } catch (const std::invalid_argument&) {
+    fail(line, "bad cet '" + text + "' (expected <c> or <lo>:<hi>)");
+  }
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : text) {
+    if (c == ',') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+struct ParserState {
+  System system;
+  DeadlineMap deadlines;
+  std::map<std::string, ResourceId> resources;
+  std::map<std::string, TaskId> tasks;
+  std::map<std::string, ModelPtr> sources;
+
+  [[nodiscard]] ModelPtr stream_for(const std::string& name, int line) const {
+    const auto it = sources.find(name);
+    if (it != sources.end()) return it->second;
+    fail(line, "unknown source '" + name + "'");
+  }
+};
+
+void parse_resource(ParserState& st, const std::vector<std::string>& tokens, int line) {
+  if (tokens.size() < 3) fail(line, "resource needs: resource <name> <policy>");
+  const std::string& name = tokens[1];
+  const std::string& policy = tokens[2];
+  const Args args(tokens, 3, line);
+  ResourceSpec spec;
+  spec.name = name;
+  if (policy == "spp") {
+    spec.policy = Policy::kSppPreemptive;
+  } else if (policy == "can") {
+    spec.policy = Policy::kSpnpCan;
+  } else if (policy == "rr") {
+    spec.policy = Policy::kRoundRobin;
+  } else if (policy == "tdma") {
+    spec.policy = Policy::kTdma;
+    spec.tdma_cycle = args.time("cycle");
+  } else if (policy == "flexray") {
+    spec.policy = Policy::kFlexRayStatic;
+    spec.tdma_cycle = args.time("cycle");
+    spec.slot_length = args.time("slot");
+  } else if (policy == "edf") {
+    spec.policy = Policy::kEdf;
+  } else {
+    fail(line, "unknown policy '" + policy + "' (spp|can|rr|tdma|flexray|edf)");
+  }
+  if (st.resources.count(name) != 0) fail(line, "duplicate resource '" + name + "'");
+  st.resources[name] = st.system.add_resource(std::move(spec));
+}
+
+void parse_source(ParserState& st, const std::vector<std::string>& tokens, int line) {
+  if (tokens.size() < 3) fail(line, "source needs: source <name> <kind> <params>");
+  const std::string& name = tokens[1];
+  const std::string& kind = tokens[2];
+  const Args args(tokens, 3, line);
+  if (st.sources.count(name) != 0) fail(line, "duplicate source '" + name + "'");
+  try {
+    if (kind == "periodic") {
+      st.sources[name] = StandardEventModel::periodic(args.time("period"));
+    } else if (kind == "sem") {
+      st.sources[name] = std::make_shared<StandardEventModel>(
+          args.time("period"), args.time_or("jitter", 0), args.time_or("dmin", 0));
+    } else if (kind == "burst") {
+      st.sources[name] = DeltaFunctionModel::periodic_burst(
+          args.time("size"), args.time("inner"), args.time("period"));
+    } else if (kind == "leaky") {
+      st.sources[name] =
+          std::make_shared<LeakyBucketModel>(args.time("burst"), args.time("spacing"));
+    } else if (kind == "offsets") {
+      std::vector<Time> offsets;
+      for (const auto& part : split_list(args.str("at")))
+        offsets.push_back(args.to_time(part));
+      st.sources[name] = std::make_shared<OffsetTransactionModel>(
+          args.time("period"), std::move(offsets), args.time_or("jitter", 0));
+    } else {
+      fail(line, "unknown source kind '" + kind +
+                     "' (periodic|sem|burst|leaky|offsets)");
+    }
+  } catch (const std::invalid_argument& e) {
+    fail(line, std::string("invalid source parameters: ") + e.what());
+  }
+}
+
+void parse_task(ParserState& st, const std::vector<std::string>& tokens, int line) {
+  if (tokens.size() < 2) fail(line, "task needs a name");
+  const std::string& name = tokens[1];
+  const Args args(tokens, 2, line);
+  const auto res = st.resources.find(args.str("resource"));
+  if (res == st.resources.end()) fail(line, "unknown resource '" + args.str("resource") + "'");
+  TaskSpec spec{name, res->second, static_cast<int>(args.time("priority")),
+                parse_cet(args.str("cet"), line)};
+  spec.slot = args.time_or("slot", 0);
+  spec.deadline = args.time_or("deadline", 0);
+  if (st.tasks.count(name) != 0) fail(line, "duplicate task '" + name + "'");
+  try {
+    st.tasks[name] = st.system.add_task(std::move(spec));
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+}
+
+void parse_activate(ParserState& st, const std::vector<std::string>& tokens, int line) {
+  if (tokens.size() < 2) fail(line, "activate needs a task name");
+  const auto task = st.tasks.find(tokens[1]);
+  if (task == st.tasks.end()) fail(line, "unknown task '" + tokens[1] + "'");
+  const Args args(tokens, 2, line);
+  if (args.has("from")) {
+    const std::string from = args.str("from");
+    if (const auto producer = st.tasks.find(from); producer != st.tasks.end()) {
+      st.system.activate_by(task->second, {producer->second});
+    } else {
+      st.system.activate_external(task->second, st.stream_for(from, line));
+    }
+    return;
+  }
+  if (args.has("or")) {
+    std::vector<TaskId> producers;
+    for (const auto& part : split_list(args.str("or"))) {
+      const auto producer = st.tasks.find(part);
+      if (producer == st.tasks.end()) fail(line, "unknown producer task '" + part + "'");
+      producers.push_back(producer->second);
+    }
+    st.system.activate_by(task->second, std::move(producers));
+    return;
+  }
+  if (args.has("and")) {
+    std::vector<TaskId> producers;
+    for (const auto& part : split_list(args.str("and"))) {
+      const auto producer = st.tasks.find(part);
+      if (producer == st.tasks.end()) fail(line, "unknown producer task '" + part + "'");
+      producers.push_back(producer->second);
+    }
+    try {
+      st.system.activate_and(task->second, std::move(producers), args.time("period"));
+    } catch (const std::invalid_argument& e) {
+      fail(line, e.what());
+    }
+    return;
+  }
+  fail(line, "activate needs from=<source|task>, or=<t1,t2,...>, or and=<t1,t2,...> period=<T>");
+}
+
+void parse_packed(ParserState& st, const std::vector<std::string>& tokens, int line) {
+  if (tokens.size() < 2) fail(line, "packed needs a frame task name");
+  const auto frame = st.tasks.find(tokens[1]);
+  if (frame == st.tasks.end()) fail(line, "unknown task '" + tokens[1] + "'");
+  const Args args(tokens, 2, line);
+  std::vector<PackedActivation::Input> inputs;
+  for (const auto& part : split_list(args.str("inputs"))) {
+    const auto colon = part.find(':');
+    if (colon == std::string::npos)
+      fail(line, "packed input must be <name>:trig or <name>:pend, got '" + part + "'");
+    const std::string src_name = part.substr(0, colon);
+    const std::string coupling = part.substr(colon + 1);
+    PackedActivation::Input input;
+    if (const auto producer = st.tasks.find(src_name); producer != st.tasks.end())
+      input.source = producer->second;
+    else
+      input.source = st.stream_for(src_name, line);
+    if (coupling == "trig")
+      input.coupling = SignalCoupling::kTriggering;
+    else if (coupling == "pend")
+      input.coupling = SignalCoupling::kPending;
+    else
+      fail(line, "unknown coupling '" + coupling + "' (trig|pend)");
+    inputs.push_back(std::move(input));
+  }
+  ModelPtr timer;
+  if (args.has("timer")) timer = StandardEventModel::periodic(args.time("timer"));
+  try {
+    st.system.activate_packed(frame->second, std::move(inputs), std::move(timer));
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+}
+
+void parse_unpack(ParserState& st, const std::vector<std::string>& tokens, int line) {
+  if (tokens.size() < 2) fail(line, "unpack needs a task name");
+  const auto task = st.tasks.find(tokens[1]);
+  if (task == st.tasks.end()) fail(line, "unknown task '" + tokens[1] + "'");
+  const Args args(tokens, 2, line);
+  const auto frame = st.tasks.find(args.str("frame"));
+  if (frame == st.tasks.end()) fail(line, "unknown frame task '" + args.str("frame") + "'");
+  st.system.activate_unpacked(task->second, frame->second,
+                              static_cast<std::size_t>(args.time("index")));
+}
+
+void parse_deadline(ParserState& st, const std::vector<std::string>& tokens, int line) {
+  if (tokens.size() != 3) fail(line, "deadline needs: deadline <task> <ticks>");
+  if (st.tasks.count(tokens[1]) == 0) fail(line, "unknown task '" + tokens[1] + "'");
+  const Args args(tokens, 3, line);
+  st.deadlines[tokens[1]] = args.to_time(tokens[2]);
+}
+
+}  // namespace
+
+ParsedSystem parse_system_config(std::istream& in) {
+  ParserState st;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+    if (keyword == "resource")
+      parse_resource(st, tokens, line_no);
+    else if (keyword == "source")
+      parse_source(st, tokens, line_no);
+    else if (keyword == "task")
+      parse_task(st, tokens, line_no);
+    else if (keyword == "activate")
+      parse_activate(st, tokens, line_no);
+    else if (keyword == "packed")
+      parse_packed(st, tokens, line_no);
+    else if (keyword == "unpack")
+      parse_unpack(st, tokens, line_no);
+    else if (keyword == "deadline")
+      parse_deadline(st, tokens, line_no);
+    else
+      fail(line_no, "unknown keyword '" + keyword + "'");
+  }
+  try {
+    st.system.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("configuration incomplete: ") + e.what());
+  }
+  return ParsedSystem{std::move(st.system), std::move(st.deadlines)};
+}
+
+ParsedSystem parse_system_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open configuration file '" + path + "'");
+  return parse_system_config(in);
+}
+
+}  // namespace hem::cpa

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file textual_config.hpp
+/// Plain-text system description format and parser, so systems can be
+/// analysed without writing C++ (used by the `hemcpa` CLI tool).
+///
+/// Line-oriented; `#` starts a comment; keywords are case-sensitive.
+/// Entities must be declared before they are referenced.
+///
+/// ```
+/// # resources:  resource <name> spp|can|rr|tdma [cycle=<ticks>]
+/// resource CPU1 spp
+/// resource CAN  can
+///
+/// # sources:    source <name> periodic|sem|burst <params>
+/// source s1 periodic period=250
+/// source s2 sem period=450 jitter=30 dmin=5
+/// source s3 burst size=3 inner=10 period=100
+///
+/// # tasks:      task <name> resource=<r> priority=<p> cet=<c>|<lo>:<hi>
+/// #                         [slot=<ticks>]      (rr / tdma resources)
+/// task T1 resource=CPU1 priority=1 cet=24
+/// task F1 resource=CAN  priority=1 cet=4
+///
+/// # activations (choose one per task):
+/// activate T1 from=s1              # external source or task output
+/// activate T3 or=T1,T2             # OR-combination of task outputs
+/// packed  F1 inputs=s1:trig,s2:trig,s3:pend [timer=<period>]
+/// unpack  T2 frame=F1 index=1
+///
+/// # optional deadline constraints (consumed by the CLI / sensitivity):
+/// deadline T1 100
+/// ```
+
+#include <istream>
+#include <string>
+
+#include "model/sensitivity.hpp"
+#include "model/system.hpp"
+
+namespace hem::cpa {
+
+/// A parsed configuration: the system plus optional deadline constraints.
+struct ParsedSystem {
+  System system;
+  DeadlineMap deadlines;
+};
+
+/// Parse a configuration from a stream.
+/// \throws std::invalid_argument with "<line>: <message>" on syntax or
+///         reference errors.
+[[nodiscard]] ParsedSystem parse_system_config(std::istream& in);
+
+/// Parse a configuration file.
+[[nodiscard]] ParsedSystem parse_system_config_file(const std::string& path);
+
+}  // namespace hem::cpa

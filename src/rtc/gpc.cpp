@@ -1,0 +1,98 @@
+#include "rtc/gpc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/errors.hpp"
+
+namespace hem::rtc {
+
+Curve upper_arrival_from(const EventModel& model, Count n_max) {
+  if (n_max < 3) throw std::invalid_argument("upper_arrival_from: n_max too small");
+  std::vector<Curve::Point> pts;
+  pts.push_back({0, 1});  // any non-empty window may hold one event
+  for (Count n = 2; n <= n_max; ++n) {
+    const Time x = model.delta_min(n);
+    if (is_infinite(x)) break;  // finite stream: saturate
+    if (x == pts.back().x) {
+      pts.back().y = n;  // simultaneous events: lift the point
+    } else {
+      pts.push_back({x, n});
+    }
+  }
+  // Tail slope from the last stretch of the curve (conservatively steep:
+  // use the shortest span per event over the trailing window).
+  Time dy = 0, dx = 1;
+  if (pts.size() >= 2) {
+    const std::size_t take = std::min<std::size_t>(pts.size() - 1, 8);
+    const auto& a = pts[pts.size() - 1 - take];
+    const auto& b = pts.back();
+    dy = b.y - a.y;
+    dx = b.x - a.x;
+  }
+  if (dy == 0) {  // degenerate (finite or single-point curve): flat tail
+    dy = 0;
+    dx = 1;
+  }
+  return Curve(CurveKind::kUpper, std::move(pts), dy, dx);
+}
+
+Curve full_service() { return Curve(CurveKind::kLower, {{0, 0}}, 1, 1); }
+
+namespace {
+
+Curve scaled(const Curve& c, Time factor) {
+  std::vector<Curve::Point> pts;
+  for (const auto& p : c.points()) pts.push_back({p.x, sat_mul(p.y, factor)});
+  return Curve(c.kind(), std::move(pts), sat_mul(c.final_dy(), factor), c.final_dx());
+}
+
+/// Service curve in EVENT units: floor(beta / wcet) - conservative for a
+/// lower service curve.
+Curve scaled_down(const Curve& c, Time divisor) {
+  std::vector<Curve::Point> pts;
+  Time prev = 0;
+  for (const auto& p : c.points()) {
+    const Time y = std::max(prev, p.y / divisor);
+    pts.push_back({p.x, y});
+    prev = y;
+  }
+  return Curve(c.kind(), std::move(pts), c.final_dy(), sat_mul(c.final_dx(), divisor));
+}
+
+}  // namespace
+
+GpcResult greedy_processing(const Curve& alpha_upper, const Curve& beta_lower, Time wcet) {
+  if (wcet <= 0) throw std::invalid_argument("greedy_processing: wcet must be positive");
+  const Curve demand = scaled(alpha_upper, wcet);
+
+  GpcResult result{0,
+                   0,
+                   0,
+                   Curve::zero(CurveKind::kUpper),
+                   Curve::zero(CurveKind::kLower)};
+  result.delay = demand.max_horizontal_deviation(beta_lower);
+  result.backlog_time = demand.max_vertical_deviation(beta_lower);
+  result.backlog_events = ceil_div(result.backlog_time, wcet);
+  result.remaining_service = beta_lower.minus_clamped(demand);
+  // Output arrival: the exact GPC bound alpha ⊘ (beta in event units),
+  // intersected with the simpler shift-by-delay bound (both are sound).
+  const Curve beta_events = scaled_down(beta_lower, wcet);
+  result.output_arrival = alpha_upper.min_plus_deconv(beta_events)
+                              .min_with(alpha_upper.shifted_left(result.delay));
+  return result;
+}
+
+std::vector<RtcTaskResult> analyze_fp_rtc(const std::vector<RtcTask>& tasks) {
+  if (tasks.empty()) throw std::invalid_argument("analyze_fp_rtc: empty task set");
+  Curve beta = full_service();
+  std::vector<RtcTaskResult> results;
+  for (const auto& t : tasks) {
+    const GpcResult r = greedy_processing(t.alpha, beta, t.wcet);
+    results.push_back(RtcTaskResult{t.name, r.delay, r.backlog_events});
+    beta = r.remaining_service;
+  }
+  return results;
+}
+
+}  // namespace hem::rtc

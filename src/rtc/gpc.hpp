@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file gpc.hpp
+/// Greedy Processing Component - the building block of Real-Time-Calculus
+/// performance analysis (Thiele et al., the paper's reference [11]).
+///
+/// A GPC processes one event stream (upper arrival curve alpha, events) on
+/// a resource with lower service curve beta (time units), each event
+/// costing up to `wcet` units:
+///
+///   delay    <= h( wcet * alpha, beta )      (max horizontal deviation)
+///   backlog  <= v( wcet * alpha, beta )      (max vertical deviation)
+///   beta'    =  sup-hull( beta - wcet*alpha )   (remaining service)
+///   alpha'   =  alpha shifted left by the delay (output stream bound)
+///
+/// `analyze_fp_rtc` chains GPCs down a fixed-priority resource: each task
+/// consumes service, the remainder serves the next priority level - the
+/// RTC equivalent of the busy-window SPP analysis, used as a comparison
+/// baseline (bench_ablation_rtc).
+
+#include <string>
+#include <vector>
+
+#include "core/event_model.hpp"
+#include "rtc/curve.hpp"
+
+namespace hem::rtc {
+
+/// Conservative upper arrival curve of an event model: the piecewise-linear
+/// envelope through the points (delta-(n), n) for n = 2..n_max, extended
+/// with the measured long-run rate.
+[[nodiscard]] Curve upper_arrival_from(const EventModel& model, Count n_max = 64);
+
+/// Full (unit-rate) service of a dedicated resource.
+[[nodiscard]] Curve full_service();
+
+struct GpcResult {
+  Time delay = 0;           ///< response-time bound per event
+  Time backlog_time = 0;    ///< pending work bound (time units)
+  Count backlog_events = 0; ///< pending activations bound
+  Curve output_arrival;     ///< upper arrival curve of the output stream
+  Curve remaining_service;  ///< lower service curve left for lower priority
+};
+
+/// Analyse one greedy processing component.
+/// \throws AnalysisError if the demand rate exceeds the service rate.
+[[nodiscard]] GpcResult greedy_processing(const Curve& alpha_upper, const Curve& beta_lower,
+                                          Time wcet);
+
+/// One task of a fixed-priority RTC analysis (ordered highest first).
+struct RtcTask {
+  std::string name;
+  Curve alpha;  ///< upper arrival curve (events)
+  Time wcet;
+};
+
+struct RtcTaskResult {
+  std::string name;
+  Time delay = 0;
+  Count backlog_events = 0;
+};
+
+/// Chain GPCs down the priority order on one dedicated resource.
+[[nodiscard]] std::vector<RtcTaskResult> analyze_fp_rtc(const std::vector<RtcTask>& tasks);
+
+}  // namespace hem::rtc

@@ -1,0 +1,91 @@
+#include "scenarios/body_network.hpp"
+
+#include <string>
+
+#include "core/standard_event_model.hpp"
+
+namespace hem::scenarios {
+
+namespace {
+
+using cpa::Policy;
+using cpa::System;
+using cpa::TaskId;
+
+}  // namespace
+
+cpa::System build_body_network(const BodyNetworkParams& params) {
+  if (params.replicas < 1) throw std::invalid_argument("build_body_network: replicas >= 1");
+  if (params.time_unit < 1) throw std::invalid_argument("build_body_network: time_unit >= 1");
+  const Time u = params.time_unit;
+
+  System sys;
+  const auto pt_can = sys.add_resource({"PT_CAN", Policy::kSpnpCan});
+  const auto bd_can = sys.add_resource({"BD_CAN", Policy::kSpnpCan});
+  const auto gw_cpu = sys.add_resource({"GW_CPU", Policy::kSppPreemptive});
+  const auto dash_cpu = sys.add_resource({"DASH_CPU", Policy::kSppPreemptive});
+  const auto bc_cpu = sys.add_resource({"BC_CPU", Policy::kSppPreemptive});
+
+  const auto src = [&](Time period) { return StandardEventModel::periodic(period * u); };
+
+  for (int r = 0; r < params.replicas; ++r) {
+    const std::string sfx = params.replicas > 1 ? "_" + std::to_string(r) : "";
+    const int pb = 10 * r;  // priority base per replica
+
+    // --- powertrain CAN ----------------------------------------------------
+    const TaskId pt1 = sys.add_task({"PT1" + sfx, pt_can, pb + 1, sched::ExecutionTime(13)});
+    sys.activate_packed(pt1, {{src(100), SignalCoupling::kTriggering},   // wheel, 1 ms*u
+                              {src(200), SignalCoupling::kTriggering}}); // engine
+    const TaskId pt2 = sys.add_task({"PT2" + sfx, pt_can, pb + 2, sched::ExecutionTime(11)});
+    sys.activate_packed(pt2,
+                        {{src(5000), SignalCoupling::kPending},          // temp
+                         {src(10000), SignalCoupling::kPending}},        // oil
+                        StandardEventModel::periodic(1000 * u));         // periodic frame
+
+    // --- gateway -------------------------------------------------------------
+    const TaskId gw_wheel =
+        sys.add_task({"gw_wheel" + sfx, gw_cpu, 2 * r + 1, sched::ExecutionTime(3, 5)});
+    sys.activate_unpacked(gw_wheel, pt1, 0);
+    const TaskId gw_temp =
+        sys.add_task({"gw_temp" + sfx, gw_cpu, 2 * r + 2, sched::ExecutionTime(3, 6)});
+    sys.activate_unpacked(gw_temp, pt2, 0);
+
+    // --- body CAN -----------------------------------------------------------
+    const TaskId bd1 = sys.add_task({"BD1" + sfx, bd_can, pb + 1, sched::ExecutionTime(12)});
+    sys.activate_packed(bd1, {{src(500), SignalCoupling::kTriggering},   // door
+                              {src(1000), SignalCoupling::kTriggering}}); // light
+    const TaskId bd2 = sys.add_task({"BD2" + sfx, bd_can, pb + 2, sched::ExecutionTime(10)});
+    sys.activate_packed(bd2, {{src(2000), SignalCoupling::kPending}},    // climate
+                        StandardEventModel::periodic(1000 * u));
+    const TaskId gw1 = sys.add_task({"GW1" + sfx, bd_can, pb + 3, sched::ExecutionTime(14)});
+    sys.activate_packed(gw1, {{gw_wheel, SignalCoupling::kTriggering},
+                              {gw_temp, SignalCoupling::kPending}});
+
+    // --- dashboard ------------------------------------------------------------
+    const TaskId dash_wheel =
+        sys.add_task({"dash_wheel" + sfx, dash_cpu, 3 * r + 1, sched::ExecutionTime(50)});
+    sys.activate_unpacked(dash_wheel, gw1, 0);
+    const TaskId dash_temp =
+        sys.add_task({"dash_temp" + sfx, dash_cpu, 3 * r + 2, sched::ExecutionTime(80)});
+    sys.activate_unpacked(dash_temp, gw1, 1);
+    const TaskId dash_climate =
+        sys.add_task({"dash_climate" + sfx, dash_cpu, 3 * r + 3, sched::ExecutionTime(60)});
+    sys.activate_unpacked(dash_climate, bd2, 0);
+
+    // --- body controller ------------------------------------------------------
+    const TaskId bc_door =
+        sys.add_task({"bc_door" + sfx, bc_cpu, 2 * r + 1, sched::ExecutionTime(40)});
+    sys.activate_unpacked(bc_door, bd1, 0);
+    const TaskId bc_light =
+        sys.add_task({"bc_light" + sfx, bc_cpu, 2 * r + 2, sched::ExecutionTime(30)});
+    sys.activate_unpacked(bc_light, bd1, 1);
+  }
+  return sys;
+}
+
+cpa::AnalysisReport analyze_body_network(const BodyNetworkParams& params) {
+  auto sys = build_body_network(params);
+  return cpa::CpaEngine(sys).run();
+}
+
+}  // namespace hem::scenarios

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file body_network.hpp
+/// A larger, realistic automotive network used for stress testing and the
+/// scalability evaluation: two CAN buses joined by a gateway ECU plus a
+/// FlexRay-style time-triggered link analysed separately.
+///
+/// Topology (all signal timing loosely modelled on body/comfort traffic):
+///
+///   powertrain CAN: engine(20ms) + wheel(10ms) packed into PT1 (direct),
+///                   temp(500ms, pending) + oil(1s, pending) in PT2 (periodic 100ms)
+///   body CAN:       door(50ms) + light(100ms) into BD1 (direct),
+///                   climate(200ms, pending) into BD2 (mixed 100ms)
+///   gateway:        forwards wheel + temp from powertrain to body CAN in GW1
+///   ECUs:           dashboard (wheel, temp, climate), body controller
+///                   (door, light)
+///
+/// The builder is parameterised by a scale factor that multiplies the
+/// number of source/receiver replicas, for scalability sweeps.
+
+#include "model/cpa_engine.hpp"
+#include "model/system.hpp"
+
+namespace hem::scenarios {
+
+struct BodyNetworkParams {
+  int replicas = 1;     ///< replicate the source/receiver pattern N times
+  Time time_unit = 10;  ///< ticks per 0.1 ms (scales all timing)
+};
+
+/// Build the network; tasks are suffixed "_<replica>" when replicas > 1.
+[[nodiscard]] cpa::System build_body_network(const BodyNetworkParams& params = {});
+
+/// Convenience: build and analyse.
+[[nodiscard]] cpa::AnalysisReport analyze_body_network(const BodyNetworkParams& params = {});
+
+}  // namespace hem::scenarios

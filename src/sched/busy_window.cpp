@@ -1,0 +1,50 @@
+#include "sched/busy_window.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hem::sched {
+
+Time least_fixpoint(const std::function<Time(Time)>& f, Time start, const FixpointLimits& limits,
+                    const std::string& what) {
+  Time w = start;
+  for (long it = 0; it < limits.max_iterations; ++it) {
+    const Time next = f(w);
+    if (next < w)
+      throw AnalysisError(what + ": demand function is not monotone (internal error)");
+    if (next == w) return w;
+    if (next > limits.max_window)
+      throw AnalysisError(what + ": busy window exceeds limit (" +
+                          std::to_string(limits.max_window) + " ticks) - resource overloaded?");
+    w = next;
+  }
+  throw AnalysisError(what + ": fixpoint iteration did not converge");
+}
+
+Count backlog_bound(const EventModel& activation, const std::vector<Time>& completion_times) {
+  Count worst = 0;
+  for (Count q = 1; q <= static_cast<Count>(completion_times.size()); ++q) {
+    const Time arrival = activation.delta_min(q);
+    Count completed = 0;
+    for (const Time w : completion_times) {
+      if (w <= arrival) ++completed;
+    }
+    worst = std::max(worst, q - completed);
+  }
+  return worst;
+}
+
+void validate_priority_task_set(const std::vector<TaskParams>& tasks, const std::string& what) {
+  if (tasks.empty()) throw std::invalid_argument(what + ": empty task set");
+  std::set<int> prios;
+  for (const auto& t : tasks) {
+    if (t.name.empty()) throw std::invalid_argument(what + ": task with empty name");
+    if (!t.activation)
+      throw std::invalid_argument(what + ": task '" + t.name + "' has no activation model");
+    if (!prios.insert(t.priority).second)
+      throw std::invalid_argument(what + ": duplicate priority " + std::to_string(t.priority) +
+                                  " (task '" + t.name + "')");
+  }
+}
+
+}  // namespace hem::sched

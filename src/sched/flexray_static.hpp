@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file flexray_static.hpp
+/// FlexRay static-segment analysis: every frame owns one static slot per
+/// communication cycle, giving full temporal isolation between frames
+/// (like TDMA) but at most ONE transmission per cycle per frame.
+///
+/// Worst case for the q-th queued instance of a frame: the triggering
+/// event just misses the frame's slot, waits out the rest of the cycle,
+/// and q - 1 earlier instances each consume one slot:
+///
+///   completion(q) = q * cycle + C
+///   R+            = max_q ( completion(q) - delta-(q) )
+///
+/// The busy period (backlog drain horizon) is the least fixpoint of
+/// L = eta+(L) * cycle + C.  Frames whose long-run activation rate exceeds
+/// one per cycle are unschedulable (AnalysisError).
+
+#include <vector>
+
+#include "sched/busy_window.hpp"
+
+namespace hem::sched {
+
+/// A frame in the static segment.  `params.priority` is unused (slots
+/// isolate); `params.cet` is the transmission time within the slot.
+struct FlexRayFrame {
+  TaskParams params;
+};
+
+class FlexRayStaticAnalysis {
+ public:
+  /// \param cycle        communication cycle length.
+  /// \param slot_length  static slot length; every frame's C+ must fit.
+  FlexRayStaticAnalysis(std::vector<FlexRayFrame> frames, Time cycle, Time slot_length,
+                        FixpointLimits limits = {});
+
+  [[nodiscard]] ResponseResult analyze(std::size_t index) const;
+  [[nodiscard]] std::vector<ResponseResult> analyze_all() const;
+
+  [[nodiscard]] Time cycle() const noexcept { return cycle_; }
+
+ private:
+  std::vector<FlexRayFrame> frames_;
+  Time cycle_;
+  Time slot_length_;
+  FixpointLimits limits_;
+};
+
+}  // namespace hem::sched

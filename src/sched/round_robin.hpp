@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file round_robin.hpp
+/// Round-robin response-time analysis (conservative CPA-style bound).
+///
+/// Each task owns a slot of size theta_i per round.  While the task under
+/// analysis still has pending demand, every other task can consume per round
+/// at most its slot - and never more than its total pending demand.  For q
+/// activations of task i:
+///
+///   w(q) = lfp w = q*C+_i + sum_{j != i} min( eta+_j(w)*C+_j,
+///                                             rounds_i(q) * theta_j )
+///   rounds_i(q) = ceil( q*C+_i / theta_i )
+///   R+   = max_q ( w(q) - delta-_i(q) )
+///
+/// This is the classic conservative round-robin bound used in compositional
+/// tools; it never claims more interference than either the other task's
+/// own demand bound or its slot allowance.
+
+#include <vector>
+
+#include "sched/busy_window.hpp"
+
+namespace hem::sched {
+
+/// A task under round-robin arbitration: the base parameters plus its slot.
+struct RoundRobinTask {
+  TaskParams params;
+  Time slot;  ///< theta_i > 0, service granted per round
+};
+
+class RoundRobinAnalysis {
+ public:
+  explicit RoundRobinAnalysis(std::vector<RoundRobinTask> tasks, FixpointLimits limits = {});
+
+  [[nodiscard]] ResponseResult analyze(std::size_t index) const;
+  [[nodiscard]] std::vector<ResponseResult> analyze_all() const;
+
+ private:
+  std::vector<RoundRobinTask> tasks_;
+  FixpointLimits limits_;
+};
+
+}  // namespace hem::sched

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file spp.hpp
+/// Static-priority preemptive (SPP) response-time analysis.
+///
+/// The classic CPU analysis of compositional frameworks: multi-activation
+/// busy-window analysis for arbitrary activation models (not just periodic
+/// tasks), supporting arbitrary deadlines (response times beyond the
+/// period).  For task i with higher-priority set hp(i):
+///
+///   L    = lfp  L  = sum_{j in hp(i) U {i}} eta+_j(L) * C+_j
+///   Q    = eta+_i(L)
+///   w(q) = lfp  w  = q * C+_i + sum_{j in hp(i)} eta+_j(w) * C+_j
+///   R+   = max_{q=1..Q} ( w(q) - delta-_i(q) )
+///   R-   = C-_i
+///
+/// delta-_i(q) is the earliest arrival of the q-th activation after the
+/// critical instant (delta-_i(1) = 0).
+
+#include <vector>
+
+#include "sched/busy_window.hpp"
+
+namespace hem::sched {
+
+class SppAnalysis {
+ public:
+  /// \param tasks  all tasks sharing the processor; priorities must be
+  ///               pairwise distinct (smaller value = higher priority).
+  explicit SppAnalysis(std::vector<TaskParams> tasks, FixpointLimits limits = {});
+
+  /// Response-time analysis for the task at `index` (into the constructor
+  /// task vector).
+  [[nodiscard]] ResponseResult analyze(std::size_t index) const;
+
+  /// Analyse every task; results in constructor order.
+  [[nodiscard]] std::vector<ResponseResult> analyze_all() const;
+
+  [[nodiscard]] const std::vector<TaskParams>& tasks() const noexcept { return tasks_; }
+
+ private:
+  std::vector<TaskParams> tasks_;
+  FixpointLimits limits_;
+};
+
+}  // namespace hem::sched

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file tdma.hpp
+/// TDMA response-time analysis.
+///
+/// Each task owns an exclusive slot of size theta_i in a cycle of size c
+/// (sum of all slots <= c; unassigned remainder is idle or used by others).
+/// TDMA isolates tasks completely: the analysis of task i only needs its
+/// own demand and the worst-case slot alignment.  The guaranteed service in
+/// any interval dt (lower service curve) is
+///
+///   beta(dt) = k * theta + min(theta, max(0, rem - (c - theta)))
+///      with dt' = max(0, dt - (c - theta)),  k = floor(dt' / c),
+///           rem = dt' - k*c
+///
+/// i.e. the task may have just missed its slot.  Completion of the q-th
+/// activation is the smallest t with beta(t) >= q * C+.
+
+#include <vector>
+
+#include "sched/busy_window.hpp"
+
+namespace hem::sched {
+
+/// A task under TDMA arbitration.
+struct TdmaTask {
+  TaskParams params;
+  Time slot;  ///< exclusive slot length theta_i > 0
+};
+
+class TdmaAnalysis {
+ public:
+  /// \param cycle  TDMA cycle length; must be >= the sum of all slots.
+  TdmaAnalysis(std::vector<TdmaTask> tasks, Time cycle, FixpointLimits limits = {});
+
+  [[nodiscard]] ResponseResult analyze(std::size_t index) const;
+  [[nodiscard]] std::vector<ResponseResult> analyze_all() const;
+
+  /// Guaranteed service for the task at `index` in any window of size dt.
+  [[nodiscard]] Time service(std::size_t index, Time dt) const;
+
+  /// Smallest window guaranteeing `demand` ticks of service for `index`.
+  [[nodiscard]] Time service_inverse(std::size_t index, Time demand) const;
+
+ private:
+  std::vector<TdmaTask> tasks_;
+  Time cycle_;
+  FixpointLimits limits_;
+};
+
+}  // namespace hem::sched

@@ -1,0 +1,53 @@
+#include "sim/bus_sim.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace hem::sim {
+
+BusSim::BusSim(EventCalendar& cal, std::vector<FrameDef> frames, bool worst_case,
+               std::mt19937_64& rng)
+    : cal_(cal), frames_(std::move(frames)), worst_case_(worst_case), rng_(rng) {
+  if (frames_.empty()) throw std::invalid_argument("BusSim: no frames");
+  std::set<int> prios;
+  for (const auto& f : frames_) {
+    if (f.c_best < 0 || f.c_worst < f.c_best)
+      throw std::invalid_argument("BusSim: invalid transmission time for '" + f.name + "'");
+    if (!prios.insert(f.priority).second)
+      throw std::invalid_argument("BusSim: duplicate priority for '" + f.name + "'");
+  }
+  pending_.assign(frames_.size(), 0);
+  completions_.resize(frames_.size());
+}
+
+void BusSim::request(std::size_t idx) {
+  ++pending_.at(idx);
+  if (!busy_) try_start();
+}
+
+void BusSim::try_start() {
+  // Arbitration: highest priority (smallest number) with pending requests.
+  std::size_t winner = frames_.size();
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    if (pending_[i] > 0 && (winner == frames_.size() || frames_[i].priority < frames_[winner].priority))
+      winner = i;
+  }
+  if (winner == frames_.size()) return;  // nothing to send
+
+  busy_ = true;
+  --pending_[winner];
+  if (frames_[winner].on_start) frames_[winner].on_start();
+  Time duration = frames_[winner].c_worst;
+  if (!worst_case_ && frames_[winner].c_worst > frames_[winner].c_best) {
+    std::uniform_int_distribution<Time> dist(frames_[winner].c_best, frames_[winner].c_worst);
+    duration = dist(rng_);
+  }
+  cal_.after(duration, [this, winner] {
+    completions_[winner].push_back(cal_.now());
+    if (frames_[winner].on_complete) frames_[winner].on_complete();
+    busy_ = false;
+    try_start();
+  });
+}
+
+}  // namespace hem::sim

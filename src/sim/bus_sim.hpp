@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file bus_sim.hpp
+/// Simulated CAN-style bus: static-priority non-preemptive arbitration.
+///
+/// Transmission requests are queued per frame (counting semantics: every
+/// trigger enqueues one transmission).  Whenever the bus is idle, the
+/// highest-priority frame with pending requests wins arbitration and
+/// transmits non-preemptively for its (sampled) transmission time.
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "sim/event_calendar.hpp"
+
+namespace hem::sim {
+
+class BusSim {
+ public:
+  struct FrameDef {
+    std::string name;
+    int priority;  ///< smaller = higher priority; must be pairwise distinct
+    Time c_best;
+    Time c_worst;
+    /// Called when transmission starts (latch the COM registers here).
+    std::function<void()> on_start;
+    /// Called when transmission completes (deliver to receivers here).
+    std::function<void()> on_complete;
+  };
+
+  /// \param worst_case  if true, every transmission takes c_worst; else the
+  ///                    duration is sampled uniformly from [c_best, c_worst].
+  BusSim(EventCalendar& cal, std::vector<FrameDef> frames, bool worst_case,
+         std::mt19937_64& rng);
+
+  /// Enqueue one transmission request for frame `idx` (at calendar time).
+  void request(std::size_t idx);
+
+  /// Completion times of every transmission of frame `idx`.
+  [[nodiscard]] const std::vector<Time>& completions(std::size_t idx) const {
+    return completions_.at(idx);
+  }
+
+ private:
+  void try_start();
+
+  EventCalendar& cal_;
+  std::vector<FrameDef> frames_;
+  std::vector<Count> pending_;
+  std::vector<std::vector<Time>> completions_;
+  bool busy_ = false;
+  bool worst_case_;
+  std::mt19937_64& rng_;
+};
+
+}  // namespace hem::sim

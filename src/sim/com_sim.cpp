@@ -1,0 +1,58 @@
+#include "sim/com_sim.hpp"
+
+#include <stdexcept>
+
+namespace hem::sim {
+
+ComSim::ComSim(EventCalendar& cal, std::vector<FrameDef> frames)
+    : cal_(cal), frames_(std::move(frames)) {
+  if (frames_.empty()) throw std::invalid_argument("ComSim: no frames");
+  fresh_.resize(frames_.size());
+  latched_.resize(frames_.size());
+  deliveries_.resize(frames_.size());
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].signals.empty())
+      throw std::invalid_argument("ComSim: frame '" + frames_[i].name + "' has no signals");
+    if (frames_[i].has_timer && frames_[i].period <= 0)
+      throw std::invalid_argument("ComSim: frame '" + frames_[i].name +
+                                  "' timer needs a period");
+    fresh_[i].assign(frames_[i].signals.size(), false);
+    deliveries_[i].resize(frames_[i].signals.size());
+  }
+}
+
+void ComSim::attach_bus(BusSim& bus) { bus_ = &bus; }
+
+void ComSim::start_timers(Time horizon) {
+  if (bus_ == nullptr) throw std::logic_error("ComSim: bus not attached");
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].has_timer) continue;
+    for (Time t = 0; t <= horizon; t += frames_[i].period)
+      cal_.at(t, [this, i] { bus_->request(i); });
+  }
+}
+
+void ComSim::write_signal(std::size_t frame, std::size_t sig) {
+  if (bus_ == nullptr) throw std::logic_error("ComSim: bus not attached");
+  fresh_.at(frame).at(sig) = true;
+  if (frames_[frame].signals.at(sig).triggering) bus_->request(frame);
+}
+
+void ComSim::latch(std::size_t frame) {
+  latched_.at(frame).push_back(fresh_.at(frame));
+  fresh_[frame].assign(frames_[frame].signals.size(), false);
+}
+
+void ComSim::deliver(std::size_t frame) {
+  auto& fifo = latched_.at(frame);
+  if (fifo.empty()) throw std::logic_error("ComSim: delivery without latch");
+  const std::vector<bool> snapshot = fifo.front();
+  fifo.erase(fifo.begin());
+  for (std::size_t s = 0; s < snapshot.size(); ++s) {
+    if (!snapshot[s]) continue;
+    deliveries_[frame][s].push_back(cal_.now());
+    if (on_deliver) on_deliver(frame, s);
+  }
+}
+
+}  // namespace hem::sim

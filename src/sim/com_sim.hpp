@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file com_sim.hpp
+/// Simulated COM layer: registers, dirty flags, frame triggering, latching.
+///
+/// Semantics follow the paper's section 4 exactly:
+///   * a source event writes its signal's register (overwriting) and marks
+///     it fresh;
+///   * a triggering signal additionally requests a frame transmission;
+///   * periodic/mixed frames also request transmissions on a timer;
+///   * when the bus STARTS transmitting a frame, the register states are
+///     latched and the fresh flags cleared;
+///   * when the transmission COMPLETES, every receiver whose signal was
+///     fresh in the latched snapshot is activated.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "sim/bus_sim.hpp"
+#include "sim/event_calendar.hpp"
+
+namespace hem::sim {
+
+class ComSim {
+ public:
+  struct SignalDef {
+    std::string name;
+    bool triggering = true;
+  };
+  struct FrameDef {
+    std::string name;
+    bool has_timer = false;
+    Time period = 0;  ///< timer period, required when has_timer
+    std::vector<SignalDef> signals;
+  };
+
+  ComSim(EventCalendar& cal, std::vector<FrameDef> frames);
+
+  /// Wire the bus (must be called before any traffic; the BusSim frame
+  /// indices must match this ComSim's frame indices).
+  void attach_bus(BusSim& bus);
+
+  /// Schedule all periodic frame timers up to `horizon`.
+  void start_timers(Time horizon);
+
+  /// A source event arrived for signal `sig` of frame `frame`.
+  void write_signal(std::size_t frame, std::size_t sig);
+
+  /// BusSim on_start hook for frame `frame`.
+  void latch(std::size_t frame);
+
+  /// BusSim on_complete hook for frame `frame`.
+  void deliver(std::size_t frame);
+
+  /// Called on delivery of a fresh value of (frame, signal).
+  std::function<void(std::size_t frame, std::size_t sig)> on_deliver;
+
+  /// Delivery times of fresh values per (frame, signal).
+  [[nodiscard]] const std::vector<Time>& deliveries(std::size_t frame, std::size_t sig) const {
+    return deliveries_.at(frame).at(sig);
+  }
+
+  [[nodiscard]] const std::vector<FrameDef>& frames() const noexcept { return frames_; }
+
+ private:
+  EventCalendar& cal_;
+  std::vector<FrameDef> frames_;
+  BusSim* bus_ = nullptr;
+
+  std::vector<std::vector<bool>> fresh_;  ///< per frame, per signal
+  std::vector<std::vector<std::vector<bool>>> latched_;  ///< FIFO of snapshots per frame
+  std::vector<std::vector<std::vector<Time>>> deliveries_;
+};
+
+}  // namespace hem::sim

@@ -1,0 +1,79 @@
+#include "sim/cpu_sim.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hem::sim {
+
+CpuSim::CpuSim(EventCalendar& cal, std::vector<TaskDef> tasks, bool worst_case,
+               std::mt19937_64& rng)
+    : cal_(cal), tasks_(std::move(tasks)), worst_case_(worst_case), rng_(rng) {
+  if (tasks_.empty()) throw std::invalid_argument("CpuSim: no tasks");
+  std::set<int> prios;
+  for (const auto& t : tasks_) {
+    if (t.c_best < 0 || t.c_worst < t.c_best)
+      throw std::invalid_argument("CpuSim: invalid execution time for '" + t.name + "'");
+    if (!prios.insert(t.priority).second)
+      throw std::invalid_argument("CpuSim: duplicate priority for '" + t.name + "'");
+  }
+  queues_.resize(tasks_.size());
+  activations_.resize(tasks_.size());
+  responses_.resize(tasks_.size());
+}
+
+void CpuSim::activate(std::size_t idx) {
+  Time exec = tasks_.at(idx).c_worst;
+  if (!worst_case_ && tasks_[idx].c_worst > tasks_[idx].c_best) {
+    std::uniform_int_distribution<Time> dist(tasks_[idx].c_best, tasks_[idx].c_worst);
+    exec = dist(rng_);
+  }
+  activations_[idx].push_back(cal_.now());
+  queues_[idx].push_back(Job{cal_.now(), exec});
+  reschedule();
+}
+
+std::size_t CpuSim::highest_ready() const {
+  std::size_t best = kIdle;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (queues_[i].empty()) continue;
+    if (best == kIdle || tasks_[i].priority < tasks_[best].priority) best = i;
+  }
+  return best;
+}
+
+void CpuSim::reschedule() {
+  const std::size_t next = highest_ready();
+  if (next == running_) return;  // includes both idle, or same task keeps running
+
+  // Preempt the running job: account for the progress it made.
+  if (running_ != kIdle) {
+    Job& job = queues_[running_].front();
+    job.remaining -= (cal_.now() - resumed_at_);
+    ++epoch_;  // invalidate its completion event
+  }
+
+  running_ = next;
+  if (running_ == kIdle) return;
+  resumed_at_ = cal_.now();
+  ++epoch_;
+  const std::uint64_t my_epoch = epoch_;
+  const std::size_t task = running_;
+  const Time remaining = queues_[task].front().remaining;
+  cal_.after(remaining, [this, my_epoch, task] {
+    if (my_epoch != epoch_) return;  // stale: the job was preempted meanwhile
+    Job job = queues_[task].front();
+    queues_[task].pop_front();
+    responses_[task].push_back(cal_.now() - job.arrival);
+    running_ = kIdle;
+    if (on_complete) on_complete(task);
+    reschedule();
+  });
+}
+
+Time CpuSim::worst_response(std::size_t idx) const {
+  const auto& r = responses_.at(idx);
+  return r.empty() ? 0 : *std::max_element(r.begin(), r.end());
+}
+
+}  // namespace hem::sim

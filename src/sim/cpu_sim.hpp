@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file cpu_sim.hpp
+/// Simulated CPU with static-priority preemptive (SPP) scheduling.
+///
+/// Jobs are queued per task; the highest-priority task with pending jobs
+/// runs.  Preemption is modelled exactly: a completion event carries an
+/// epoch counter and is invalidated when the running job is preempted; the
+/// job's remaining execution time is updated on every switch.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "sim/event_calendar.hpp"
+
+namespace hem::sim {
+
+class CpuSim {
+ public:
+  struct TaskDef {
+    std::string name;
+    int priority;  ///< smaller = higher priority; must be pairwise distinct
+    Time c_best;
+    Time c_worst;
+  };
+
+  CpuSim(EventCalendar& cal, std::vector<TaskDef> tasks, bool worst_case, std::mt19937_64& rng);
+
+  /// Release one job of task `idx` at calendar time.
+  void activate(std::size_t idx);
+
+  /// Invoked (if set) after each job completion with the task index; used
+  /// to chain activations through the system simulator.
+  std::function<void(std::size_t)> on_complete;
+
+  [[nodiscard]] const std::vector<Time>& activations(std::size_t idx) const {
+    return activations_.at(idx);
+  }
+  [[nodiscard]] const std::vector<Time>& responses(std::size_t idx) const {
+    return responses_.at(idx);
+  }
+  [[nodiscard]] Time worst_response(std::size_t idx) const;
+
+ private:
+  struct Job {
+    Time arrival;
+    Time remaining;
+  };
+
+  void reschedule();
+  [[nodiscard]] std::size_t highest_ready() const;
+
+  EventCalendar& cal_;
+  std::vector<TaskDef> tasks_;
+  std::vector<std::deque<Job>> queues_;
+  std::vector<std::vector<Time>> activations_;
+  std::vector<std::vector<Time>> responses_;
+
+  static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+  std::size_t running_ = kIdle;
+  Time resumed_at_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  bool worst_case_;
+  std::mt19937_64& rng_;
+};
+
+}  // namespace hem::sim

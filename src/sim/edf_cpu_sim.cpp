@@ -1,0 +1,69 @@
+#include "sim/edf_cpu_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hem::sim {
+
+EdfCpuSim::EdfCpuSim(EventCalendar& cal, std::vector<TaskDef> tasks)
+    : cal_(cal), tasks_(std::move(tasks)) {
+  if (tasks_.empty()) throw std::invalid_argument("EdfCpuSim: no tasks");
+  for (const auto& t : tasks_) {
+    if (t.execution <= 0 || t.deadline <= 0)
+      throw std::invalid_argument("EdfCpuSim: task '" + t.name +
+                                  "' needs positive execution and deadline");
+  }
+  queues_.resize(tasks_.size());
+  responses_.resize(tasks_.size());
+}
+
+void EdfCpuSim::activate(std::size_t idx) {
+  queues_.at(idx).push_back(
+      Job{cal_.now(), cal_.now() + tasks_[idx].deadline, tasks_[idx].execution});
+  reschedule();
+}
+
+std::size_t EdfCpuSim::earliest_deadline_task() const {
+  std::size_t best = kIdle;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (queues_[i].empty()) continue;
+    if (best == kIdle || queues_[i].front().abs_deadline < queues_[best].front().abs_deadline)
+      best = i;
+  }
+  return best;
+}
+
+void EdfCpuSim::reschedule() {
+  const std::size_t next = earliest_deadline_task();
+  if (next == running_) return;
+
+  if (running_ != kIdle) {
+    Job& job = queues_[running_].front();
+    job.remaining -= (cal_.now() - resumed_at_);
+    ++epoch_;
+  }
+
+  running_ = next;
+  if (running_ == kIdle) return;
+  resumed_at_ = cal_.now();
+  ++epoch_;
+  const std::uint64_t my_epoch = epoch_;
+  const std::size_t task = running_;
+  cal_.after(queues_[task].front().remaining, [this, my_epoch, task] {
+    if (my_epoch != epoch_) return;
+    const Job job = queues_[task].front();
+    queues_[task].pop_front();
+    const Time response = cal_.now() - job.arrival;
+    responses_[task].push_back(response);
+    if (response > tasks_[task].deadline) ++misses_;
+    running_ = kIdle;
+    reschedule();
+  });
+}
+
+Time EdfCpuSim::worst_response(std::size_t idx) const {
+  const auto& r = responses_.at(idx);
+  return r.empty() ? 0 : *std::max_element(r.begin(), r.end());
+}
+
+}  // namespace hem::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file edf_cpu_sim.hpp
+/// Simulated CPU with preemptive earliest-deadline-first scheduling.
+/// Validates the EDF demand-bound analysis (EdfAnalysis).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "sim/event_calendar.hpp"
+
+namespace hem::sim {
+
+class EdfCpuSim {
+ public:
+  struct TaskDef {
+    std::string name;
+    Time execution;
+    Time deadline;  ///< relative deadline
+  };
+
+  EdfCpuSim(EventCalendar& cal, std::vector<TaskDef> tasks);
+
+  /// Release one job of task `idx` at calendar time.
+  void activate(std::size_t idx);
+
+  [[nodiscard]] const std::vector<Time>& responses(std::size_t idx) const {
+    return responses_.at(idx);
+  }
+  [[nodiscard]] Time worst_response(std::size_t idx) const;
+
+  /// Number of deadline misses observed (response > relative deadline).
+  [[nodiscard]] Count deadline_misses() const noexcept { return misses_; }
+
+ private:
+  struct Job {
+    Time arrival;
+    Time abs_deadline;
+    Time remaining;
+  };
+
+  void reschedule();
+  [[nodiscard]] std::size_t earliest_deadline_task() const;
+
+  EventCalendar& cal_;
+  std::vector<TaskDef> tasks_;
+  std::vector<std::deque<Job>> queues_;  ///< FIFO per task (equal rel. deadlines)
+  std::vector<std::vector<Time>> responses_;
+
+  static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+  std::size_t running_ = kIdle;
+  Time resumed_at_ = 0;
+  std::uint64_t epoch_ = 0;
+  Count misses_ = 0;
+};
+
+}  // namespace hem::sim

@@ -1,0 +1,27 @@
+#include "sim/event_calendar.hpp"
+
+#include <stdexcept>
+
+namespace hem::sim {
+
+void EventCalendar::at(Time t, Handler h) {
+  if (t < now_) throw std::invalid_argument("EventCalendar: scheduling into the past");
+  queue_.push(Entry{t, next_seq_++, std::move(h)});
+}
+
+bool EventCalendar::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the entry is popped immediately afterwards.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = e.t;
+  e.h();
+  return true;
+}
+
+void EventCalendar::run_until(Time horizon) {
+  while (!queue_.empty() && queue_.top().t <= horizon) step();
+}
+
+}  // namespace hem::sim

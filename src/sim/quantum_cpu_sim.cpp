@@ -1,0 +1,55 @@
+#include "sim/quantum_cpu_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hem::sim {
+
+QuantumCpuSim::QuantumCpuSim(EventCalendar& cal, std::vector<TaskDef> tasks)
+    : cal_(cal), tasks_(std::move(tasks)) {
+  if (tasks_.empty()) throw std::invalid_argument("QuantumCpuSim: no tasks");
+  for (const auto& t : tasks_) {
+    if (t.execution <= 0 || t.quantum <= 0)
+      throw std::invalid_argument("QuantumCpuSim: task '" + t.name +
+                                  "' needs positive execution and quantum");
+  }
+  queues_.resize(tasks_.size());
+  responses_.resize(tasks_.size());
+}
+
+void QuantumCpuSim::activate(std::size_t idx) {
+  queues_.at(idx).push_back(Job{cal_.now(), tasks_[idx].execution});
+  if (!busy_) dispatch();
+}
+
+void QuantumCpuSim::dispatch() {
+  // Rotate to the next task with pending work.
+  for (std::size_t probe = 0; probe < tasks_.size(); ++probe) {
+    const std::size_t idx = (rotor_ + probe) % tasks_.size();
+    if (queues_[idx].empty()) continue;
+
+    rotor_ = (idx + 1) % tasks_.size();  // next turn goes to the following task
+    busy_ = true;
+    Job& job = queues_[idx].front();
+    const Time slice = std::min(job.remaining, tasks_[idx].quantum);
+    cal_.after(slice, [this, idx, slice] {
+      Job& running = queues_[idx].front();
+      running.remaining -= slice;
+      if (running.remaining == 0) {
+        responses_[idx].push_back(cal_.now() - running.arrival);
+        queues_[idx].pop_front();
+      }
+      busy_ = false;
+      dispatch();
+    });
+    return;
+  }
+  busy_ = false;  // nothing ready
+}
+
+Time QuantumCpuSim::worst_response(std::size_t idx) const {
+  const auto& r = responses_.at(idx);
+  return r.empty() ? 0 : *std::max_element(r.begin(), r.end());
+}
+
+}  // namespace hem::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file quantum_cpu_sim.hpp
+/// Simulated CPU with quantum-based round-robin scheduling.
+///
+/// Ready tasks take turns; a running job executes for at most its task's
+/// quantum (or until completion), then the next ready task in rotation
+/// runs.  A task with several pending jobs serves them FIFO within its
+/// turns.  Validates the conservative RoundRobinAnalysis bounds.
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "sim/event_calendar.hpp"
+
+namespace hem::sim {
+
+class QuantumCpuSim {
+ public:
+  struct TaskDef {
+    std::string name;
+    Time execution;  ///< per-job execution demand
+    Time quantum;    ///< slot length per round-robin turn
+  };
+
+  QuantumCpuSim(EventCalendar& cal, std::vector<TaskDef> tasks);
+
+  /// Release one job of task `idx` at calendar time.
+  void activate(std::size_t idx);
+
+  [[nodiscard]] const std::vector<Time>& responses(std::size_t idx) const {
+    return responses_.at(idx);
+  }
+  [[nodiscard]] Time worst_response(std::size_t idx) const;
+
+ private:
+  struct Job {
+    Time arrival;
+    Time remaining;
+  };
+
+  void dispatch();  ///< pick the next ready task if the CPU is idle
+
+  EventCalendar& cal_;
+  std::vector<TaskDef> tasks_;
+  std::vector<std::deque<Job>> queues_;
+  std::vector<std::vector<Time>> responses_;
+
+  std::size_t rotor_ = 0;  ///< next task index to offer a turn
+  bool busy_ = false;
+};
+
+}  // namespace hem::sim

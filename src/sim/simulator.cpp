@@ -1,0 +1,103 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace hem::sim {
+
+Simulator::Simulator(SimConfig config) : config_(std::move(config)) {
+  if (config_.sources.empty()) throw std::invalid_argument("Simulator: no sources");
+  if (config_.source_names.size() != config_.sources.size())
+    throw std::invalid_argument("Simulator: source_names/sources size mismatch");
+  if (config_.frames.empty()) throw std::invalid_argument("Simulator: no frames");
+  for (const auto& f : config_.frames)
+    for (const auto& s : f.signals)
+      if (s.source >= config_.sources.size())
+        throw std::invalid_argument("Simulator: signal '" + s.name +
+                                    "' references unknown source");
+}
+
+SimResult Simulator::run() {
+  EventCalendar cal;
+  std::mt19937_64 rng(config_.seed);
+
+  // --- CPU ---------------------------------------------------------------
+  std::vector<CpuSim::TaskDef> task_defs;
+  for (const auto& t : config_.tasks)
+    task_defs.push_back(CpuSim::TaskDef{t.name, t.priority, t.c_best, t.c_worst});
+  const bool has_tasks = !task_defs.empty();
+  if (!has_tasks) task_defs.push_back(CpuSim::TaskDef{"_idle", 0, 0, 0});
+  CpuSim cpu(cal, std::move(task_defs), config_.worst_case_exec, rng);
+
+  const auto task_index = [&](const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < config_.tasks.size(); ++i)
+      if (config_.tasks[i].name == name) return i;
+    throw std::invalid_argument("Simulator: unknown destination task '" + name + "'");
+  };
+
+  // --- COM layer ----------------------------------------------------------
+  std::vector<ComSim::FrameDef> com_frames;
+  for (const auto& f : config_.frames) {
+    ComSim::FrameDef def;
+    def.name = f.name;
+    def.has_timer = f.has_timer;
+    def.period = f.period;
+    for (const auto& s : f.signals) def.signals.push_back({s.name, s.triggering});
+    com_frames.push_back(std::move(def));
+  }
+  ComSim com(cal, std::move(com_frames));
+
+  // --- Bus ------------------------------------------------------------
+  std::vector<BusSim::FrameDef> bus_frames;
+  for (std::size_t i = 0; i < config_.frames.size(); ++i) {
+    const auto& f = config_.frames[i];
+    bus_frames.push_back(BusSim::FrameDef{
+        f.name, f.priority, f.c_best, f.c_worst,
+        /*on_start=*/[&com, i] { com.latch(i); },
+        /*on_complete=*/[&com, i] { com.deliver(i); }});
+  }
+  BusSim bus(cal, std::move(bus_frames), config_.worst_case_exec, rng);
+  com.attach_bus(bus);
+
+  // Deliveries activate destination tasks.
+  com.on_deliver = [&](std::size_t frame, std::size_t sig) {
+    const auto& dest = config_.frames[frame].signals[sig].dest_task;
+    if (!dest.empty() && has_tasks) cpu.activate(task_index(dest));
+  };
+
+  // --- Sources --------------------------------------------------------
+  SimResult result;
+  for (std::size_t s = 0; s < config_.sources.size(); ++s) {
+    const std::vector<Time> arrivals =
+        generate_arrivals(config_.sources[s], config_.horizon, config_.mode, rng);
+    result.source_events[config_.source_names[s]] = arrivals;
+    for (const Time t : arrivals) {
+      cal.at(t, [&com, s, this] {
+        for (std::size_t f = 0; f < config_.frames.size(); ++f)
+          for (std::size_t j = 0; j < config_.frames[f].signals.size(); ++j)
+            if (config_.frames[f].signals[j].source == s) com.write_signal(f, j);
+      });
+    }
+  }
+  com.start_timers(config_.horizon);
+
+  // --- Run -------------------------------------------------------------
+  cal.run_until(config_.horizon);
+
+  // --- Collect -----------------------------------------------------------
+  for (std::size_t i = 0; i < config_.frames.size(); ++i) {
+    result.frame_completions[config_.frames[i].name] = bus.completions(i);
+    for (std::size_t j = 0; j < config_.frames[i].signals.size(); ++j)
+      result.signal_deliveries[config_.frames[i].name + "." +
+                               config_.frames[i].signals[j].name] = com.deliveries(i, j);
+  }
+  for (std::size_t i = 0; i < config_.tasks.size(); ++i) {
+    SimResult::TaskStats stats;
+    stats.activations = cpu.activations(i);
+    stats.responses = cpu.responses(i);
+    stats.wcrt = cpu.worst_response(i);
+    result.tasks[config_.tasks[i].name] = std::move(stats);
+  }
+  return result;
+}
+
+}  // namespace hem::sim

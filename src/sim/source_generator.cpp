@@ -1,0 +1,45 @@
+#include "sim/source_generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hem::sim {
+
+std::vector<Time> generate_arrivals(const SourceSpec& spec, Time horizon, GenMode mode,
+                                    std::mt19937_64& rng) {
+  if (spec.period <= 0) throw std::invalid_argument("generate_arrivals: period must be > 0");
+  if (spec.jitter < 0 || spec.d_min < 0 || spec.d_min > spec.period)
+    throw std::invalid_argument("generate_arrivals: invalid jitter/d_min");
+
+  std::vector<Time> out;
+  Time prev = std::numeric_limits<Time>::min() / 4;
+  for (Count k = 0;; ++k) {
+    const Time nominal = spec.phase + k * spec.period;
+    Time t = nominal;
+    switch (mode) {
+      case GenMode::kNominal:
+        break;
+      case GenMode::kEarliest:
+        t = nominal - spec.jitter;
+        break;
+      case GenMode::kRandom: {
+        if (spec.jitter > 0) {
+          std::uniform_int_distribution<Time> dist(-spec.jitter, 0);
+          t = nominal + dist(rng);
+        }
+        break;
+      }
+    }
+    // Enforce dmin without ever exceeding the late bound (dmin <= P keeps
+    // the clamp inside [nominal - J, nominal]).
+    t = std::max(t, prev + spec.d_min);
+    t = std::min(t, nominal);
+    if (t < 0) t = std::max<Time>(0, prev + spec.d_min);
+    if (t > horizon) break;
+    out.push_back(t);
+    prev = t;
+  }
+  return out;
+}
+
+}  // namespace hem::sim

@@ -1,0 +1,275 @@
+#include "sim/system_simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "core/standard_event_model.hpp"
+#include "sim/bus_sim.hpp"
+#include "sim/cpu_sim.hpp"
+
+namespace hem::sim {
+
+namespace {
+
+using cpa::Policy;
+using cpa::System;
+using cpa::TaskId;
+
+SourceSpec spec_from(const ModelPtr& model) {
+  const auto* sem = dynamic_cast<const StandardEventModel*>(model.get());
+  if (sem == nullptr)
+    throw std::invalid_argument(
+        "SystemSimulator: external/timer models must be StandardEventModels to generate "
+        "conforming traces (got " +
+        model->describe() + ")");
+  return SourceSpec{sem->period(), sem->jitter(), sem->d_min(), 0};
+}
+
+/// Where a task lives in the simulation.
+struct Location {
+  enum class Kind { kCpu, kBusFrame } kind = Kind::kCpu;
+  std::size_t resource_slot = 0;  ///< index into cpus_ / buses_
+  std::size_t local = 0;          ///< index within the CpuSim / BusSim
+};
+
+}  // namespace
+
+SystemSimulator::SystemSimulator(const cpa::System& system, Options options)
+    : system_(system), options_(options) {
+  system_.validate();
+}
+
+SystemSimResult SystemSimulator::run() {
+  EventCalendar cal;
+  std::mt19937_64 rng(options_.seed);
+  const auto& tasks = system_.tasks();
+  const auto& resources = system_.resources();
+
+  // ---- per-task simulation state -----------------------------------------
+  struct FrameState {
+    std::vector<bool> fresh;                      // per packed input
+    std::deque<std::vector<bool>> latched;        // snapshots in flight
+    std::deque<Time> request_times;               // FIFO for response pairing
+  };
+  std::vector<Location> where(tasks.size());
+  std::vector<FrameState> frame_state(tasks.size());
+  std::vector<std::vector<Time>> activations(tasks.size());
+  std::vector<std::vector<Time>> responses(tasks.size());
+
+  // consumers_on_complete[t]: tasks activated by t's output (OR edges).
+  std::vector<std::vector<TaskId>> consumers_on_complete(tasks.size());
+  // and_edges: consumer -> token counters per producer.
+  struct AndState {
+    std::vector<TaskId> producers;
+    std::vector<Count> tokens;
+  };
+  std::map<TaskId, AndState> and_state;
+  // producer -> AND consumers.
+  std::vector<std::vector<TaskId>> and_consumers(tasks.size());
+  // packed_input_feeds[t]: (frame, input index) pairs fed by t's output.
+  std::vector<std::vector<std::pair<TaskId, std::size_t>>> packed_feeds(tasks.size());
+  // unpack_consumers[frame][input index] -> consumer tasks.
+  std::vector<std::map<std::size_t, std::vector<TaskId>>> unpack_consumers(tasks.size());
+
+  // ---- build resources -----------------------------------------------------
+  std::vector<std::unique_ptr<CpuSim>> cpus;
+  std::vector<std::unique_ptr<BusSim>> buses;
+  std::vector<std::vector<TaskId>> cpu_members;   // per cpu slot
+  std::vector<std::vector<TaskId>> bus_members;   // per bus slot
+  std::map<std::size_t, std::size_t> cpu_slot_of_resource;
+  std::map<std::size_t, std::size_t> bus_slot_of_resource;
+
+  for (std::size_t r = 0; r < resources.size(); ++r) {
+    std::vector<TaskId> members;
+    for (TaskId t = 0; t < tasks.size(); ++t)
+      if (tasks[t].resource == r) members.push_back(t);
+    if (members.empty()) continue;
+    switch (resources[r].policy) {
+      case Policy::kSppPreemptive:
+        cpu_slot_of_resource[r] = cpu_members.size();
+        cpu_members.push_back(std::move(members));
+        break;
+      case Policy::kSpnpCan:
+        bus_slot_of_resource[r] = bus_members.size();
+        bus_members.push_back(std::move(members));
+        break;
+      default:
+        throw std::invalid_argument("SystemSimulator: resource '" + resources[r].name +
+                                    "' uses a policy the simulator does not support");
+    }
+  }
+
+  // Forward declaration of the activation dispatcher.
+  std::function<void(TaskId)> activate;
+
+  // Common fan-out when any task (CPU job or bus frame) completes: plain
+  // output consumers, AND-junction token bookkeeping, and packed inputs of
+  // downstream frames.
+  const auto notify_completion = [&](TaskId t) {
+    for (const TaskId c : consumers_on_complete[t]) activate(c);
+    for (const TaskId c : and_consumers[t]) {
+      AndState& st = and_state.at(c);
+      for (std::size_t p = 0; p < st.producers.size(); ++p)
+        if (st.producers[p] == t) ++st.tokens[p];
+      if (std::all_of(st.tokens.begin(), st.tokens.end(), [](Count n) { return n > 0; })) {
+        for (auto& n : st.tokens) --n;
+        activate(c);
+      }
+    }
+    for (const auto& [frame, idx] : packed_feeds[t]) {
+      frame_state[frame].fresh[idx] = true;
+      const auto* packed = std::get_if<cpa::PackedActivation>(&system_.activation(frame));
+      if (packed->inputs[idx].coupling == SignalCoupling::kTriggering) activate(frame);
+    }
+  };
+
+  // The delivery fan-out after a frame completes.
+  const auto deliver_frame = [&](TaskId frame) {
+    FrameState& st = frame_state[frame];
+    // Response bookkeeping.
+    responses[frame].push_back(cal.now() - st.request_times.front());
+    st.request_times.pop_front();
+    notify_completion(frame);
+    if (st.latched.empty()) return;  // non-packed bus task: nothing to unpack
+    const std::vector<bool> snapshot = st.latched.front();
+    st.latched.pop_front();
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      if (!snapshot[i]) continue;
+      const auto it = unpack_consumers[frame].find(i);
+      if (it == unpack_consumers[frame].end()) continue;
+      for (const TaskId c : it->second) activate(c);
+    }
+  };
+
+  // Build CpuSims.
+  for (auto& members : cpu_members) {
+    std::vector<CpuSim::TaskDef> defs;
+    for (const TaskId t : members)
+      defs.push_back(CpuSim::TaskDef{tasks[t].name, tasks[t].priority, tasks[t].cet.best,
+                                     tasks[t].cet.worst});
+    cpus.push_back(std::make_unique<CpuSim>(cal, std::move(defs), options_.worst_case_exec,
+                                            rng));
+    for (std::size_t local = 0; local < members.size(); ++local)
+      where[members[local]] = {Location::Kind::kCpu, cpus.size() - 1, local};
+  }
+
+  // Build BusSims (hooks filled below via captured ids).
+  for (auto& members : bus_members) {
+    std::vector<BusSim::FrameDef> defs;
+    const std::size_t slot = buses.size();
+    for (std::size_t local = 0; local < members.size(); ++local) {
+      const TaskId t = members[local];
+      defs.push_back(BusSim::FrameDef{
+          tasks[t].name, tasks[t].priority, tasks[t].cet.best, tasks[t].cet.worst,
+          /*on_start=*/
+          [&, t] {
+            FrameState& st = frame_state[t];
+            if (!st.fresh.empty()) {
+              st.latched.push_back(st.fresh);
+              st.fresh.assign(st.fresh.size(), false);
+            }
+          },
+          /*on_complete=*/[&, t] { deliver_frame(t); }});
+      where[t] = {Location::Kind::kBusFrame, slot, local};
+    }
+    buses.push_back(
+        std::make_unique<BusSim>(cal, std::move(defs), options_.worst_case_exec, rng));
+  }
+
+  // ---- activation dispatcher -------------------------------------------
+  activate = [&](TaskId t) {
+    activations[t].push_back(cal.now());
+    const Location& loc = where[t];
+    if (loc.kind == Location::Kind::kCpu) {
+      cpus[loc.resource_slot]->activate(loc.local);
+    } else {
+      frame_state[t].request_times.push_back(cal.now());
+      buses[loc.resource_slot]->request(loc.local);
+    }
+  };
+
+  // CPU completion chains.
+  for (std::size_t slot = 0; slot < cpus.size(); ++slot) {
+    cpus[slot]->on_complete = [&, slot](std::size_t local) {
+      const TaskId t = cpu_members[slot][local];
+      responses[t].push_back(cpus[slot]->responses(local).back());
+      notify_completion(t);
+    };
+  }
+
+  // ---- wire activation specs -----------------------------------------
+  std::vector<std::pair<SourceSpec, std::function<void()>>> generators;
+  for (TaskId t = 0; t < tasks.size(); ++t) {
+    const auto& spec = system_.activation(t);
+    if (const auto* ext = std::get_if<cpa::ExternalActivation>(&spec)) {
+      generators.emplace_back(spec_from(ext->model), [&, t] { activate(t); });
+      continue;
+    }
+    if (const auto* by = std::get_if<cpa::TaskOutputActivation>(&spec)) {
+      for (const TaskId p : by->producers) consumers_on_complete[p].push_back(t);
+      continue;
+    }
+    if (const auto* andj = std::get_if<cpa::AndActivation>(&spec)) {
+      AndState st;
+      st.producers = andj->producers;
+      st.tokens.assign(andj->producers.size(), 0);
+      and_state[t] = std::move(st);
+      for (const TaskId p : andj->producers) and_consumers[p].push_back(t);
+      continue;
+    }
+    if (const auto* packed = std::get_if<cpa::PackedActivation>(&spec)) {
+      if (where[t].kind != Location::Kind::kBusFrame)
+        throw std::invalid_argument(
+            "SystemSimulator: packed activations are only supported on CAN resources");
+      frame_state[t].fresh.assign(packed->inputs.size(), false);
+      for (std::size_t i = 0; i < packed->inputs.size(); ++i) {
+        const auto& input = packed->inputs[i];
+        if (const auto* producer = std::get_if<TaskId>(&input.source)) {
+          packed_feeds[*producer].emplace_back(t, i);
+        } else {
+          const auto& model = std::get<ModelPtr>(input.source);
+          const bool triggering = input.coupling == SignalCoupling::kTriggering;
+          generators.emplace_back(spec_from(model), [&, t, i, triggering] {
+            frame_state[t].fresh[i] = true;
+            if (triggering) activate(t);
+          });
+        }
+      }
+      if (packed->timer)
+        generators.emplace_back(spec_from(packed->timer), [&, t] { activate(t); });
+      continue;
+    }
+    if (const auto* up = std::get_if<cpa::UnpackedActivation>(&spec)) {
+      unpack_consumers[up->frame_task][up->index].push_back(t);
+      continue;
+    }
+  }
+
+  // ---- schedule the external stimuli and run ------------------------------
+  for (const auto& [src, fire] : generators) {
+    const auto arrivals = generate_arrivals(src, options_.horizon, options_.mode, rng);
+    for (const Time a : arrivals) {
+      auto f = fire;  // copy for the calendar closure
+      cal.at(a, std::move(f));
+    }
+  }
+  cal.run_until(options_.horizon);
+
+  // ---- collect -------------------------------------------------------
+  SystemSimResult result;
+  for (TaskId t = 0; t < tasks.size(); ++t) {
+    SystemSimResult::TaskStats stats;
+    stats.activations = activations[t];
+    stats.responses = responses[t];
+    stats.wcrt = stats.responses.empty()
+                     ? 0
+                     : *std::max_element(stats.responses.begin(), stats.responses.end());
+    result.tasks[tasks[t].name] = std::move(stats);
+  }
+  return result;
+}
+
+}  // namespace hem::sim

@@ -1,0 +1,55 @@
+#include "sim/trace_check.hpp"
+
+#include <sstream>
+
+#include "core/trace_model.hpp"
+
+namespace hem::sim {
+
+std::vector<std::string> check_trace_against_model(const std::vector<Time>& trace,
+                                                   const EventModel& model, Time dt_max,
+                                                   Time step, Count n_max,
+                                                   bool check_delta_plus) {
+  std::vector<std::string> violations;
+  const TraceModel observed(trace);
+
+  for (Time dt = step; dt <= dt_max; dt += step) {
+    const Count seen = observed.max_events_in_window(dt);
+    const Count bound = model.eta_plus(dt);
+    if (seen > bound) {
+      std::ostringstream os;
+      os << "eta+ violated at dt=" << dt << ": observed " << seen << " > bound " << bound;
+      violations.push_back(os.str());
+    }
+  }
+
+  const Count n_limit = std::min<Count>(n_max, observed.length());
+  for (Count n = 2; n <= n_limit; ++n) {
+    const Time seen_min = observed.delta_min(n);
+    const Time bound_min = model.delta_min(n);
+    if (seen_min < bound_min) {
+      std::ostringstream os;
+      os << "delta- violated at n=" << n << ": observed " << seen_min << " < bound "
+         << bound_min;
+      violations.push_back(os.str());
+    }
+    if (check_delta_plus) {
+      const Time seen_max = observed.delta_plus(n);
+      const Time bound_max = model.delta_plus(n);
+      if (!is_infinite(bound_max) && seen_max > bound_max) {
+        std::ostringstream os;
+        os << "delta+ violated at n=" << n << ": observed " << seen_max << " > bound "
+           << bound_max;
+        violations.push_back(os.str());
+      }
+    }
+  }
+  return violations;
+}
+
+bool trace_conforms(const std::vector<Time>& trace, const EventModel& model, Time dt_max,
+                    Time step, Count n_max, bool check_delta_plus) {
+  return check_trace_against_model(trace, model, dt_max, step, n_max, check_delta_plus).empty();
+}
+
+}  // namespace hem::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file trace_check.hpp
+/// Cross-checking observed simulation traces against analytic event-model
+/// bounds.  Used by the validation tests and the bound-tightness benchmark.
+
+#include <string>
+#include <vector>
+
+#include "core/event_model.hpp"
+
+namespace hem::sim {
+
+/// Check that an observed trace is consistent with an analytic model:
+///   * observed max window counts never exceed eta+(dt) (dt sampled up to
+///     dt_max in steps of `step`),
+///   * observed spans of n consecutive events lie within
+///     [delta-(n), delta+(n)] for n up to n_max.
+/// Returns human-readable violation descriptions; empty means the trace
+/// conforms.
+///
+/// Note on delta+: a finite trace can only check delta+ against windows it
+/// contains; the last partial window (events cut off by the simulation
+/// horizon) is skipped automatically because spans are only measured
+/// between observed events.
+[[nodiscard]] std::vector<std::string> check_trace_against_model(const std::vector<Time>& trace,
+                                                                 const EventModel& model,
+                                                                 Time dt_max, Time step,
+                                                                 Count n_max,
+                                                                 bool check_delta_plus = true);
+
+/// Convenience wrapper: true when check_trace_against_model found nothing.
+[[nodiscard]] bool trace_conforms(const std::vector<Time>& trace, const EventModel& model,
+                                  Time dt_max, Time step, Count n_max,
+                                  bool check_delta_plus = true);
+
+}  // namespace hem::sim

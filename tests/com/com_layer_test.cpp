@@ -1,0 +1,124 @@
+#include "com/com_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/combinators.hpp"
+#include "core/standard_event_model.hpp"
+#include "scenarios/paper_system.hpp"
+
+namespace hem::com {
+namespace {
+
+Signal sig(std::string name, Time period, SignalKind kind) {
+  return Signal{std::move(name), StandardEventModel::periodic(period), kind, 1, "", ""};
+}
+
+Frame direct_frame(std::string name, std::vector<Signal> signals) {
+  Frame f;
+  f.name = std::move(name);
+  f.type = FrameType::kDirect;
+  f.priority = 1;
+  f.signals = std::move(signals);
+  return f;
+}
+
+TEST(ComLayerTest, DirectFrameActivationIsOrOfTriggers) {
+  ComLayer layer({direct_frame(
+      "F", {sig("a", 250, SignalKind::kTriggering), sig("b", 450, SignalKind::kTriggering),
+            sig("c", 1000, SignalKind::kPending)})});
+  const auto act = layer.activation_model(0);
+  const OrModel expected(StandardEventModel::periodic(250), StandardEventModel::periodic(450));
+  EXPECT_TRUE(models_equal(*act, expected, 24));
+}
+
+TEST(ComLayerTest, PeriodicFrameActivationIsTheTimer) {
+  Frame f;
+  f.name = "F";
+  f.type = FrameType::kPeriodic;
+  f.period = 100;
+  f.priority = 1;
+  f.signals = {sig("a", 250, SignalKind::kTriggering)};
+  ComLayer layer({std::move(f)});
+  EXPECT_TRUE(
+      models_equal(*layer.activation_model(0), *StandardEventModel::periodic(100), 24));
+}
+
+TEST(ComLayerTest, MixedFrameOrsTimerWithTriggers) {
+  Frame f;
+  f.name = "F";
+  f.type = FrameType::kMixed;
+  f.period = 500;
+  f.priority = 1;
+  f.signals = {sig("a", 250, SignalKind::kTriggering)};
+  ComLayer layer({std::move(f)});
+  const OrModel expected(StandardEventModel::periodic(250), StandardEventModel::periodic(500));
+  EXPECT_TRUE(models_equal(*layer.activation_model(0), expected, 24));
+}
+
+TEST(ComLayerTest, PackedModelInnerPerSignal) {
+  ComLayer layer({direct_frame(
+      "F", {sig("a", 250, SignalKind::kTriggering), sig("c", 1000, SignalKind::kPending)})});
+  const auto hem = layer.packed_model(0);
+  ASSERT_EQ(hem->inner_count(), 2u);
+  // Triggering inner equals the signal model.
+  EXPECT_TRUE(models_equal(*hem->inner(0), *StandardEventModel::periodic(250), 24));
+  // Pending inner has unbounded delta+.
+  EXPECT_TRUE(is_infinite(hem->inner(1)->delta_plus(2)));
+}
+
+TEST(ComLayerTest, TransmittedAppliesResponseToOuterAndInner) {
+  ComLayer layer({direct_frame("F", {sig("a", 250, SignalKind::kTriggering)})});
+  const auto before = layer.packed_model(0);
+  const auto after = layer.transmitted(0, 4, 6);
+  EXPECT_LT(after->inner(0)->delta_min(2), before->inner(0)->delta_min(2));
+  EXPECT_GT(after->inner(0)->delta_plus(2), before->inner(0)->delta_plus(2));
+  EXPECT_GE(after->outer()->delta_min(2), 4);  // serialised by the bus
+}
+
+TEST(ComLayerTest, FlatReceiverModelIsTotalFrameStream) {
+  const auto layer = scenarios::make_paper_com_layer();
+  const auto flat = layer.flat_receiver_model(0, 4, 6);
+  const auto hem = layer.transmitted(0, 4, 6);
+  EXPECT_TRUE(models_equal(*flat, *hem->outer(), 24));
+}
+
+TEST(ComLayerTest, PaperLayerStructure) {
+  const auto layer = scenarios::make_paper_com_layer();
+  ASSERT_EQ(layer.frames().size(), 2u);
+  EXPECT_EQ(layer.frame(0).name, "F1");
+  EXPECT_EQ(layer.frame(0).signals.size(), 3u);
+  EXPECT_EQ(layer.frame(0).payload_bytes(), 4);
+  EXPECT_EQ(layer.frame(1).payload_bytes(), 2);
+  EXPECT_LT(layer.frame(0).priority, layer.frame(1).priority);
+}
+
+TEST(ComLayerTest, AnalyzeOnCanMatchesManualAnalysis) {
+  const auto layer = scenarios::make_paper_com_layer();
+  const auto result = layer.analyze_on_can();
+  ASSERT_EQ(result.responses.size(), 2u);
+  EXPECT_EQ(result.responses[0].name, "F1");
+  EXPECT_EQ(result.responses[0].wcrt, 10);
+  EXPECT_EQ(result.responses[1].wcrt, 10);
+  // Transmitted HEM carries per-unit inner streams.
+  ASSERT_EQ(result.transmitted[0]->inner_count(), 3u);
+  EXPECT_TRUE(is_infinite(result.transmitted[0]->inner(2)->delta_plus(2)));
+}
+
+TEST(ComLayerTest, AnalyzeOnCanNeedsTransmissionTimes) {
+  Frame f = direct_frame("F", {sig("a", 250, SignalKind::kTriggering)});
+  f.transmission_time.reset();
+  ComLayer layer({std::move(f)});
+  EXPECT_THROW(layer.analyze_on_can(), std::invalid_argument);
+}
+
+TEST(ComLayerTest, ValidatesOnConstruction) {
+  EXPECT_THROW(ComLayer({}), std::invalid_argument);
+  Frame bad;
+  bad.name = "bad";
+  bad.type = FrameType::kDirect;
+  bad.signals = {sig("p", 100, SignalKind::kPending)};
+  EXPECT_THROW(ComLayer({bad}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem::com

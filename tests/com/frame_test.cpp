@@ -1,0 +1,82 @@
+#include "com/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/standard_event_model.hpp"
+
+namespace hem::com {
+namespace {
+
+Signal sig(std::string name, Time period, SignalKind kind, int width = 1) {
+  return Signal{std::move(name), StandardEventModel::periodic(period), kind, width, "", ""};
+}
+
+TEST(FrameTest, PayloadSumsSignalWidths) {
+  Frame f;
+  f.name = "F";
+  f.signals = {sig("a", 100, SignalKind::kTriggering, 2),
+               sig("b", 200, SignalKind::kPending, 3)};
+  EXPECT_EQ(f.payload_bytes(), 5);
+}
+
+TEST(FrameTest, DirectFrameNeedsATriggeringSignal) {
+  Frame f;
+  f.name = "F";
+  f.type = FrameType::kDirect;
+  f.signals = {sig("a", 100, SignalKind::kPending)};
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.signals.push_back(sig("b", 200, SignalKind::kTriggering));
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST(FrameTest, PeriodicFrameNeedsPeriod) {
+  Frame f;
+  f.name = "F";
+  f.type = FrameType::kPeriodic;
+  f.signals = {sig("a", 100, SignalKind::kPending)};
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.period = 50;
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST(FrameTest, MixedFrameNeedsPeriodToo) {
+  Frame f;
+  f.name = "F";
+  f.type = FrameType::kMixed;
+  f.signals = {sig("a", 100, SignalKind::kTriggering)};
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.period = 500;
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST(FrameTest, SignalTriggersDependsOnFrameType) {
+  Frame f;
+  f.name = "F";
+  f.signals = {sig("trig", 100, SignalKind::kTriggering),
+               sig("pend", 200, SignalKind::kPending)};
+  f.type = FrameType::kDirect;
+  EXPECT_TRUE(f.signal_triggers(0));
+  EXPECT_FALSE(f.signal_triggers(1));
+  // In a periodic frame, even a "triggering" signal is effectively pending.
+  f.type = FrameType::kPeriodic;
+  f.period = 50;
+  EXPECT_FALSE(f.signal_triggers(0));
+  EXPECT_FALSE(f.signal_triggers(1));
+  f.type = FrameType::kMixed;
+  EXPECT_TRUE(f.signal_triggers(0));
+}
+
+TEST(FrameTest, ValidationRejectsBrokenSignals) {
+  Frame f;
+  f.name = "F";
+  f.type = FrameType::kPeriodic;
+  f.period = 100;
+  EXPECT_THROW(f.validate(), std::invalid_argument);  // no signals
+  f.signals = {Signal{"a", nullptr, SignalKind::kPending, 1, "", ""}};
+  EXPECT_THROW(f.validate(), std::invalid_argument);  // null source
+  f.signals = {sig("a", 100, SignalKind::kPending, 0)};
+  EXPECT_THROW(f.validate(), std::invalid_argument);  // zero width
+}
+
+}  // namespace
+}  // namespace hem::com

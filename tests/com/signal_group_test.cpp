@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "com/com_layer.hpp"
+#include "core/combinators.hpp"
+#include "core/standard_event_model.hpp"
+
+namespace hem::com {
+namespace {
+
+Signal sig(std::string name, Time period, SignalKind kind, std::string group = "") {
+  Signal s{std::move(name), StandardEventModel::periodic(period), kind, 1, "", ""};
+  s.group = std::move(group);
+  return s;
+}
+
+Frame frame_with(std::vector<Signal> signals) {
+  Frame f;
+  f.name = "F";
+  f.type = FrameType::kDirect;
+  f.priority = 1;
+  f.signals = std::move(signals);
+  return f;
+}
+
+TEST(SignalGroupTest, UngroupedSignalsAreIndividualUnits) {
+  const Frame f = frame_with({sig("a", 100, SignalKind::kTriggering),
+                              sig("b", 200, SignalKind::kTriggering)});
+  const auto units = f.delivery_units();
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].name, "a");
+  EXPECT_EQ(units[1].name, "b");
+  EXPECT_EQ(units[0].members, (std::vector<std::size_t>{0}));
+}
+
+TEST(SignalGroupTest, GroupMembersMergeIntoOneUnit) {
+  const Frame f = frame_with({sig("a", 100, SignalKind::kTriggering),
+                              sig("g1", 200, SignalKind::kPending, "grp"),
+                              sig("b", 300, SignalKind::kTriggering),
+                              sig("g2", 400, SignalKind::kPending, "grp")});
+  const auto units = f.delivery_units();
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0].name, "a");
+  EXPECT_EQ(units[1].name, "grp");
+  EXPECT_EQ(units[1].members, (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(units[2].name, "b");
+}
+
+TEST(SignalGroupTest, GroupNameCollidingWithSignalNameStaysSeparate) {
+  const Frame f = frame_with({sig("grp", 100, SignalKind::kTriggering),
+                              sig("g1", 200, SignalKind::kPending, "grp"),
+                              sig("g2", 400, SignalKind::kPending, "grp")});
+  const auto units = f.delivery_units();
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].members, (std::vector<std::size_t>{0}));   // the signal
+  EXPECT_EQ(units[1].members, (std::vector<std::size_t>{1, 2}));  // the group
+}
+
+TEST(SignalGroupTest, MixedKindGroupRejected) {
+  Frame f = frame_with({sig("t", 100, SignalKind::kTriggering, "grp"),
+                        sig("p", 200, SignalKind::kPending, "grp")});
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+}
+
+TEST(SignalGroupTest, PackedModelHasOneInnerPerUnit) {
+  ComLayer layer({frame_with({sig("a", 250, SignalKind::kTriggering),
+                              sig("g1", 500, SignalKind::kPending, "grp"),
+                              sig("g2", 1000, SignalKind::kPending, "grp")})});
+  const auto hem = layer.packed_model(0);
+  EXPECT_EQ(hem->inner_count(), 2u);  // "a" and "grp"
+}
+
+TEST(SignalGroupTest, GroupDeliveryStreamIsOrOfMembers) {
+  // A pending group of two sources: its inner stream is the pending model
+  // of the OR of the member sources.
+  ComLayer layer({frame_with({sig("a", 250, SignalKind::kTriggering),
+                              sig("g1", 500, SignalKind::kPending, "grp"),
+                              sig("g2", 1000, SignalKind::kPending, "grp")})});
+  const auto hem = layer.packed_model(0);
+  const auto& group_inner = hem->inner(1);
+  // Group updates arrive at the combined member rate (~1/500 + 1/1000),
+  // delivered at most once per frame (~1/250 here).
+  const Count updates = group_inner->eta_plus(10'000);
+  EXPECT_GE(updates, 28);  // ~30 combined updates
+  EXPECT_LE(updates, 41);  // strictly below the 40 frame arrivals
+  EXPECT_TRUE(is_infinite(group_inner->delta_plus(2)));
+}
+
+TEST(SignalGroupTest, TriggeringGroupTriggersFrames) {
+  ComLayer layer({frame_with({sig("g1", 250, SignalKind::kTriggering, "grp"),
+                              sig("g2", 400, SignalKind::kTriggering, "grp")})});
+  const auto outer = layer.activation_model(0);
+  const OrModel expected(StandardEventModel::periodic(250),
+                         StandardEventModel::periodic(400));
+  EXPECT_TRUE(models_equal(*outer, expected, 24));
+  EXPECT_EQ(layer.packed_model(0)->inner_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hem::com

@@ -1,0 +1,105 @@
+// Randomised property tests for the hand-optimised algebra: the O(log n)
+// OR crossing search, the shaper's max-plus convolution and the output
+// model's materialised recursion are each checked against their O(n)
+// brute-force definitions on random parameterisations.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/combinators.hpp"
+#include "core/output_model.hpp"
+#include "core/shaper.hpp"
+#include "core/standard_event_model.hpp"
+
+namespace hem {
+namespace {
+
+ModelPtr random_sem(std::mt19937_64& rng) {
+  std::uniform_int_distribution<Time> period(5, 400);
+  const Time p = period(rng);
+  std::uniform_int_distribution<Time> jitter(0, 3 * p);
+  std::uniform_int_distribution<Time> dmin(0, p / 2);
+  return StandardEventModel::sporadic(p, jitter(rng), dmin(rng));
+}
+
+class RandomAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomAlgebra, OrCrossingSearchMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  const auto a = random_sem(rng);
+  const auto b = random_sem(rng);
+  const OrModel m(a, b);
+  for (Count n = 2; n <= 40; ++n) {
+    Time brute_min = kTimeInfinity;
+    for (Count k = 0; k <= n; ++k)
+      brute_min = std::min(brute_min, std::max(a->delta_min(k), b->delta_min(n - k)));
+    ASSERT_EQ(m.delta_min(n), brute_min)
+        << "seed=" << GetParam() << " n=" << n << " a=" << a->describe()
+        << " b=" << b->describe();
+
+    Time brute_plus = 0;
+    for (Count k = 0; k <= n - 2; ++k)
+      brute_plus =
+          std::max(brute_plus, std::min(a->delta_plus(k + 2), b->delta_plus(n - k)));
+    ASSERT_EQ(m.delta_plus(n), brute_plus)
+        << "seed=" << GetParam() << " n=" << n << " a=" << a->describe()
+        << " b=" << b->describe();
+  }
+}
+
+TEST_P(RandomAlgebra, ShaperConvolutionMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  const auto in = random_sem(rng);
+  // Stable shaper distance: strictly below the long-run period.
+  const auto* sem = dynamic_cast<const StandardEventModel*>(in.get());
+  std::uniform_int_distribution<Time> dist(1, std::max<Time>(1, sem->period() - 1));
+  const Time d = dist(rng);
+  const MinDistanceShaper shaped(in, d);
+  for (Count n = 2; n <= 32; ++n) {
+    Time brute = 0;
+    for (Count k = 1; k <= n; ++k)
+      brute = std::max(brute, in->delta_min(k) + d * (n - k));
+    ASSERT_EQ(shaped.delta_min(n), brute) << "seed=" << GetParam() << " n=" << n;
+  }
+}
+
+TEST_P(RandomAlgebra, OutputRecursionMatchesMaxPlusForm) {
+  // delta'-(n) = max( (n-1) r-, max_{2<=m<=n} ( (delta-(m) - spread)^+ +
+  // (n-m) r- ) ) - the closed max-plus form of the recursion.
+  std::mt19937_64 rng(GetParam() + 2000);
+  const auto in = random_sem(rng);
+  std::uniform_int_distribution<Time> r(0, 40);
+  Time r1 = r(rng), r2 = r(rng);
+  if (r1 > r2) std::swap(r1, r2);
+  const OutputModel out(in, r1, r2);
+  const Time spread = r2 - r1;
+  for (Count n = 2; n <= 32; ++n) {
+    Time brute = r1 * (n - 1);
+    for (Count m = 2; m <= n; ++m) {
+      const Time shifted = std::max<Time>(0, in->delta_min(m) - spread);
+      brute = std::max(brute, shifted + r1 * (n - m));
+    }
+    ASSERT_EQ(out.delta_min(n), brute) << "seed=" << GetParam() << " n=" << n;
+  }
+}
+
+TEST_P(RandomAlgebra, EtaInversionRoundTrips) {
+  std::mt19937_64 rng(GetParam() + 3000);
+  const auto a = random_sem(rng);
+  const auto b = random_sem(rng);
+  const OrModel m(a, b);  // generic inversion path (no closed form)
+  for (Time dt = 1; dt <= 1200; dt += 23) {
+    const Count n = m.eta_plus(dt);
+    ASSERT_GE(n, 1);
+    if (n >= 2) {
+      ASSERT_LT(m.delta_min(n), dt) << dt;
+    }
+    ASSERT_GE(m.delta_min(n + 1), dt) << dt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAlgebra, ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace hem

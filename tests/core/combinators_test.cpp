@@ -1,0 +1,139 @@
+#include "core/combinators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/standard_event_model.hpp"
+#include "core/trace_model.hpp"
+
+namespace hem {
+namespace {
+
+ModelPtr periodic(Time p) { return StandardEventModel::periodic(p); }
+
+TEST(OrModelTest, TwoEqualPeriodicStreams) {
+  const OrModel m(periodic(100), periodic(100));
+  // Two independent periodic streams: events can coincide.
+  EXPECT_EQ(m.delta_min(2), 0);
+  // Three events: at least two from one stream -> at least 100 apart.
+  EXPECT_EQ(m.delta_min(3), 100);
+  EXPECT_EQ(m.delta_min(4), 100);
+  EXPECT_EQ(m.delta_min(5), 200);
+  // Max distance between 2 combined events: at most min of the two gaps.
+  EXPECT_EQ(m.delta_plus(2), 100);
+}
+
+TEST(OrModelTest, RateAddsUp) {
+  const OrModel m(periodic(100), periodic(100));
+  // Long-run: 2 events per 100 ticks.
+  EXPECT_EQ(m.eta_plus(1001), 22);  // 11 per stream
+  EXPECT_EQ(m.eta_minus(1000), 20);
+}
+
+TEST(OrModelTest, AsymmetricPeriods) {
+  const OrModel m(periodic(250), periodic(450));
+  EXPECT_EQ(m.delta_min(2), 0);
+  EXPECT_EQ(m.delta_min(3), 250);  // contribution (2,1) wins
+  EXPECT_EQ(m.delta_plus(2), 250); // within any 250 window a 250-stream event falls
+}
+
+TEST(OrModelTest, MatchesBruteForceOverContributionVectors) {
+  const auto a = StandardEventModel::sporadic(100, 120, 10);
+  const auto b = StandardEventModel::sporadic(70, 30, 7);
+  const OrModel m(a, b);
+  for (Count n = 2; n <= 24; ++n) {
+    Time expect_min = kTimeInfinity;
+    for (Count k = 0; k <= n; ++k)
+      expect_min = std::min(expect_min, std::max(a->delta_min(k), b->delta_min(n - k)));
+    ASSERT_EQ(m.delta_min(n), expect_min) << "n=" << n;
+
+    Time expect_plus = 0;
+    for (Count k = 0; k <= n - 2; ++k)
+      expect_plus = std::max(expect_plus, std::min(a->delta_plus(k + 2), b->delta_plus(n - k)));
+    ASSERT_EQ(m.delta_plus(n), expect_plus) << "n=" << n;
+  }
+}
+
+TEST(OrModelTest, BoundsConcreteMergedTraces) {
+  // Any concrete interleaving of conforming traces must respect the OR
+  // bounds, for arbitrary phases.
+  const auto a = StandardEventModel::periodic(100);
+  const auto b = StandardEventModel::periodic(170);
+  const OrModel m(a, b);
+  std::mt19937_64 rng(13);
+  // Phases stay below one period so both streams are in steady state from
+  // t = 0 (the OR model describes permanently active streams).
+  std::uniform_int_distribution<Time> phase_a(0, 99), phase_b(0, 169);
+  for (int run = 0; run < 25; ++run) {
+    std::vector<Time> merged;
+    const Time pa = phase_a(rng), pb = phase_b(rng);
+    for (Time t = pa; t < 6000; t += 100) merged.push_back(t);
+    for (Time t = pb; t < 6000; t += 170) merged.push_back(t);
+    std::sort(merged.begin(), merged.end());
+    const TraceModel observed(merged);
+    for (Count n = 2; n <= 30; ++n) {
+      ASSERT_GE(observed.delta_min(n), m.delta_min(n)) << "n=" << n << " run=" << run;
+      if (!is_infinite(observed.delta_plus(n)) &&
+          static_cast<Count>(merged.size()) - n > 10) {  // skip truncated windows
+        ASSERT_LE(observed.delta_plus(n), m.delta_plus(n)) << "n=" << n << " run=" << run;
+      }
+    }
+  }
+}
+
+TEST(OrModelTest, FoldIsAssociative) {
+  const auto a = StandardEventModel::sporadic(100, 50, 5);
+  const auto b = StandardEventModel::periodic(170);
+  const auto c = StandardEventModel::sporadic(300, 10, 10);
+  const auto left = std::make_shared<OrModel>(std::make_shared<OrModel>(a, b), c);
+  const auto right = std::make_shared<OrModel>(a, std::make_shared<OrModel>(b, c));
+  EXPECT_TRUE(models_equal(*left, *right, 24));
+}
+
+TEST(OrModelTest, OrCombineSingleInputIsIdentity) {
+  const auto a = periodic(100);
+  const std::vector<ModelPtr> one{a};
+  EXPECT_EQ(or_combine(one).get(), a.get());
+}
+
+TEST(OrModelTest, OrCombineRejectsEmpty) {
+  const std::vector<ModelPtr> none;
+  EXPECT_THROW(or_combine(none), std::invalid_argument);
+  EXPECT_THROW(OrModel(nullptr, periodic(10)), std::invalid_argument);
+}
+
+TEST(OrModelTest, SimultaneityCountsAdd) {
+  const OrModel m(periodic(100), periodic(200));
+  EXPECT_EQ(m.eta_plus(1), 2);  // one of each can coincide
+  const auto three = or_combine(
+      std::vector<ModelPtr>{periodic(100), periodic(200), periodic(300)});
+  EXPECT_EQ(three->eta_plus(1), 3);
+}
+
+TEST(AndModelTest, CommonPeriodCombines) {
+  const auto a = StandardEventModel::sporadic(100, 30, 10);
+  const auto b = StandardEventModel::sporadic(100, 50, 20);
+  const auto m = and_combine(std::vector<ModelPtr>{a, b});
+  const auto* sem = dynamic_cast<const StandardEventModel*>(m.get());
+  ASSERT_NE(sem, nullptr);
+  EXPECT_EQ(sem->period(), 100);
+  EXPECT_EQ(sem->jitter(), 50);   // max jitter
+  EXPECT_EQ(sem->d_min(), 10);    // min dmin (conservative)
+}
+
+TEST(AndModelTest, RejectsMismatchedPeriods) {
+  const auto a = periodic(100);
+  const auto b = periodic(150);
+  EXPECT_THROW(and_combine(std::vector<ModelPtr>{a, b}), std::invalid_argument);
+}
+
+TEST(AndModelTest, RejectsNonSemInputs) {
+  const auto a = periodic(100);
+  const auto o = std::make_shared<OrModel>(a, a);
+  EXPECT_THROW(and_combine(std::vector<ModelPtr>{a, o}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem

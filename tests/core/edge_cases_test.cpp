@@ -1,0 +1,115 @@
+// Cross-module edge cases: infinities flowing through combinators, fitting
+// exotic models, deep composition chains.
+
+#include <gtest/gtest.h>
+
+#include "core/combinators.hpp"
+#include "core/delta_function_model.hpp"
+#include "core/grouped_stream_model.hpp"
+#include "core/leaky_bucket_model.hpp"
+#include "core/offset_transaction_model.hpp"
+#include "core/output_model.hpp"
+#include "core/sem_fit.hpp"
+#include "core/standard_event_model.hpp"
+#include "hierarchical/pack_constructor.hpp"
+
+namespace hem {
+namespace {
+
+ModelPtr periodic(Time p) { return StandardEventModel::periodic(p); }
+
+ModelPtr pending_like(Time d) {
+  // delta- = (n-1)*d, delta+ = infinity.
+  return std::make_shared<DeltaFunctionModel>(std::vector<Time>{d},
+                                              std::vector<Time>{kTimeInfinity}, 1, d);
+}
+
+TEST(EdgeCases, OrWithInfiniteDeltaPlusChild) {
+  // OR of a regular stream and a pending-style stream: delta+ of the union
+  // is capped by the regular stream.
+  const OrModel m(periodic(100), pending_like(300));
+  EXPECT_EQ(m.delta_plus(2), 100);
+  for (Count n = 2; n <= 24; ++n) {
+    EXPECT_FALSE(is_infinite(m.delta_plus(n))) << n;
+    EXPECT_LE(m.delta_min(n), m.delta_plus(n)) << n;
+  }
+}
+
+TEST(EdgeCases, OrOfTwoPendingStreamsKeepsInfinity) {
+  const OrModel m(pending_like(100), pending_like(200));
+  EXPECT_TRUE(is_infinite(m.delta_plus(2)));
+  EXPECT_EQ(m.eta_minus(1'000'000), 0);
+}
+
+TEST(EdgeCases, DeepOrChainStaysConsistent) {
+  std::vector<ModelPtr> inputs;
+  for (int i = 0; i < 12; ++i) inputs.push_back(periodic(100 + 13 * i));
+  const auto m = or_combine(inputs);
+  Count prev = 0;
+  for (Time dt = 0; dt <= 2000; dt += 50) {
+    const Count v = m->eta_plus(dt);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(m->eta_plus(1), 12);  // all twelve can coincide
+}
+
+TEST(EdgeCases, OutputOfPendingKeepsInfiniteDeltaPlus) {
+  const OutputModel out(pending_like(500), 4, 9);
+  EXPECT_TRUE(is_infinite(out.delta_plus(2)));
+  EXPECT_EQ(out.delta_min(2), 495);
+}
+
+TEST(EdgeCases, FitSemOnOffsetsIsConservative) {
+  const OffsetTransactionModel m(300, {0, 20, 40}, 5);
+  const auto fitted = fit_sem(m);
+  for (Time dt = 1; dt <= 2000; dt += 7)
+    EXPECT_GE(fitted->eta_plus(dt), m.eta_plus(dt)) << dt;
+}
+
+TEST(EdgeCases, FitSemOnLeakyBucket) {
+  const LeakyBucketModel m(4, 25);
+  const auto fitted = fit_sem(m);
+  for (Time dt = 1; dt <= 1000; dt += 7)
+    EXPECT_GE(fitted->eta_plus(dt), m.eta_plus(dt)) << dt;
+}
+
+TEST(EdgeCases, GroupedOverOrOuter) {
+  // Grouped bursts riding an OR-combined release stream.
+  const auto outer = std::make_shared<OrModel>(periodic(100), periodic(170));
+  const GroupedStreamModel m(outer, 2, 3);
+  for (Count n = 3; n <= 32; ++n) {
+    EXPECT_LE(m.delta_min(n - 1), m.delta_min(n));
+    EXPECT_LE(m.delta_min(n), m.delta_plus(n));
+  }
+  EXPECT_EQ(m.eta_plus(1), 4);  // 2 groups x 2 events can coincide
+}
+
+TEST(EdgeCases, PackOfOutputsComposes) {
+  // Pack the outputs of analysed tasks (the gateway pattern) and verify
+  // simultaneity bookkeeping survives the chain.
+  const auto out_a = std::make_shared<OutputModel>(periodic(100), 2, 7);
+  const auto out_b = std::make_shared<OutputModel>(periodic(150), 1, 4);
+  const auto hem = pack({{out_a, SignalCoupling::kTriggering},
+                         {out_b, SignalCoupling::kTriggering}});
+  EXPECT_EQ(hem->outer()->max_simultaneous_events(), 2);
+  const auto after = hem->after_response(3, 8);
+  for (Count n = 2; n <= 16; ++n)
+    EXPECT_LE(after->inner(0)->delta_min(n), out_a->delta_min(n)) << n;
+}
+
+TEST(EdgeCases, DminEqualsPeriodIsStrictlyPeriodic) {
+  const auto m = StandardEventModel::sporadic(100, 0, 100);
+  EXPECT_TRUE(models_equal(*m, *periodic(100), 48));
+}
+
+TEST(EdgeCases, SaturatedDistancesStayMonotone) {
+  // Extension with infinite time: everything beyond the prefix saturates.
+  DeltaFunctionModel m({10, 20}, {15, 30}, 1, kTimeInfinity);
+  EXPECT_TRUE(is_infinite(m.delta_min(10)));
+  EXPECT_TRUE(is_infinite(m.delta_plus(10)));
+  EXPECT_EQ(m.eta_plus(1'000'000), 3);  // only the prefix events exist
+}
+
+}  // namespace
+}  // namespace hem

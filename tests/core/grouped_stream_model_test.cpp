@@ -1,0 +1,92 @@
+#include "core/grouped_stream_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/standard_event_model.hpp"
+#include "core/trace_model.hpp"
+
+namespace hem {
+namespace {
+
+TEST(GroupedStreamModelTest, SingleEventGroupsEqualOuter) {
+  const auto outer = StandardEventModel::periodic(100);
+  const GroupedStreamModel m(outer, 1, 0);
+  EXPECT_TRUE(models_equal(m, *outer, 32));
+}
+
+TEST(GroupedStreamModelTest, SimultaneousGroupCurves) {
+  // B = 3 simultaneous events per periodic release.
+  const auto outer = StandardEventModel::periodic(100);
+  const GroupedStreamModel m(outer, 3, 0);
+  EXPECT_EQ(m.delta_min(2), 0);
+  EXPECT_EQ(m.delta_min(3), 0);
+  EXPECT_EQ(m.delta_min(4), 100);   // needs 2 groups
+  EXPECT_EQ(m.delta_min(7), 200);   // needs 3 groups
+  EXPECT_EQ(m.delta_plus(2), 100);  // two consecutive can straddle a gap
+  EXPECT_EQ(m.delta_plus(4), 100);
+  EXPECT_EQ(m.delta_plus(5), 200);
+}
+
+TEST(GroupedStreamModelTest, SpacedGroupCurves) {
+  const auto outer = StandardEventModel::periodic(100);
+  const GroupedStreamModel m(outer, 3, 10);
+  // Conservative bounds: the (B-1)*s spread is subtracted.
+  EXPECT_EQ(m.delta_min(4), 80);  // 100 - 20
+  EXPECT_EQ(m.delta_plus(4), 120);
+}
+
+TEST(GroupedStreamModelTest, EtaPlusCountsWholeGroups) {
+  const auto outer = StandardEventModel::periodic(100);
+  const GroupedStreamModel m(outer, 3, 0);
+  EXPECT_EQ(m.eta_plus(1), 3);
+  EXPECT_EQ(m.eta_plus(101), 6);
+  EXPECT_EQ(m.eta_plus(1001), 33);
+}
+
+TEST(GroupedStreamModelTest, BoundsSimulatedGroupedTraces) {
+  // Merge concrete grouped traces (random outer phases/jitter) and check
+  // they conform to the model bounds.
+  const Time period = 100, jitter = 40, spacing = 7;
+  const Count group = 4;
+  const auto outer = StandardEventModel::periodic_with_jitter(period, jitter);
+  const GroupedStreamModel m(outer, group, spacing);
+
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<Time> u(-jitter, 0);
+  for (int run = 0; run < 20; ++run) {
+    std::vector<Time> events;
+    for (Count k = 1; k < 60; ++k) {
+      const Time release = 100 * k + u(rng);
+      for (Count j = 0; j < group; ++j) events.push_back(release + j * spacing);
+    }
+    std::sort(events.begin(), events.end());
+    const TraceModel observed(events);
+    for (Count n = 2; n <= 48; ++n) {
+      ASSERT_GE(observed.delta_min(n), m.delta_min(n)) << "run=" << run << " n=" << n;
+      ASSERT_LE(observed.delta_plus(n), m.delta_plus(n)) << "run=" << run << " n=" << n;
+    }
+  }
+}
+
+TEST(GroupedStreamModelTest, MonotoneCurves) {
+  const auto outer = StandardEventModel::sporadic(100, 150, 10);
+  const GroupedStreamModel m(outer, 4, 5);
+  for (Count n = 3; n <= 64; ++n) {
+    EXPECT_LE(m.delta_min(n - 1), m.delta_min(n));
+    EXPECT_LE(m.delta_plus(n - 1), m.delta_plus(n));
+    EXPECT_LE(m.delta_min(n), m.delta_plus(n));
+  }
+}
+
+TEST(GroupedStreamModelTest, ValidationErrors) {
+  const auto outer = StandardEventModel::periodic(100);
+  EXPECT_THROW(GroupedStreamModel(nullptr, 2, 0), std::invalid_argument);
+  EXPECT_THROW(GroupedStreamModel(outer, 0, 0), std::invalid_argument);
+  EXPECT_THROW(GroupedStreamModel(outer, 2, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem

@@ -1,0 +1,66 @@
+#include "core/intersection_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/leaky_bucket_model.hpp"
+#include "core/offset_transaction_model.hpp"
+#include "core/standard_event_model.hpp"
+
+namespace hem {
+namespace {
+
+TEST(IntersectionModelTest, TakesTighterBoundPointwise) {
+  // SEM allows a burst of up to 3; a leaky bucket limits spacing after 2.
+  const auto sem = StandardEventModel::periodic_with_jitter(100, 250);
+  const auto bucket = std::make_shared<LeakyBucketModel>(2, 20);
+  const IntersectionModel m(sem, bucket);
+  // delta-: bucket is tighter for small n...
+  EXPECT_EQ(m.delta_min(3), 20);   // sem says 0, bucket says 20
+  // ...the SEM period term for large n.
+  EXPECT_EQ(m.delta_min(10), std::max(sem->delta_min(10), bucket->delta_min(10)));
+  // delta+: the bucket has none, the SEM bounds it.
+  EXPECT_EQ(m.delta_plus(2), sem->delta_plus(2));
+}
+
+TEST(IntersectionModelTest, EtaTightensBothWays) {
+  const auto sem = StandardEventModel::periodic_with_jitter(100, 250);
+  const auto bucket = std::make_shared<LeakyBucketModel>(2, 20);
+  const IntersectionModel m(sem, bucket);
+  for (Time dt = 1; dt <= 1500; dt += 13) {
+    EXPECT_LE(m.eta_plus(dt), sem->eta_plus(dt)) << dt;
+    EXPECT_LE(m.eta_plus(dt), bucket->eta_plus(dt)) << dt;
+    EXPECT_GE(m.eta_minus(dt), sem->eta_minus(dt)) << dt;
+  }
+}
+
+TEST(IntersectionModelTest, IdempotentOnSameModel) {
+  const auto sem = StandardEventModel::sporadic(100, 30, 5);
+  const IntersectionModel m(sem, sem);
+  EXPECT_TRUE(models_equal(m, *sem, 32));
+}
+
+TEST(IntersectionModelTest, ContradictionRejected) {
+  // A says events at least 100 apart; B says at most 50 apart - impossible.
+  const auto slow = StandardEventModel::periodic(100);  // delta-(2) = 100
+  const auto fast = StandardEventModel::periodic(40);   // delta+(2) = 40
+  EXPECT_THROW(IntersectionModel(slow, fast), std::invalid_argument);
+}
+
+TEST(IntersectionModelTest, OffsetsRefineSem) {
+  // Datasheet SEM (3 events / 120, burst allowed) refined by an offset
+  // table that spreads the events.
+  const auto sem = StandardEventModel::sporadic(40, 80, 0);
+  const auto offsets = std::make_shared<OffsetTransactionModel>(
+      Time{120}, std::vector<Time>{0, 40, 80}, Time{10});
+  const IntersectionModel m(sem, offsets);
+  EXPECT_EQ(m.eta_plus(1), 1);           // offsets forbid the SEM's burst
+  EXPECT_EQ(m.delta_min(2), 30);         // 40 - jitter 10
+}
+
+TEST(IntersectionModelTest, NullRejected) {
+  const auto sem = StandardEventModel::periodic(100);
+  EXPECT_THROW(IntersectionModel(nullptr, sem), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem

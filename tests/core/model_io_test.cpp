@@ -1,0 +1,69 @@
+#include "core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/standard_event_model.hpp"
+
+namespace hem {
+namespace {
+
+TEST(ModelIoTest, FormatTime) {
+  EXPECT_EQ(format_time(42), "42");
+  EXPECT_EQ(format_time(0), "0");
+  EXPECT_EQ(format_time(kTimeInfinity), "inf");
+  EXPECT_EQ(format_time(kTimeInfinity + 7), "inf");
+}
+
+TEST(ModelIoTest, SampleEtaPlusGrid) {
+  const auto m = StandardEventModel::periodic(100);
+  const auto s = sample_eta_plus(*m, "p100", 500, 100);
+  ASSERT_EQ(s.dt.size(), 5u);
+  EXPECT_EQ(s.dt.front(), 100);
+  EXPECT_EQ(s.dt.back(), 500);
+  EXPECT_EQ(s.value[0], 1);
+  EXPECT_EQ(s.value[4], 5);
+  EXPECT_EQ(s.label, "p100");
+}
+
+TEST(ModelIoTest, SampleEtaPlusRejectsBadGrid) {
+  const auto m = StandardEventModel::periodic(100);
+  EXPECT_THROW(sample_eta_plus(*m, "x", 500, 0), std::invalid_argument);
+  EXPECT_THROW(sample_eta_plus(*m, "x", 50, 100), std::invalid_argument);
+}
+
+TEST(ModelIoTest, FormatEtaTableAlignsSeries) {
+  const auto a = StandardEventModel::periodic(100);
+  const auto b = StandardEventModel::periodic(50);
+  const auto table =
+      format_eta_table({sample_eta_plus(*a, "A", 200, 100), sample_eta_plus(*b, "B", 200, 100)});
+  EXPECT_NE(table.find("A"), std::string::npos);
+  EXPECT_NE(table.find("B"), std::string::npos);
+  // Rows: header + 2 samples.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);
+}
+
+TEST(ModelIoTest, FormatEtaTableRejectsMismatchedSeries) {
+  const auto a = StandardEventModel::periodic(100);
+  EXPECT_THROW(format_eta_table(
+                   {sample_eta_plus(*a, "A", 200, 100), sample_eta_plus(*a, "B", 300, 100)}),
+               std::invalid_argument);
+}
+
+TEST(ModelIoTest, WriteEtaCsv) {
+  const auto a = StandardEventModel::periodic(100);
+  std::ostringstream os;
+  write_eta_csv(os, {sample_eta_plus(*a, "A", 200, 100)});
+  EXPECT_EQ(os.str(), "dt,A\n100,1\n200,2\n");
+}
+
+TEST(ModelIoTest, FormatDeltaTableShowsInfinity) {
+  const auto m = StandardEventModel::periodic(100);
+  const auto table = format_delta_table(*m, 4);
+  EXPECT_NE(table.find("delta-"), std::string::npos);
+  EXPECT_NE(table.find("300"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hem

@@ -1,0 +1,94 @@
+#include "core/offset_transaction_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/standard_event_model.hpp"
+#include "core/trace_model.hpp"
+
+namespace hem {
+namespace {
+
+TEST(OffsetTransactionModelTest, SingleOffsetIsPeriodic) {
+  const OffsetTransactionModel m(100, {0});
+  const auto p = StandardEventModel::periodic(100);
+  EXPECT_TRUE(models_equal(m, *p, 32));
+}
+
+TEST(OffsetTransactionModelTest, TwoOffsetsExactCurves) {
+  // Events at m*100 + {0, 30}: gaps alternate 30, 70.
+  const OffsetTransactionModel m(100, {0, 30});
+  EXPECT_EQ(m.delta_min(2), 30);
+  EXPECT_EQ(m.delta_plus(2), 70);
+  EXPECT_EQ(m.delta_min(3), 100);
+  EXPECT_EQ(m.delta_plus(3), 100);
+  EXPECT_EQ(m.delta_min(4), 130);
+  EXPECT_EQ(m.delta_plus(4), 170);
+}
+
+TEST(OffsetTransactionModelTest, JitterWidensCurves) {
+  const OffsetTransactionModel smooth(100, {0, 30});
+  const OffsetTransactionModel jittered(100, {0, 30}, 10);
+  for (Count n = 2; n <= 16; ++n) {
+    EXPECT_EQ(jittered.delta_min(n), std::max<Time>(0, smooth.delta_min(n) - 10));
+    EXPECT_EQ(jittered.delta_plus(n), smooth.delta_plus(n) + 10);
+  }
+}
+
+TEST(OffsetTransactionModelTest, UnsortedOffsetsAreSorted) {
+  const OffsetTransactionModel a(100, {30, 0});
+  const OffsetTransactionModel b(100, {0, 30});
+  EXPECT_TRUE(models_equal(a, b, 16));
+}
+
+TEST(OffsetTransactionModelTest, EtaPlusSeesOffsetClusters) {
+  // Cluster at the period start: {0, 5, 10}, then nothing until 100.
+  const OffsetTransactionModel m(100, {0, 5, 10});
+  EXPECT_EQ(m.eta_plus(1), 1);
+  EXPECT_EQ(m.eta_plus(6), 2);
+  EXPECT_EQ(m.eta_plus(11), 3);
+  EXPECT_EQ(m.eta_plus(100), 3);
+  EXPECT_EQ(m.eta_plus(101), 4);
+}
+
+TEST(OffsetTransactionModelTest, OffsetsDeBurstAgainstSem) {
+  // Same rate as SEM(33, 0) roughly, but the offsets guarantee spacing:
+  // a SEM covering 3 events per 100 must allow bursts the offsets exclude.
+  const OffsetTransactionModel offsets(100, {0, 33, 66});
+  EXPECT_EQ(offsets.delta_min(2), 33);
+  EXPECT_EQ(offsets.delta_plus(2), 34);
+}
+
+TEST(OffsetTransactionModelTest, TraceConformance) {
+  const Time period = 200, jitter = 8;
+  const std::vector<Time> offsets{10, 50, 120};
+  const OffsetTransactionModel m(period, offsets, jitter);
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<Time> x(0, jitter);
+  for (int run = 0; run < 20; ++run) {
+    std::vector<Time> events;
+    for (Time base = 0; base < 20'000; base += period)
+      for (const Time o : offsets) events.push_back(base + o + x(rng));
+    std::sort(events.begin(), events.end());
+    const TraceModel observed(events);
+    for (Count n = 2; n <= 40; ++n) {
+      ASSERT_GE(observed.delta_min(n), m.delta_min(n)) << "run=" << run << " n=" << n;
+      ASSERT_LE(observed.delta_plus(n), m.delta_plus(n)) << "run=" << run << " n=" << n;
+    }
+  }
+}
+
+TEST(OffsetTransactionModelTest, ValidationErrors) {
+  EXPECT_THROW(OffsetTransactionModel(0, {0}), std::invalid_argument);
+  EXPECT_THROW(OffsetTransactionModel(100, {}), std::invalid_argument);
+  EXPECT_THROW(OffsetTransactionModel(100, {100}), std::invalid_argument);
+  EXPECT_THROW(OffsetTransactionModel(100, {-5}), std::invalid_argument);
+  EXPECT_THROW(OffsetTransactionModel(100, {0, 30}, -1), std::invalid_argument);
+  // Jitter 40 > min gap 30: order instability rejected.
+  EXPECT_THROW(OffsetTransactionModel(100, {0, 30}, 40), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem

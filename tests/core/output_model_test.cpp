@@ -1,0 +1,121 @@
+#include "core/output_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/combinators.hpp"
+#include "core/standard_event_model.hpp"
+#include "core/trace_model.hpp"
+
+namespace hem {
+namespace {
+
+TEST(OutputModelTest, ZeroSpreadKeepsDeltaPlus) {
+  const auto in = StandardEventModel::periodic(100);
+  const OutputModel out(in, 10, 10);
+  for (Count n = 2; n <= 10; ++n) EXPECT_EQ(out.delta_plus(n), in->delta_plus(n));
+}
+
+TEST(OutputModelTest, SpreadActsAsJitter) {
+  // A periodic stream through a task with response [5, 25] gains jitter 20.
+  const auto in = StandardEventModel::periodic(100);
+  const OutputModel out(in, 5, 25);
+  const auto expect = StandardEventModel::periodic_with_jitter(100, 20);
+  for (Count n = 2; n <= 20; ++n) {
+    EXPECT_EQ(out.delta_plus(n), expect->delta_plus(n)) << "n=" << n;
+    // delta- additionally respects the r- serialisation floor.
+    EXPECT_EQ(out.delta_min(n),
+              std::max(expect->delta_min(n), Time{5} * (n - 1)))
+        << "n=" << n;
+  }
+}
+
+TEST(OutputModelTest, MinimumResponseSeparatesOutputs) {
+  // A bursty input (3 simultaneous events) leaves a task with r- = 10 at
+  // least 10 apart.
+  const auto in = StandardEventModel::periodic_with_jitter(100, 250);
+  ASSERT_EQ(in->delta_min(3), 0);
+  const OutputModel out(in, 10, 12);
+  EXPECT_EQ(out.delta_min(2), 10);
+  EXPECT_EQ(out.delta_min(3), 20);
+}
+
+TEST(OutputModelTest, RecursiveFloorIsCumulative) {
+  const auto in = StandardEventModel::periodic_with_jitter(10, 1000);  // heavy burst
+  const OutputModel out(in, 3, 4);
+  for (Count n = 2; n <= 50; ++n) EXPECT_GE(out.delta_min(n), 3 * (n - 1));
+}
+
+TEST(OutputModelTest, RejectsInvalidResponseInterval) {
+  const auto in = StandardEventModel::periodic(100);
+  EXPECT_THROW(OutputModel(in, -1, 5), std::invalid_argument);
+  EXPECT_THROW(OutputModel(in, 10, 5), std::invalid_argument);
+  EXPECT_THROW(OutputModel(in, 0, kTimeInfinity), std::invalid_argument);
+  EXPECT_THROW(OutputModel(nullptr, 0, 5), std::invalid_argument);
+}
+
+TEST(OutputModelTest, MonotoneCurves) {
+  const auto in = StandardEventModel::sporadic(100, 350, 4);
+  const OutputModel out(in, 7, 31);
+  for (Count n = 3; n <= 64; ++n) {
+    EXPECT_LE(out.delta_min(n - 1), out.delta_min(n));
+    EXPECT_LE(out.delta_plus(n - 1), out.delta_plus(n));
+    EXPECT_LE(out.delta_min(n), out.delta_plus(n));
+  }
+}
+
+TEST(OutputModelTest, BoundsSimulatedCompletionTimes) {
+  // Simulate a conforming input trace through a pipeline stage with response
+  // times drawn from [r-, r+] such that completions preserve order; the
+  // completion trace must conform to the output model.
+  // dmin >= r- guarantees that the serialisation floor (c >= last + r-) and
+  // the response bound (c <= a + r+) can never conflict.
+  const Time r_minus = 8, r_plus = 20;
+  const auto in = StandardEventModel::sporadic(50, 60, 10);
+  const OutputModel out(in, r_minus, r_plus);
+
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<Time> resp(r_minus, r_plus);
+  // Build a conforming arrival trace: as early as possible (burst head).
+  std::vector<Time> arrivals;
+  Time prev = -1'000'000;
+  for (Count k = 0; k < 300; ++k) {
+    Time t = std::max<Time>(50 * k - 60, prev + 10);
+    t = std::max<Time>(t, 0);
+    arrivals.push_back(t);
+    prev = t;
+  }
+  for (int run = 0; run < 20; ++run) {
+    std::vector<Time> completions;
+    Time last = -1'000'000;
+    for (const Time a : arrivals) {
+      // FIFO processing: completion in [a + r-, a + r+], and at least r-
+      // after the previous completion.
+      const Time c = std::max(a + resp(rng), last + r_minus);
+      ASSERT_LE(c, a + r_plus);
+      completions.push_back(c);
+      last = c;
+    }
+    const TraceModel observed(completions);
+    for (Count n = 2; n <= 40; ++n) {
+      ASSERT_GE(observed.delta_min(n), out.delta_min(n)) << "n=" << n << " run=" << run;
+      ASSERT_LE(observed.delta_plus(n), out.delta_plus(n)) << "n=" << n << " run=" << run;
+    }
+  }
+}
+
+TEST(OutputModelTest, ComposesWithOr) {
+  // OR of two outputs stays well-formed and bounded by the slower parts.
+  const auto a = std::make_shared<OutputModel>(StandardEventModel::periodic(100), 5, 20);
+  const auto b = std::make_shared<OutputModel>(StandardEventModel::periodic(150), 2, 9);
+  const OrModel m(a, b);
+  for (Count n = 3; n <= 32; ++n) {
+    EXPECT_LE(m.delta_min(n - 1), m.delta_min(n));
+    EXPECT_LE(m.delta_min(n), m.delta_plus(n));
+  }
+}
+
+}  // namespace
+}  // namespace hem

@@ -1,0 +1,95 @@
+#include "core/shaper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/errors.hpp"
+#include "core/standard_event_model.hpp"
+#include "core/trace_model.hpp"
+
+namespace hem {
+namespace {
+
+TEST(ShaperTest, EnforcesMinimumDistance) {
+  const auto in = StandardEventModel::periodic_with_jitter(100, 300);
+  const MinDistanceShaper shaped(in, 40);
+  for (Count n = 2; n <= 32; ++n) EXPECT_GE(shaped.delta_min(n), 40 * (n - 1));
+}
+
+TEST(ShaperTest, PassThroughWhenInputAlreadySmooth) {
+  const auto in = StandardEventModel::periodic(100);
+  const MinDistanceShaper shaped(in, 40);
+  EXPECT_EQ(shaped.delay_bound(), 0);
+  for (Count n = 2; n <= 16; ++n) {
+    EXPECT_EQ(shaped.delta_min(n), in->delta_min(n));
+    EXPECT_EQ(shaped.delta_plus(n), in->delta_plus(n));
+  }
+}
+
+TEST(ShaperTest, DelayBoundMatchesHandComputation) {
+  // Burst of 4 simultaneous events (J = 300, P = 100), shaper d = 20.
+  // Worst lag: the 4th event waits 3*20 - delta-(4) = 60 - 0 = 60.
+  const auto in = StandardEventModel::periodic_with_jitter(100, 300);
+  ASSERT_EQ(in->delta_min(4), 0);
+  ASSERT_EQ(in->delta_min(5), 100);
+  const MinDistanceShaper shaped(in, 20);
+  EXPECT_EQ(shaped.delay_bound(), 60);
+  EXPECT_EQ(shaped.delta_plus(2), in->delta_plus(2) + 60);
+}
+
+TEST(ShaperTest, ThrowsWhenOverloaded) {
+  // Long-run rate 1/100 but shaper spacing 150: backlog grows forever.
+  const auto in = StandardEventModel::periodic(100);
+  EXPECT_THROW(MinDistanceShaper(in, 150, 1 << 10), AnalysisError);
+}
+
+TEST(ShaperTest, RejectsBadArguments) {
+  const auto in = StandardEventModel::periodic(100);
+  EXPECT_THROW(MinDistanceShaper(nullptr, 10), std::invalid_argument);
+  EXPECT_THROW(MinDistanceShaper(in, 0), std::invalid_argument);
+  EXPECT_THROW(MinDistanceShaper(in, 10, 1), std::invalid_argument);
+}
+
+TEST(ShaperTest, BoundsGreedyShaperSimulation) {
+  // Simulate the greedy shaper on a conforming bursty trace and check the
+  // output trace against the shaped model.
+  const Time d = 20;
+  const auto in = StandardEventModel::periodic_with_jitter(100, 300);
+  const MinDistanceShaper shaped(in, d);
+
+  // Worst-case early arrivals.
+  std::vector<Time> arrivals;
+  Time prev = -1'000'000;
+  for (Count k = 0; k < 200; ++k) {
+    const Time t = std::max<Time>(100 * k - 300, std::max<Time>(prev, 0));
+    arrivals.push_back(t);
+    prev = t;
+  }
+  std::vector<Time> out;
+  Time last = -1'000'000;
+  for (const Time a : arrivals) {
+    const Time s = std::max(a, last + d);
+    EXPECT_LE(s - a, shaped.delay_bound());
+    out.push_back(s);
+    last = s;
+  }
+  const TraceModel observed(out);
+  for (Count n = 2; n <= 40; ++n) {
+    EXPECT_GE(observed.delta_min(n), shaped.delta_min(n)) << "n=" << n;
+    EXPECT_LE(observed.delta_plus(n), shaped.delta_plus(n)) << "n=" << n;
+  }
+}
+
+TEST(ShaperTest, MonotoneCurves) {
+  const auto in = StandardEventModel::sporadic(100, 500, 2);
+  const MinDistanceShaper shaped(in, 30);
+  for (Count n = 3; n <= 64; ++n) {
+    EXPECT_LE(shaped.delta_min(n - 1), shaped.delta_min(n));
+    EXPECT_LE(shaped.delta_plus(n - 1), shaped.delta_plus(n));
+    EXPECT_LE(shaped.delta_min(n), shaped.delta_plus(n));
+  }
+}
+
+}  // namespace
+}  // namespace hem

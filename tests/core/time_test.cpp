@@ -1,0 +1,62 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hem {
+namespace {
+
+TEST(TimeTest, InfinityIsRecognised) {
+  EXPECT_TRUE(is_infinite(kTimeInfinity));
+  EXPECT_TRUE(is_infinite(kTimeInfinity + 5));
+  EXPECT_FALSE(is_infinite(0));
+  EXPECT_FALSE(is_infinite(kTimeInfinity - 1));
+}
+
+TEST(TimeTest, SatAddFiniteValues) {
+  EXPECT_EQ(sat_add(2, 3), 5);
+  EXPECT_EQ(sat_add(0, 0), 0);
+  EXPECT_EQ(sat_add(-5, 3), -2);
+}
+
+TEST(TimeTest, SatAddSaturates) {
+  EXPECT_EQ(sat_add(kTimeInfinity, 1), kTimeInfinity);
+  EXPECT_EQ(sat_add(1, kTimeInfinity), kTimeInfinity);
+  EXPECT_EQ(sat_add(kTimeInfinity, kTimeInfinity), kTimeInfinity);
+  EXPECT_EQ(sat_add(kTimeInfinity - 1, kTimeInfinity - 1), kTimeInfinity);
+}
+
+TEST(TimeTest, SatSubPropagatesInfinity) {
+  EXPECT_EQ(sat_sub(kTimeInfinity, 100), kTimeInfinity);
+  EXPECT_EQ(sat_sub(10, 4), 6);
+  EXPECT_EQ(sat_sub(4, 10), -6);
+}
+
+TEST(TimeTest, SatMulBasics) {
+  EXPECT_EQ(sat_mul(5, 3), 15);
+  EXPECT_EQ(sat_mul(5, 0), 0);
+  EXPECT_EQ(sat_mul(kTimeInfinity, 2), kTimeInfinity);
+  EXPECT_EQ(sat_mul(kTimeInfinity, 0), 0);
+}
+
+TEST(TimeTest, SatMulSaturatesOnOverflow) {
+  EXPECT_EQ(sat_mul(kTimeInfinity / 2, 3), kTimeInfinity);
+  EXPECT_EQ(sat_mul(1'000'000'000'000, 1'000'000'000'000), kTimeInfinity);
+}
+
+TEST(TimeTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 5), 1);
+  EXPECT_EQ(ceil_div(6, 5), 2);
+  EXPECT_EQ(ceil_div(10, 5), 2);
+}
+
+TEST(TimeTest, FloorDivHandlesNegatives) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-6, 2), -3);
+  EXPECT_EQ(floor_div(0, 2), 0);
+}
+
+}  // namespace
+}  // namespace hem

@@ -1,0 +1,72 @@
+#include "core/trace_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/standard_event_model.hpp"
+
+namespace hem {
+namespace {
+
+TEST(TraceModelTest, DeltaCurvesFromSimpleTrace) {
+  const TraceModel m({0, 10, 30, 35, 100});
+  EXPECT_EQ(m.delta_min(2), 5);    // 30 -> 35
+  EXPECT_EQ(m.delta_plus(2), 65);  // 35 -> 100
+  EXPECT_EQ(m.delta_min(3), 25);   // 10,30,35
+  EXPECT_EQ(m.delta_plus(3), 70);  // 30,35,100
+  EXPECT_EQ(m.delta_min(5), 100);
+  EXPECT_EQ(m.delta_plus(5), 100);
+}
+
+TEST(TraceModelTest, BeyondTraceLengthIsUnbounded) {
+  const TraceModel m({0, 10});
+  EXPECT_TRUE(is_infinite(m.delta_min(3)));
+  EXPECT_TRUE(is_infinite(m.delta_plus(3)));
+}
+
+TEST(TraceModelTest, SortsUnorderedInput) {
+  const TraceModel m({35, 0, 100, 10, 30});
+  EXPECT_EQ(m.delta_min(2), 5);
+  EXPECT_EQ(m.length(), 5);
+}
+
+TEST(TraceModelTest, EmptyTrace) {
+  const TraceModel m({});
+  EXPECT_EQ(m.length(), 0);
+  EXPECT_EQ(m.max_events_in_window(100), 0);
+  EXPECT_TRUE(is_infinite(m.delta_min(2)));
+}
+
+TEST(TraceModelTest, WindowCountingMatchesEtaDerivation) {
+  // The direct sliding-window count must equal eta+ derived from the trace's
+  // delta- curve via eq. (1).
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<Time> gap(1, 50);
+  std::vector<Time> trace{0};
+  for (int i = 0; i < 200; ++i) trace.push_back(trace.back() + gap(rng));
+  const TraceModel m(trace);
+  for (Time dt = 1; dt <= 500; dt += 7)
+    ASSERT_EQ(m.max_events_in_window(dt), m.eta_plus(dt)) << "dt=" << dt;
+}
+
+TEST(TraceModelTest, PeriodicTraceConformsToItsModel) {
+  std::vector<Time> trace;
+  for (int i = 0; i < 100; ++i) trace.push_back(100 * i);
+  const TraceModel observed(trace);
+  const auto model = StandardEventModel::periodic(100);
+  for (Count n = 2; n <= 50; ++n) {
+    EXPECT_GE(observed.delta_min(n), model->delta_min(n));
+    EXPECT_LE(observed.delta_plus(n), model->delta_plus(n));
+  }
+}
+
+TEST(TraceModelTest, SimultaneousEventsCount) {
+  const TraceModel m({0, 0, 0, 50});
+  EXPECT_EQ(m.delta_min(3), 0);
+  EXPECT_EQ(m.max_events_in_window(1), 3);
+  EXPECT_EQ(m.eta_plus(1), 3);
+}
+
+}  // namespace
+}  // namespace hem

@@ -1,0 +1,110 @@
+#include "hierarchical/hierarchical_event_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/output_model.hpp"
+#include "core/standard_event_model.hpp"
+#include "hierarchical/inner_update.hpp"
+#include "hierarchical/pack_constructor.hpp"
+
+namespace hem {
+namespace {
+
+ModelPtr periodic(Time p) { return StandardEventModel::periodic(p); }
+
+HemPtr paper_f1() {
+  return pack({{periodic(250), SignalCoupling::kTriggering},
+               {periodic(450), SignalCoupling::kTriggering},
+               {periodic(1000), SignalCoupling::kPending}});
+}
+
+TEST(HemTest, ConstructionInvariants) {
+  const auto hem = paper_f1();
+  EXPECT_EQ(hem->inner_count(), 3u);
+  EXPECT_NE(hem->outer(), nullptr);
+  EXPECT_EQ(hem->rule()->describe(), "C_pa");
+}
+
+TEST(HemTest, DeconstructorReturnsInnerByIndex) {
+  // Psi_pa (Def. 10): L(i).
+  const auto hem = paper_f1();
+  EXPECT_EQ(hem->unpack().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hem->unpack()[i].get(), hem->inner(i).get());
+  EXPECT_THROW((void)hem->inner(3), std::out_of_range);
+}
+
+TEST(HemTest, AfterResponseOuterIsThetaTau) {
+  const auto hem = paper_f1();
+  const auto after = hem->after_response(4, 6);
+  const OutputModel expected(hem->outer(), 4, 6);
+  EXPECT_TRUE(models_equal(*after->outer(), expected, 24));
+}
+
+TEST(HemTest, AfterResponseUpdatesEveryInner) {
+  const auto hem = paper_f1();
+  const Count k = hem->outer()->max_simultaneous_events();
+  ASSERT_GE(k, 2);  // S1 and S2 can coincide
+  const auto after = hem->after_response(4, 6);
+  for (std::size_t i = 0; i < hem->inner_count(); ++i) {
+    const ResponseUpdatedInnerModel expected(hem->inner(i), 4, 6, k);
+    EXPECT_TRUE(models_equal(*after->inner(i), expected, 24)) << "inner " << i;
+  }
+}
+
+TEST(HemTest, AfterResponseKeepsRule) {
+  const auto hem = paper_f1();
+  const auto after = hem->after_response(4, 6);
+  EXPECT_EQ(after->rule().get(), hem->rule().get());
+}
+
+TEST(HemTest, ChainedOperationsCompose) {
+  // Two hops (e.g. gateway forwarding): apply after_response twice.
+  const auto hem = paper_f1();
+  const auto once = hem->after_response(4, 6);
+  const auto twice = once->after_response(2, 8);
+  // Inner curves only get wider with every hop.
+  for (Count n = 2; n <= 16; ++n) {
+    EXPECT_LE(twice->inner(0)->delta_min(n), once->inner(0)->delta_min(n));
+    EXPECT_GE(twice->inner(0)->delta_plus(n), once->inner(0)->delta_plus(n));
+  }
+}
+
+TEST(HemTest, InnerNeverDenserThanOuterAfterResponse) {
+  // Soundness invariant: every inner stream remains a sub-stream of the
+  // outer stream (eta+ ordering) after the transmission operation.
+  const auto after = paper_f1()->after_response(4, 6);
+  for (std::size_t i = 0; i < after->inner_count(); ++i)
+    for (Time dt = 1; dt <= 2500; dt += 59)
+      EXPECT_LE(after->inner(i)->eta_plus(dt) , after->outer()->eta_plus(dt) + 1)
+          << "inner " << i << " dt=" << dt;
+}
+
+TEST(HemTest, HemUnpackedBoundsAreTighterThanFlat) {
+  // The headline claim: for each signal, the unpacked inner stream allows at
+  // most as many activations as the flat total-frame stream, and strictly
+  // fewer for slow signals over large windows.
+  const auto hem = paper_f1();
+  const auto after = hem->after_response(4, 6);
+  const auto flat = std::make_shared<OutputModel>(hem->outer(), 4, 6);
+  bool strictly_tighter = false;
+  for (std::size_t i = 0; i < after->inner_count(); ++i) {
+    for (Time dt = 100; dt <= 5000; dt += 100) {
+      EXPECT_LE(after->inner(i)->eta_plus(dt), flat->eta_plus(dt));
+      if (after->inner(i)->eta_plus(dt) < flat->eta_plus(dt)) strictly_tighter = true;
+    }
+  }
+  EXPECT_TRUE(strictly_tighter);
+}
+
+TEST(HemTest, ValidationErrors) {
+  const auto m = periodic(100);
+  EXPECT_THROW(HierarchicalEventModel(nullptr, {m}, PackRule::instance()),
+               std::invalid_argument);
+  EXPECT_THROW(HierarchicalEventModel(m, {}, PackRule::instance()), std::invalid_argument);
+  EXPECT_THROW(HierarchicalEventModel(m, {nullptr}, PackRule::instance()),
+               std::invalid_argument);
+  EXPECT_THROW(HierarchicalEventModel(m, {m}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem

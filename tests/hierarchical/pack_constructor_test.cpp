@@ -1,0 +1,103 @@
+#include "hierarchical/pack_constructor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/combinators.hpp"
+#include "core/standard_event_model.hpp"
+
+namespace hem {
+namespace {
+
+ModelPtr periodic(Time p) { return StandardEventModel::periodic(p); }
+
+TEST(PackConstructorTest, OuterIsOrOfTriggeringInputs) {
+  const auto s1 = periodic(250);
+  const auto s2 = periodic(450);
+  const auto hem = pack({{s1, SignalCoupling::kTriggering}, {s2, SignalCoupling::kTriggering}});
+  const OrModel expected(s1, s2);
+  EXPECT_TRUE(models_equal(*hem->outer(), expected, 32));
+}
+
+TEST(PackConstructorTest, PendingInputDoesNotTrigger) {
+  const auto s1 = periodic(250);
+  const auto s3 = periodic(1000);
+  const auto hem = pack({{s1, SignalCoupling::kTriggering}, {s3, SignalCoupling::kPending}});
+  // Outer = s1 alone.
+  EXPECT_TRUE(models_equal(*hem->outer(), *s1, 32));
+  EXPECT_EQ(hem->inner_count(), 2u);
+}
+
+TEST(PackConstructorTest, TimerActsAsTriggeringInput) {
+  const auto s3 = periodic(1000);
+  const auto timer = periodic(100);
+  const auto hem = pack({{s3, SignalCoupling::kPending}}, timer);
+  EXPECT_TRUE(models_equal(*hem->outer(), *timer, 32));
+}
+
+TEST(PackConstructorTest, TriggeringInnerIsInputItself) {
+  // eqs. (5)-(6): the inner stream of a triggering signal equals the signal.
+  const auto s1 = periodic(250);
+  const auto s2 = periodic(450);
+  const auto hem = pack({{s1, SignalCoupling::kTriggering}, {s2, SignalCoupling::kTriggering}});
+  EXPECT_EQ(hem->inner(0).get(), s1.get());
+  EXPECT_EQ(hem->inner(1).get(), s2.get());
+}
+
+TEST(PackConstructorTest, PendingInnerMatchesEquationSeven) {
+  // delta'-(n) = max(delta_sig-(n) - delta_f+(2), delta_f-(n)); delta'+ = inf.
+  const auto sig = periodic(1000);
+  const auto trig = periodic(250);
+  const auto hem = pack({{trig, SignalCoupling::kTriggering}, {sig, SignalCoupling::kPending}});
+  const auto& inner = hem->inner(1);
+  const auto& frame = hem->outer();
+  for (Count n = 2; n <= 16; ++n) {
+    const Time expect =
+        std::max(std::max<Time>(0, sig->delta_min(n) - frame->delta_plus(2)),
+                 frame->delta_min(n));
+    EXPECT_EQ(inner->delta_min(n), expect) << "n=" << n;
+    EXPECT_TRUE(is_infinite(inner->delta_plus(n))) << "n=" << n;
+  }
+}
+
+TEST(PackConstructorTest, PendingInnerNeverDenserThanFrames) {
+  // A pending signal can never be delivered more often than frames are sent.
+  const auto sig = StandardEventModel::periodic_with_jitter(300, 800);  // bursty signal
+  const auto trig = periodic(100);
+  const auto hem = pack({{trig, SignalCoupling::kTriggering}, {sig, SignalCoupling::kPending}});
+  for (Time dt = 1; dt <= 3000; dt += 37)
+    EXPECT_LE(hem->inner(1)->eta_plus(dt), hem->outer()->eta_plus(dt)) << "dt=" << dt;
+}
+
+TEST(PackConstructorTest, PendingInnerNeverDenserThanSignalPlusSlack) {
+  // The inner eta+ of a slow pending signal in a fast frame stays governed
+  // by the signal period, not by the frame rate (the whole point of HEMs).
+  const auto sig = periodic(1000);
+  const auto trig = periodic(100);
+  const auto hem = pack({{trig, SignalCoupling::kTriggering}, {sig, SignalCoupling::kPending}});
+  // In 5000 ticks at most 6 fresh values (5 periods + 1 boundary effect +
+  // the just-missed-frame slack).
+  EXPECT_LE(hem->inner(1)->eta_plus(5000), 6);
+  // The flat view would claim 50 frame arrivals.
+  EXPECT_GE(hem->outer()->eta_plus(5000), 50);
+}
+
+TEST(PackConstructorTest, ValidationErrors) {
+  const auto s = periodic(100);
+  EXPECT_THROW(pack({}), std::invalid_argument);
+  EXPECT_THROW(pack({{nullptr, SignalCoupling::kTriggering}}), std::invalid_argument);
+  // Only pending inputs and no timer: frame never sent.
+  EXPECT_THROW(pack({{s, SignalCoupling::kPending}}), std::invalid_argument);
+  // With a timer it is fine.
+  EXPECT_NO_THROW(pack({{s, SignalCoupling::kPending}}, periodic(50)));
+}
+
+TEST(PackConstructorTest, MixedFrameCombinesTimerAndTriggers) {
+  const auto s1 = periodic(250);
+  const auto timer = periodic(500);
+  const auto hem = pack({{s1, SignalCoupling::kTriggering}}, timer);
+  const OrModel expected(s1, timer);
+  EXPECT_TRUE(models_equal(*hem->outer(), expected, 24));
+}
+
+}  // namespace
+}  // namespace hem

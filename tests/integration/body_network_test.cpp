@@ -1,0 +1,62 @@
+#include "scenarios/body_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hem::scenarios {
+namespace {
+
+TEST(BodyNetworkTest, BaselineConverges) {
+  const auto report = analyze_body_network();
+  EXPECT_TRUE(report.converged);
+  // Spot checks: two-hop wheel path reaches the dashboard with its own rate.
+  EXPECT_NEAR(static_cast<double>(report.task("dash_wheel").activation->eta_plus(100'000)),
+              100.0, 3.0);
+  // Slow pending temp signal: ~2 updates per 100k ticks.
+  EXPECT_LE(report.task("dash_temp").activation->eta_plus(100'000), 4);
+}
+
+TEST(BodyNetworkTest, AllDeadlinesWithinSourcePeriods) {
+  const auto report = analyze_body_network();
+  // Every receiver finishes well within its signal's period.
+  EXPECT_LT(report.task("dash_wheel").wcrt, 1000);
+  EXPECT_LT(report.task("dash_temp").wcrt, 50'000);
+  EXPECT_LT(report.task("dash_climate").wcrt, 20'000);
+  EXPECT_LT(report.task("bc_door").wcrt, 5'000);
+  EXPECT_LT(report.task("bc_light").wcrt, 10'000);
+}
+
+TEST(BodyNetworkTest, PendingSignalsStayUnboundedAbove) {
+  const auto report = analyze_body_network();
+  EXPECT_TRUE(is_infinite(report.task("dash_temp").activation->delta_plus(2)));
+  EXPECT_TRUE(is_infinite(report.task("dash_climate").activation->delta_plus(2)));
+}
+
+TEST(BodyNetworkTest, ScalesToManyReplicas) {
+  BodyNetworkParams p;
+  p.replicas = 6;
+  const auto report = analyze_body_network(p);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.tasks.size(), 6u * 12u);
+  // Lower-priority replicas suffer more interference but stay bounded.
+  EXPECT_GE(report.task("dash_wheel_5").wcrt, report.task("dash_wheel_0").wcrt);
+}
+
+TEST(BodyNetworkTest, TimeUnitScalesLinearly) {
+  BodyNetworkParams fine;
+  fine.time_unit = 10;
+  BodyNetworkParams coarse;
+  coarse.time_unit = 20;
+  const auto rf = analyze_body_network(fine);
+  const auto rc = analyze_body_network(coarse);
+  // Source periods double; bus/CPU times are unscaled, so responses can
+  // only shrink or stay equal (less frequent interference).
+  EXPECT_LE(rc.task("dash_wheel").wcrt, rf.task("dash_wheel").wcrt);
+}
+
+TEST(BodyNetworkTest, RejectsBadParams) {
+  EXPECT_THROW(build_body_network({0, 10}), std::invalid_argument);
+  EXPECT_THROW(build_body_network({1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem::scenarios

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/model_io.hpp"
+#include "scenarios/paper_system.hpp"
+
+namespace hem::scenarios {
+namespace {
+
+/// Reproduces the qualitative content of the paper's Figure 4: eta+ of the
+/// total F1 output stream vs. the unpacked input streams of T1, T2, T3.
+
+class Figure4 : public ::testing::Test {
+ protected:
+  static const PaperSystemResults& results() {
+    static const PaperSystemResults r = analyze_paper_system();
+    return r;
+  }
+};
+
+TEST_F(Figure4, SeriesOrderingMatchesThePaper) {
+  // At every sampled dt: total frame arrivals >= T1 >= T2 >= T3 activations
+  // (T1 has the fastest source, T3 the slowest).
+  const auto& total = results().f1_total;
+  const auto& t1 = results().f1_unpacked[0];
+  const auto& t2 = results().f1_unpacked[1];
+  const auto& t3 = results().f1_unpacked[2];
+  for (Time dt = 100; dt <= 4000; dt += 100) {
+    EXPECT_GE(total->eta_plus(dt), t1->eta_plus(dt)) << dt;
+    EXPECT_GE(t1->eta_plus(dt), t2->eta_plus(dt)) << dt;
+    EXPECT_GE(t2->eta_plus(dt), t3->eta_plus(dt)) << dt;
+  }
+}
+
+TEST_F(Figure4, LongRunRatesMatchSourcePeriods) {
+  // Over a long window the unpacked streams converge to the source rates.
+  const Time window = 90'000;
+  const auto& t1 = results().f1_unpacked[0];
+  const auto& t2 = results().f1_unpacked[1];
+  const auto& t3 = results().f1_unpacked[2];
+  EXPECT_NEAR(static_cast<double>(t1->eta_plus(window)), 90'000.0 / 250.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(t2->eta_plus(window)), 90'000.0 / 450.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(t3->eta_plus(window)), 90'000.0 / 1000.0, 2.0);
+  // Total frame arrivals: the sum of the triggering rates.
+  EXPECT_NEAR(static_cast<double>(results().f1_total->eta_plus(window)),
+              90'000.0 / 250.0 + 90'000.0 / 450.0, 3.0);
+}
+
+TEST_F(Figure4, TotalIsSubstantiallyAboveEachUnpackedSeries) {
+  // The overestimation the paper highlights: at dt = 2000 the total frame
+  // stream shows roughly 14 arrivals while T3's unpacked stream shows ~3.
+  const Time dt = 2000;
+  const Count total = results().f1_total->eta_plus(dt);
+  const Count t3 = results().f1_unpacked[2]->eta_plus(dt);
+  EXPECT_GE(total, 3 * t3);
+}
+
+TEST_F(Figure4, SampledSeriesAreWellFormedForPlotting) {
+  std::vector<EtaSeries> series;
+  series.push_back(sample_eta_plus(*results().f1_total, "F1", 4000, 100));
+  const char* names[] = {"T1", "T2", "T3"};
+  for (std::size_t i = 0; i < 3; ++i)
+    series.push_back(sample_eta_plus(*results().f1_unpacked[i], names[i], 4000, 100));
+  const std::string table = format_eta_table(series);
+  EXPECT_NE(table.find("F1"), std::string::npos);
+  EXPECT_NE(table.find("T3"), std::string::npos);
+  // 40 sample rows + header.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 41);
+}
+
+}  // namespace
+}  // namespace hem::scenarios

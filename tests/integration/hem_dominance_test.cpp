@@ -1,0 +1,113 @@
+// Broad property sweep: on many variants of the paper system, the
+// hierarchical analysis must (a) converge whenever the flat analysis
+// converges, (b) never report a larger WCRT for any receiver, and (c) keep
+// every unpacked eta+ below the flat total-frame eta+.  This guards the
+// paper's headline claim against regressions anywhere in the stack.
+
+#include <gtest/gtest.h>
+
+#include "core/errors.hpp"
+#include "scenarios/paper_system.hpp"
+
+namespace hem::scenarios {
+namespace {
+
+struct SweepCase {
+  const char* label;
+  PaperSystemParams params;
+};
+
+PaperSystemParams base() { return PaperSystemParams{}; }
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  cases.push_back({"paper", base()});
+
+  {
+    auto p = base();
+    p.s1_jitter = 100;
+    p.s2_jitter = 200;
+    cases.push_back({"jittered-triggers", p});
+  }
+  {
+    auto p = base();
+    p.s3_jitter = 900;
+    cases.push_back({"jittered-pending", p});
+  }
+  {
+    auto p = base();
+    p.s1_period = 150;
+    p.s2_period = 300;
+    cases.push_back({"faster-sources", p});
+  }
+  {
+    auto p = base();
+    p.t1_cet = 40;
+    p.t2_cet = 50;
+    p.t3_cet = 60;
+    cases.push_back({"heavier-tasks", p});
+  }
+  {
+    auto p = base();
+    p.f1_time = 12;
+    p.f2_time = 8;
+    cases.push_back({"slower-bus", p});
+  }
+  {
+    auto p = base();
+    p.s1_period = 500;
+    p.s2_period = 900;
+    p.s3_period = 2000;
+    cases.push_back({"slower-sources", p});
+  }
+  {
+    auto p = base();
+    p.s1_jitter = 300;  // burst: two S1 events can coincide
+    cases.push_back({"bursty-s1", p});
+  }
+  return cases;
+}
+
+class HemDominance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HemDominance, HemNeverWorseThanFlat) {
+  const SweepCase c = sweep_cases()[GetParam()];
+  PaperSystemResults results;
+  try {
+    results = analyze_paper_system(c.params);
+  } catch (const AnalysisError& e) {
+    // If the flat abstraction overloads, the hierarchical analysis alone
+    // must still succeed.
+    const auto hem_only =
+        cpa::CpaEngine(build_paper_system(c.params, true)).run();
+    EXPECT_TRUE(hem_only.converged) << c.label;
+    return;
+  }
+  for (const auto& row : results.table3) {
+    EXPECT_LE(row.wcrt_hem, row.wcrt_flat) << c.label << " " << row.task;
+    EXPECT_GE(row.wcrt_hem, 0) << c.label << " " << row.task;
+  }
+  for (std::size_t i = 0; i < results.f1_unpacked.size(); ++i) {
+    for (Time dt = 100; dt <= 4000; dt += 100) {
+      ASSERT_LE(results.f1_unpacked[i]->eta_plus(dt), results.f1_total->eta_plus(dt))
+          << c.label << " inner " << i << " dt=" << dt;
+    }
+  }
+}
+
+TEST_P(HemDominance, HemCurvesStayWellFormed) {
+  const SweepCase c = sweep_cases()[GetParam()];
+  const auto report = cpa::CpaEngine(build_paper_system(c.params, true)).run();
+  for (const char* task : {"T1", "T2", "T3"}) {
+    const auto& m = report.task(task).activation;
+    for (Count n = 3; n <= 32; ++n) {
+      ASSERT_LE(m->delta_min(n - 1), m->delta_min(n)) << c.label << " " << task;
+      ASSERT_LE(m->delta_min(n), m->delta_plus(n)) << c.label << " " << task;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HemDominance, ::testing::Range<std::size_t>(0, 7));
+
+}  // namespace
+}  // namespace hem::scenarios

@@ -1,0 +1,107 @@
+#include "scenarios/paper_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hem::scenarios {
+namespace {
+
+class PaperSystemFixture : public ::testing::Test {
+ protected:
+  static const PaperSystemResults& results() {
+    static const PaperSystemResults r = analyze_paper_system();
+    return r;
+  }
+};
+
+TEST_F(PaperSystemFixture, BothModesConverge) {
+  EXPECT_TRUE(results().flat.converged);
+  EXPECT_TRUE(results().hem.converged);
+}
+
+TEST_F(PaperSystemFixture, BusResponseTimes) {
+  // F1 (high): S1 and S2 can trigger simultaneously, queueing two F1
+  // instances; the second is additionally blocked by F2:
+  //   R+(q=2) = B + 2*C - delta-(2) = 2 + 8 - 0 = 10.
+  // F2 (low): waits for the two queued F1 instances: R+ = 8 + 2 = 10.
+  for (const auto* report : {&results().flat, &results().hem}) {
+    EXPECT_EQ(report->task("F1").wcrt, 10);
+    EXPECT_EQ(report->task("F2").wcrt, 10);
+    EXPECT_EQ(report->task("F1").bcrt, 4);
+  }
+}
+
+TEST_F(PaperSystemFixture, HemNeverWorseThanFlat) {
+  for (const auto& row : results().table3) {
+    EXPECT_LE(row.wcrt_hem, row.wcrt_flat) << row.task;
+    EXPECT_GE(row.reduction_percent, 0.0) << row.task;
+  }
+}
+
+TEST_F(PaperSystemFixture, ReductionsAreSignificantAndGrowDownThePriorityOrder) {
+  // The paper's Table 3 shape: every task improves, lower-priority tasks
+  // improve (much) more because they accumulate the overestimated
+  // interference of all higher-priority receivers.
+  const auto& t = results().table3;
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].task, "T1");
+  EXPECT_EQ(t[2].task, "T3");
+  EXPECT_GT(t[2].reduction_percent, 25.0);              // T3 improves a lot
+  EXPECT_GE(t[2].reduction_percent, t[1].reduction_percent - 1e-9);
+  for (const auto& row : t) EXPECT_GT(row.reduction_percent, 0.0) << row.task;
+}
+
+TEST_F(PaperSystemFixture, HemWcrtsArePlausible) {
+  // With HEM the receivers see roughly their own signal rates; with three
+  // sparse streams the busy windows are short.
+  EXPECT_EQ(results().hem.task("T1").wcrt, 24);        // highest prio: own CET
+  EXPECT_LE(results().hem.task("T2").wcrt, 24 + 32);   // at most one T1 on top
+  EXPECT_LE(results().hem.task("T3").wcrt, 24 + 32 + 40);
+}
+
+TEST_F(PaperSystemFixture, FlatWcrtsShowFrameRateInterference) {
+  // Flat: every receiver fires on every F1 arrival; T3 must absorb bursts of
+  // T1+T2 work per frame arrival.
+  EXPECT_GT(results().flat.task("T3").wcrt, results().hem.task("T3").wcrt);
+  EXPECT_GE(results().flat.task("T1").wcrt, 24);
+}
+
+TEST_F(PaperSystemFixture, UnpackedModelsAreTighterThanTotalFrameStream) {
+  // Figure 4's message as an invariant: each unpacked eta+ is dominated by
+  // the total frame arrival eta+ and is strictly below it somewhere.
+  const auto& total = results().f1_total;
+  for (std::size_t i = 0; i < results().f1_unpacked.size(); ++i) {
+    const auto& inner = results().f1_unpacked[i];
+    bool strict = false;
+    for (Time dt = 50; dt <= 3000; dt += 50) {
+      ASSERT_LE(inner->eta_plus(dt), total->eta_plus(dt)) << "i=" << i << " dt=" << dt;
+      strict |= inner->eta_plus(dt) < total->eta_plus(dt);
+    }
+    EXPECT_TRUE(strict) << "inner " << i;
+  }
+}
+
+TEST_F(PaperSystemFixture, CpuUtilisationSane) {
+  // HEM-mode CPU1 load ~ 24/250 + 32/450 + 40/1000 ~ 0.21.
+  double load = 0;
+  for (const char* n : {"T1", "T2", "T3"}) load += results().hem.task(n).utilization;
+  EXPECT_GT(load, 0.15);
+  EXPECT_LT(load, 0.30);
+  // Flat-mode load is far higher (every frame activates every task).
+  double flat_load = 0;
+  for (const char* n : {"T1", "T2", "T3"}) flat_load += results().flat.task(n).utilization;
+  EXPECT_GT(flat_load, 2.0 * load);
+}
+
+TEST(PaperSystemParamsTest, ScaledSystemStillFavoursHem) {
+  // Robustness: jittered sources keep the qualitative result.
+  PaperSystemParams p;
+  p.s1_jitter = 50;
+  p.s2_jitter = 90;
+  p.s3_jitter = 200;
+  const auto r = analyze_paper_system(p);
+  for (const auto& row : r.table3) EXPECT_LE(row.wcrt_hem, row.wcrt_flat) << row.task;
+  EXPECT_GT(r.table3[2].reduction_percent, 10.0);
+}
+
+}  // namespace
+}  // namespace hem::scenarios

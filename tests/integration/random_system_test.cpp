@@ -1,0 +1,101 @@
+// Randomised FULL-STACK validation: generate random systems (sources,
+// packed frames on a CAN bus, unpacked receivers plus chained tasks on two
+// CPUs), analyse them with the engine, execute them with the generic
+// system simulator, and check every observed response against the analytic
+// worst case.  One generator covers packing, inner updates, unpacking, OR
+// chains and both scheduler kinds at once.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/standard_event_model.hpp"
+#include "model/cpa_engine.hpp"
+#include "sim/system_simulator.hpp"
+
+namespace hem::sim {
+namespace {
+
+using cpa::Policy;
+using cpa::System;
+using cpa::TaskId;
+
+System random_system(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> n_frames_dist(1, 3);
+  std::uniform_int_distribution<int> n_signals_dist(1, 3);
+  std::uniform_int_distribution<Time> period_dist(150, 900);
+  std::uniform_int_distribution<Time> jitter_dist(0, 120);
+  std::uniform_int_distribution<Time> frame_time_dist(2, 8);
+  std::uniform_int_distribution<int> coupling_dist(0, 3);
+
+  System sys;
+  const auto bus = sys.add_resource({"bus", Policy::kSpnpCan});
+  const auto cpu1 = sys.add_resource({"cpu1", Policy::kSppPreemptive});
+  const auto cpu2 = sys.add_resource({"cpu2", Policy::kSppPreemptive});
+
+  int cpu_prio = 1;
+  const int n_frames = n_frames_dist(rng);
+  std::vector<TaskId> receivers;
+  for (int f = 0; f < n_frames; ++f) {
+    const int n_signals = n_signals_dist(rng);
+    std::vector<cpa::PackedActivation::Input> inputs;
+    bool any_trigger = false;
+    for (int s = 0; s < n_signals; ++s) {
+      const bool trigger = coupling_dist(rng) != 0 || (s == n_signals - 1 && !any_trigger);
+      any_trigger |= trigger;
+      inputs.push_back({StandardEventModel::sporadic(period_dist(rng), jitter_dist(rng), 0),
+                        trigger ? SignalCoupling::kTriggering : SignalCoupling::kPending});
+    }
+    const TaskId frame = sys.add_task(
+        {"F" + std::to_string(f), bus, f + 1, sched::ExecutionTime(frame_time_dist(rng))});
+    sys.activate_packed(frame, std::move(inputs));
+
+    for (int s = 0; s < n_signals; ++s) {
+      const TaskId rx = sys.add_task({"rx_" + std::to_string(f) + "_" + std::to_string(s),
+                                      cpu1, cpu_prio++,
+                                      sched::ExecutionTime(1 + (cpu_prio % 7))});
+      sys.activate_unpacked(rx, frame, static_cast<std::size_t>(s));
+      receivers.push_back(rx);
+    }
+  }
+  // A second-stage task on cpu2, OR-activated by up to three receivers.
+  std::vector<TaskId> producers;
+  for (std::size_t i = 0; i < receivers.size() && i < 3; ++i)
+    producers.push_back(receivers[i]);
+  const TaskId sink = sys.add_task({"sink", cpu2, 1, sched::ExecutionTime(3)});
+  sys.activate_by(sink, producers);
+  return sys;
+}
+
+class RandomFullStack : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFullStack, SimWithinAnalyticBounds) {
+  std::mt19937_64 rng(GetParam());
+  const System sys = random_system(rng);
+
+  cpa::AnalysisReport report;
+  try {
+    report = cpa::CpaEngine(sys).run();
+  } catch (const AnalysisError&) {
+    GTEST_SKIP() << "random instance overloaded";
+  }
+
+  for (const auto mode : {GenMode::kEarliest, GenMode::kRandom}) {
+    SystemSimulator::Options opts;
+    opts.horizon = 150'000;
+    opts.mode = mode;
+    opts.seed = GetParam() * 1000 + static_cast<std::uint64_t>(mode);
+    const auto sim = SystemSimulator(sys, opts).run();
+    for (const auto& task : report.tasks) {
+      const auto& stats = sim.tasks.at(task.name);
+      ASSERT_LE(stats.wcrt, task.wcrt)
+          << "seed=" << GetParam() << " mode=" << static_cast<int>(mode)
+          << " task=" << task.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFullStack, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace hem::sim

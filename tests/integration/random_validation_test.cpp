@@ -1,0 +1,145 @@
+// Randomised soundness validation: generate random task/frame sets with
+// bounded utilisation, analyse them, simulate them with conforming random
+// stimuli, and assert that every observed response time stays within the
+// analytic worst case.  The simulator shares no code with the analyses, so
+// a systematic bug in either side shows up as a violation here.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/standard_event_model.hpp"
+#include "sched/can_bus.hpp"
+#include "sched/spp.hpp"
+#include "sim/bus_sim.hpp"
+#include "sim/cpu_sim.hpp"
+#include "sim/source_generator.hpp"
+
+namespace hem {
+namespace {
+
+struct RandomTask {
+  std::string name;
+  Time period;
+  Time jitter;
+  Time cet;
+};
+
+std::vector<RandomTask> random_task_set(std::mt19937_64& rng, int n_tasks,
+                                        double max_utilization) {
+  std::uniform_int_distribution<Time> period_dist(50, 500);
+  std::uniform_int_distribution<Time> jitter_dist(0, 100);
+  std::vector<RandomTask> tasks;
+  double utilization = 0.0;
+  for (int i = 0; i < n_tasks; ++i) {
+    RandomTask t;
+    t.name = "t" + std::to_string(i);
+    t.period = period_dist(rng);
+    t.jitter = jitter_dist(rng);
+    const double budget = (max_utilization - utilization) / (n_tasks - i);
+    t.cet = std::max<Time>(1, static_cast<Time>(budget * static_cast<double>(t.period)));
+    utilization += static_cast<double>(t.cet) / static_cast<double>(t.period);
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+class RandomSpp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSpp, SimulatedResponsesWithinAnalyticBounds) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> size_dist(2, 5);
+  const auto tasks = random_task_set(rng, size_dist(rng), 0.75);
+
+  std::vector<sched::TaskParams> params;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    params.push_back(sched::TaskParams{
+        tasks[i].name, static_cast<int>(i), sched::ExecutionTime(tasks[i].cet),
+        StandardEventModel::sporadic(tasks[i].period, tasks[i].jitter, 0)});
+  const sched::SppAnalysis analysis(params);
+  const auto bounds = analysis.analyze_all();
+
+  // Simulate with several stimuli.
+  for (const auto mode : {sim::GenMode::kNominal, sim::GenMode::kEarliest,
+                          sim::GenMode::kRandom}) {
+    sim::EventCalendar cal;
+    std::vector<sim::CpuSim::TaskDef> defs;
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      defs.push_back({tasks[i].name, static_cast<int>(i), tasks[i].cet, tasks[i].cet});
+    sim::CpuSim cpu(cal, defs, true, rng);
+
+    const Time horizon = 100'000;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const auto arrivals = sim::generate_arrivals(
+          {tasks[i].period, tasks[i].jitter, 0, 0}, horizon, mode, rng);
+      for (const Time a : arrivals) cal.at(a, [&cpu, i] { cpu.activate(i); });
+    }
+    cal.run_until(horizon);
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_LE(cpu.worst_response(i), bounds[i].wcrt)
+          << "seed=" << GetParam() << " task=" << tasks[i].name << " mode="
+          << static_cast<int>(mode);
+      if (!cpu.responses(i).empty())
+        EXPECT_GE(cpu.worst_response(i), bounds[i].bcrt);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSpp, ::testing::Range<std::uint64_t>(1, 21));
+
+class RandomCan : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCan, SimulatedResponsesWithinAnalyticBounds) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> size_dist(2, 5);
+  const auto frames = random_task_set(rng, size_dist(rng), 0.6);
+
+  std::vector<sched::TaskParams> params;
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    params.push_back(sched::TaskParams{
+        frames[i].name, static_cast<int>(i), sched::ExecutionTime(frames[i].cet),
+        StandardEventModel::sporadic(frames[i].period, frames[i].jitter, 0)});
+  const sched::CanBusAnalysis analysis(params);
+  const auto bounds = analysis.analyze_all();
+
+  for (const auto mode : {sim::GenMode::kEarliest, sim::GenMode::kRandom}) {
+    sim::EventCalendar cal;
+    // Record per-frame request times to measure responses (request ->
+    // completion, FIFO per frame).
+    std::vector<std::vector<Time>> requests(frames.size());
+    std::vector<sim::BusSim::FrameDef> defs;
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      defs.push_back({frames[i].name, static_cast<int>(i), frames[i].cet, frames[i].cet,
+                      nullptr, nullptr});
+    sim::BusSim bus(cal, defs, true, rng);
+
+    const Time horizon = 100'000;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const auto arrivals = sim::generate_arrivals(
+          {frames[i].period, frames[i].jitter, 0, 0}, horizon, mode, rng);
+      for (const Time a : arrivals) {
+        cal.at(a, [&bus, &requests, i, a] {
+          requests[i].push_back(a);
+          bus.request(i);
+        });
+      }
+    }
+    cal.run_until(horizon + 10'000);
+
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const auto& completions = bus.completions(i);
+      for (std::size_t k = 0; k < completions.size(); ++k) {
+        const Time response = completions[k] - requests[i][k];
+        ASSERT_LE(response, bounds[i].wcrt)
+            << "seed=" << GetParam() << " frame=" << frames[i].name << " k=" << k;
+        ASSERT_GE(response, bounds[i].bcrt);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCan, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace hem

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "scenarios/paper_system.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_check.hpp"
+
+namespace hem::scenarios {
+namespace {
+
+/// The simulator is an independent implementation; every observed behaviour
+/// must stay within the analytic bounds (for all generation modes/seeds).
+
+class SimVsAnalysis : public ::testing::TestWithParam<std::tuple<sim::GenMode, std::uint64_t>> {
+ protected:
+  static const PaperSystemResults& analysis() {
+    static const PaperSystemResults r = analyze_paper_system();
+    return r;
+  }
+};
+
+TEST_P(SimVsAnalysis, ObservedResponsesWithinAnalyticWcrt) {
+  const auto [mode, seed] = GetParam();
+  const auto cfg = make_paper_sim_config({}, 200'000, mode, seed);
+  const auto result = sim::Simulator(cfg).run();
+  for (const char* task : {"T1", "T2", "T3"}) {
+    const auto& stats = result.tasks.at(task);
+    ASSERT_FALSE(stats.responses.empty()) << task;
+    EXPECT_LE(stats.wcrt, analysis().hem.task(task).wcrt) << task;
+  }
+}
+
+TEST_P(SimVsAnalysis, ObservedFrameStreamWithinAnalyticOutput) {
+  const auto [mode, seed] = GetParam();
+  const auto cfg = make_paper_sim_config({}, 200'000, mode, seed);
+  const auto result = sim::Simulator(cfg).run();
+  // F1 completions must conform to the analytic F1 output stream (delta+
+  // not checked: the analysis bounds it only while frames keep flowing,
+  // and eta+/delta- are the load-relevant directions).
+  const auto violations = sim::check_trace_against_model(
+      result.frame_completions.at("F1"), *analysis().hem.task("F1").output, 5000, 61, 48,
+      /*check_delta_plus=*/false);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_P(SimVsAnalysis, ObservedTaskActivationsWithinUnpackedModels) {
+  const auto [mode, seed] = GetParam();
+  const auto cfg = make_paper_sim_config({}, 200'000, mode, seed);
+  const auto result = sim::Simulator(cfg).run();
+  const char* tasks[] = {"T1", "T2", "T3"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto violations = sim::check_trace_against_model(
+        result.tasks.at(tasks[i]).activations, *analysis().hem.task(tasks[i]).activation, 5000,
+        61, 48, /*check_delta_plus=*/false);
+    EXPECT_TRUE(violations.empty()) << tasks[i] << ": " << violations.front();
+  }
+}
+
+TEST_P(SimVsAnalysis, SignalDeliveriesMatchTaskActivations) {
+  const auto [mode, seed] = GetParam();
+  const auto cfg = make_paper_sim_config({}, 100'000, mode, seed);
+  const auto result = sim::Simulator(cfg).run();
+  EXPECT_EQ(result.signal_deliveries.at("F1.s1"), result.tasks.at("T1").activations);
+  EXPECT_EQ(result.signal_deliveries.at("F1.s3"), result.tasks.at("T3").activations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, SimVsAnalysis,
+    ::testing::Values(std::tuple{sim::GenMode::kNominal, std::uint64_t{1}},
+                      std::tuple{sim::GenMode::kEarliest, std::uint64_t{1}},
+                      std::tuple{sim::GenMode::kRandom, std::uint64_t{1}},
+                      std::tuple{sim::GenMode::kRandom, std::uint64_t{7}},
+                      std::tuple{sim::GenMode::kRandom, std::uint64_t{42}}));
+
+TEST(SimVsAnalysisExtra, JitteredSystemStillBounded) {
+  PaperSystemParams p;
+  p.s1_jitter = 60;
+  p.s2_jitter = 100;
+  p.s3_jitter = 150;
+  const auto analysis = analyze_paper_system(p);
+  for (std::uint64_t seed : {3u, 11u}) {
+    const auto cfg = make_paper_sim_config(p, 150'000, sim::GenMode::kRandom, seed);
+    const auto result = sim::Simulator(cfg).run();
+    for (const char* task : {"T1", "T2", "T3"})
+      EXPECT_LE(result.tasks.at(task).wcrt, analysis.hem.task(task).wcrt) << task;
+  }
+}
+
+TEST(SimVsAnalysisExtra, SimulatedWcrtApproachesAnalyticBoundForT1) {
+  // For the highest-priority receiver the bound (its CET) is exact.
+  const auto cfg = make_paper_sim_config({}, 100'000, sim::GenMode::kEarliest, 1);
+  const auto result = sim::Simulator(cfg).run();
+  EXPECT_EQ(result.tasks.at("T1").wcrt, 24);
+}
+
+}  // namespace
+}  // namespace hem::scenarios

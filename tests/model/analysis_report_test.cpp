@@ -1,0 +1,64 @@
+#include "model/analysis_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/errors.hpp"
+#include "core/standard_event_model.hpp"
+#include "model/cpa_engine.hpp"
+
+namespace hem::cpa {
+namespace {
+
+TEST(AnalysisReportTest, TaskLookupThrowsForUnknown) {
+  AnalysisReport report;
+  TaskResult r;
+  r.name = "known";
+  report.tasks.push_back(r);
+  EXPECT_EQ(&report.task("known"), &report.tasks[0]);
+  EXPECT_THROW((void)report.task("unknown"), std::invalid_argument);
+}
+
+TEST(AnalysisReportTest, LongRunRateOfPeriodicStream) {
+  const auto m = StandardEventModel::periodic(100);
+  EXPECT_NEAR(long_run_rate(*m), 0.01, 0.0001);
+}
+
+TEST(AnalysisReportTest, LongRunRateOfBurstyStreamIsInfinite) {
+  class Burst final : public EventModel {
+   public:
+    [[nodiscard]] std::string describe() const override { return "burst"; }
+
+   protected:
+    [[nodiscard]] Time delta_min_raw(Count) const override { return 0; }
+    [[nodiscard]] Time delta_plus_raw(Count) const override { return 0; }
+  };
+  EXPECT_TRUE(std::isinf(long_run_rate(Burst{})));
+}
+
+TEST(AnalysisReportTest, NonConvergenceNamesUnresolvedTasks) {
+  // A two-task mutual cycle with no external stimulus path cannot
+  // bootstrap; the error message must name the stuck tasks.
+  System sys;
+  const auto cpu1 = sys.add_resource({"cpu1", Policy::kSppPreemptive});
+  const auto cpu2 = sys.add_resource({"cpu2", Policy::kSppPreemptive});
+  const auto a = sys.add_task({"alpha", cpu1, 1, sched::ExecutionTime(1)});
+  const auto b = sys.add_task({"beta", cpu2, 1, sched::ExecutionTime(1)});
+  sys.activate_by(a, {b});
+  sys.activate_by(b, {a});
+  EngineOptions opts;
+  opts.max_iterations = 8;
+  opts.check_overload = false;
+  try {
+    (void)CpaEngine(sys, opts).run();
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("alpha"), std::string::npos) << what;
+    EXPECT_NE(what.find("beta"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace hem::cpa

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/standard_event_model.hpp"
+#include "model/cpa_engine.hpp"
+#include "model/textual_config.hpp"
+
+namespace hem::cpa {
+namespace {
+
+ModelPtr periodic(Time p) { return StandardEventModel::periodic(p); }
+
+TEST(AndActivationTest, CombinesEqualPeriodProducers) {
+  System sys;
+  const auto cpu1 = sys.add_resource({"cpu1", Policy::kSppPreemptive});
+  const auto cpu2 = sys.add_resource({"cpu2", Policy::kSppPreemptive});
+  const auto a = sys.add_task({"a", cpu1, 1, sched::ExecutionTime(2, 6)});
+  const auto b = sys.add_task({"b", cpu1, 2, sched::ExecutionTime(1, 3)});
+  const auto join = sys.add_task({"join", cpu2, 1, sched::ExecutionTime(5)});
+  sys.activate_external(a, periodic(100));
+  sys.activate_external(b, periodic(100));
+  sys.activate_and(join, {a, b}, 100);
+
+  const auto report = CpaEngine(sys).run();
+  EXPECT_TRUE(report.converged);
+  // join's activation: period 100, jitter = max of the producers' output
+  // jitters (a: spread 4 after interference-free high prio; b suffers a's
+  // interference).
+  const auto& act = report.task("join").activation;
+  EXPECT_EQ(act->eta_minus(1'000'000) + act->eta_plus(1'000'000), 20'000);  // ~1/100 rate
+  EXPECT_EQ(report.task("join").wcrt, 5);
+}
+
+TEST(AndActivationTest, JitterIsMaxOfProducers) {
+  System sys;
+  const auto cpu1 = sys.add_resource({"cpu1", Policy::kSppPreemptive});
+  const auto cpu2 = sys.add_resource({"cpu2", Policy::kSppPreemptive});
+  const auto cpu3 = sys.add_resource({"cpu3", Policy::kSppPreemptive});
+  const auto a = sys.add_task({"a", cpu1, 1, sched::ExecutionTime(1, 21)});
+  const auto b = sys.add_task({"b", cpu2, 1, sched::ExecutionTime(1, 4)});
+  const auto join = sys.add_task({"join", cpu3, 1, sched::ExecutionTime(5)});
+  sys.activate_external(a, periodic(200));
+  sys.activate_external(b, periodic(200));
+  sys.activate_and(join, {a, b}, 200);
+  const auto report = CpaEngine(sys).run();
+  // a's output jitter (response spread 20) dominates b's (3):
+  // delta-(2) of the AND stream = 200 - 20.
+  EXPECT_EQ(report.task("join").activation->delta_min(2), 180);
+  EXPECT_EQ(report.task("join").activation->delta_plus(2), 220);
+}
+
+TEST(AndActivationTest, ValidationErrors) {
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  const auto a = sys.add_task({"a", cpu, 1, sched::ExecutionTime(1)});
+  const auto b = sys.add_task({"b", cpu, 2, sched::ExecutionTime(1)});
+  const auto c = sys.add_task({"c", cpu, 3, sched::ExecutionTime(1)});
+  EXPECT_THROW(sys.activate_and(c, {a}, 100), std::invalid_argument);      // < 2 producers
+  EXPECT_THROW(sys.activate_and(c, {a, b}, 0), std::invalid_argument);     // no period
+  EXPECT_THROW(sys.activate_and(c, {a, c}, 100), std::invalid_argument);   // self
+}
+
+TEST(AndActivationTest, ParsesFromConfig) {
+  std::istringstream in(R"(
+resource CPU1 spp
+resource CPU2 spp
+source s1 periodic period=100
+source s2 periodic period=100
+task a resource=CPU1 priority=1 cet=2
+task b resource=CPU1 priority=2 cet=3
+task j resource=CPU2 priority=1 cet=4
+activate a from=s1
+activate b from=s2
+activate j and=a,b period=100
+)");
+  const auto parsed = parse_system_config(in);
+  const auto report = CpaEngine(parsed.system).run();
+  EXPECT_EQ(report.task("j").wcrt, 4);
+  EXPECT_NEAR(static_cast<double>(report.task("j").activation->eta_plus(10'000)), 100.0, 2.0);
+}
+
+TEST(AndActivationTest, ConfigErrorsCarryContext) {
+  std::istringstream in(R"(
+resource CPU spp
+source s periodic period=100
+task a resource=CPU priority=1 cet=2
+activate a from=s
+task j resource=CPU priority=2 cet=4
+activate j and=a period=100
+)");
+  try {
+    parse_system_config(in);
+    FAIL() << "expected error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("at least two"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace hem::cpa

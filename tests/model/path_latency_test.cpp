@@ -1,0 +1,65 @@
+#include "model/path_latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/standard_event_model.hpp"
+#include "model/cpa_engine.hpp"
+#include "scenarios/paper_system.hpp"
+
+namespace hem::cpa {
+namespace {
+
+AnalysisReport chain_report() {
+  System sys;
+  const auto cpu1 = sys.add_resource({"cpu1", Policy::kSppPreemptive});
+  const auto cpu2 = sys.add_resource({"cpu2", Policy::kSppPreemptive});
+  const auto a = sys.add_task({"a", cpu1, 1, sched::ExecutionTime(3, 5)});
+  const auto b = sys.add_task({"b", cpu2, 1, sched::ExecutionTime(2, 7)});
+  sys.activate_external(a, StandardEventModel::periodic(100));
+  sys.activate_by(b, {a});
+  return CpaEngine(sys).run();
+}
+
+TEST(PathLatencyTest, SumsResponseTimesInOrder) {
+  const auto report = chain_report();
+  const std::array<std::string, 2> path{"a", "b"};
+  EXPECT_EQ(path_wcrt(report, path), 5 + 7);
+  EXPECT_EQ(path_bcrt(report, path), 3 + 2);
+}
+
+TEST(PathLatencyTest, SamplingDelaysAdd) {
+  const auto report = chain_report();
+  const std::array<std::string, 2> path{"a", "b"};
+  const std::array<Time, 1> delays{250};
+  EXPECT_EQ(path_wcrt_with_sampling(report, path, delays), 12 + 250);
+}
+
+TEST(PathLatencyTest, ErrorsOnBadInput) {
+  const auto report = chain_report();
+  const std::array<std::string, 1> unknown{"zz"};
+  EXPECT_THROW(path_wcrt(report, unknown), std::invalid_argument);
+  EXPECT_THROW(path_wcrt(report, std::span<const std::string>{}), std::invalid_argument);
+  const std::array<std::string, 1> path{"a"};
+  const std::array<Time, 1> negative{-1};
+  EXPECT_THROW(path_wcrt_with_sampling(report, path, negative), std::invalid_argument);
+}
+
+TEST(PathLatencyTest, PaperSystemEndToEnd) {
+  // End-to-end S3 -> T3: one COM sampling delay (delta+_f1(2)) + frame
+  // response + T3 response, compared flat vs HEM.
+  const auto results = scenarios::analyze_paper_system();
+  const std::array<std::string, 2> path{"F1", "T3"};
+  const Time sampling = results.hem.task("F1").activation->delta_plus(2);
+  const Time hem_latency = path_wcrt_with_sampling(results.hem, path,
+                                                   std::array<Time, 1>{sampling});
+  const Time flat_latency = path_wcrt_with_sampling(results.flat, path,
+                                                    std::array<Time, 1>{sampling});
+  EXPECT_LT(hem_latency, flat_latency);
+  // Sanity: sampling delay (max frame gap 250) dominates.
+  EXPECT_GT(hem_latency, 250);
+}
+
+}  // namespace
+}  // namespace hem::cpa

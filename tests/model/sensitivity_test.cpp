@@ -1,0 +1,140 @@
+#include "model/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/standard_event_model.hpp"
+#include "scenarios/paper_system.hpp"
+
+namespace hem::cpa {
+namespace {
+
+ModelPtr periodic(Time p) { return StandardEventModel::periodic(p); }
+
+System two_task_system(Time lp_cet) {
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  const auto hp = sys.add_task({"hp", cpu, 1, sched::ExecutionTime(2)});
+  const auto lp = sys.add_task({"lp", cpu, 2, sched::ExecutionTime(lp_cet)});
+  sys.activate_external(hp, periodic(5));
+  sys.activate_external(lp, periodic(20));
+  return sys;
+}
+
+TEST(SensitivityTest, FeasibleSystemReportsFeasible) {
+  const auto result = check_feasible(two_task_system(4), {{"lp", 10}});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.report.task("lp").wcrt, 8);
+}
+
+TEST(SensitivityTest, DeadlineMissReported) {
+  const auto result = check_feasible(two_task_system(4), {{"lp", 7}});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_NE(result.reason.find("lp"), std::string::npos);
+  EXPECT_NE(result.reason.find("8 > 7"), std::string::npos);
+}
+
+TEST(SensitivityTest, OverloadReportedAsInfeasible) {
+  const auto result = check_feasible(two_task_system(100), {});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.reason.empty());
+}
+
+TEST(SensitivityTest, MaxFeasibleCetMatchesHandComputation) {
+  // lp with deadline 12: WCRT(lp, C) = C + 2 * ceil-ish interference.
+  // C=4 -> 8; C=6 -> 12 (w = 6+2*eta(12)... w=6: +2*2=10, w=10: 10, hmm);
+  // the binary search finds the exact frontier; verify by re-checking.
+  const System base = two_task_system(1);
+  const DeadlineMap deadlines{{"lp", 12}};
+  const Time best = max_feasible_cet(base, "lp", 1, 50, deadlines);
+  ASSERT_GE(best, 1);
+  // best is feasible...
+  System probe = base;
+  probe.set_task_cet(base.task_id("lp"), sched::ExecutionTime(best));
+  EXPECT_TRUE(check_feasible(probe, deadlines).feasible);
+  // ...and best + 1 is not.
+  probe.set_task_cet(base.task_id("lp"), sched::ExecutionTime(best + 1));
+  EXPECT_FALSE(check_feasible(probe, deadlines).feasible);
+}
+
+TEST(SensitivityTest, MaxFeasibleValueReturnsLoMinusOneWhenHopeless) {
+  const System base = two_task_system(1);
+  EXPECT_EQ(max_feasible_cet(base, "lp", 30, 50, {{"lp", 5}}), 29);
+}
+
+TEST(SensitivityTest, MinFeasibleValueFindsPeriodFrontier) {
+  // Shrink hp's period until lp misses deadline 12 (lp C=4).
+  const System base = two_task_system(4);
+  const TaskId hp = base.task_id("hp");
+  const auto mutator = [hp](System& sys, Time period) {
+    sys.activate_external(hp, StandardEventModel::periodic(period));
+  };
+  const DeadlineMap deadlines{{"lp", 12}};
+  const Time frontier = min_feasible_value(base, mutator, 1, 20, deadlines);
+  ASSERT_LE(frontier, 20);
+  System probe = base;
+  mutator(probe, frontier);
+  EXPECT_TRUE(check_feasible(probe, deadlines).feasible);
+  if (frontier > 1) {
+    mutator(probe, frontier - 1);
+    EXPECT_FALSE(check_feasible(probe, deadlines).feasible);
+  }
+}
+
+TEST(SensitivityTest, MinFeasibleValueReturnsHiPlusOneWhenHopeless) {
+  const System base = two_task_system(4);
+  const TaskId hp = base.task_id("hp");
+  const auto mutator = [hp](System& sys, Time period) {
+    sys.activate_external(hp, StandardEventModel::periodic(period));
+  };
+  EXPECT_EQ(min_feasible_value(base, mutator, 1, 3, {{"lp", 5}}), 4);
+}
+
+TEST(SensitivityTest, PaperSystemHeadroomLargerUnderHem) {
+  // How much can T3's CET grow before it misses a 250-tick deadline?
+  // HEM gives far more headroom than the flat abstraction.
+  scenarios::PaperSystemParams p;
+  const System flat = scenarios::build_paper_system(p, false);
+  const System hier = scenarios::build_paper_system(p, true);
+  const DeadlineMap deadlines{{"T3", 250}};
+  const Time flat_max = max_feasible_cet(flat, "T3", 1, 400, deadlines);
+  const Time hem_max = max_feasible_cet(hier, "T3", 1, 400, deadlines);
+  EXPECT_GT(hem_max, flat_max);
+  EXPECT_GE(flat_max, 40);  // the paper's value itself is feasible
+}
+
+TEST(OptimizePrioritiesTest, FixesScrambledPaperSystem) {
+  // Scramble CPU1's priorities so T3 (1000-period, CET 40) sits on top and
+  // T1 (250-period, deadline 100) at the bottom - T1 then misses.  The
+  // optimiser must find a working order.
+  auto sys = scenarios::build_paper_system({}, true);
+  sys.set_task_priority(sys.task_id("T1"), 3);
+  sys.set_task_priority(sys.task_id("T3"), 1);
+  const DeadlineMap deadlines{{"T1", 90}, {"T2", 450}, {"T3", 1000}};
+  ASSERT_FALSE(check_feasible(sys, deadlines).feasible);  // scrambled misses
+
+  const auto assignment = optimize_priorities(sys, "CPU1", deadlines);
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_TRUE(check_feasible(sys, deadlines).feasible);
+  // The tight-deadline task cannot stay at the bottom.
+  EXPECT_LT(assignment->at("T1"), assignment->at("T2"));
+}
+
+TEST(OptimizePrioritiesTest, InfeasibleReturnsNullopt) {
+  System sys = two_task_system(4);
+  // Both tasks cannot meet a 3-tick deadline whatever the order.
+  const auto assignment = optimize_priorities(sys, "cpu", {{"hp", 3}, {"lp", 3}});
+  EXPECT_FALSE(assignment.has_value());
+}
+
+TEST(OptimizePrioritiesTest, Validation) {
+  System sys = two_task_system(4);
+  EXPECT_THROW((void)optimize_priorities(sys, "nope", {}), std::invalid_argument);
+}
+
+TEST(SensitivityTest, EmptyIntervalRejected) {
+  const System base = two_task_system(4);
+  EXPECT_THROW(max_feasible_cet(base, "lp", 10, 5, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem::cpa

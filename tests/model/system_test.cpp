@@ -1,0 +1,81 @@
+#include "model/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/standard_event_model.hpp"
+
+namespace hem::cpa {
+namespace {
+
+ModelPtr periodic(Time p) { return StandardEventModel::periodic(p); }
+
+TEST(SystemTest, BuildsValidSystem) {
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  const auto t1 = sys.add_task({"t1", cpu, 1, sched::ExecutionTime(5)});
+  const auto t2 = sys.add_task({"t2", cpu, 2, sched::ExecutionTime(7)});
+  sys.activate_external(t1, periodic(100));
+  sys.activate_by(t2, {t1});
+  EXPECT_NO_THROW(sys.validate());
+  EXPECT_EQ(sys.task_id("t2"), t2);
+  EXPECT_THROW((void)sys.task_id("nope"), std::invalid_argument);
+}
+
+TEST(SystemTest, RejectsTaskWithoutActivation) {
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  sys.add_task({"t", cpu, 1, sched::ExecutionTime(5)});
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(SystemTest, RejectsDuplicateTaskNames) {
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  sys.add_task({"t", cpu, 1, sched::ExecutionTime(5)});
+  EXPECT_THROW(sys.add_task({"t", cpu, 2, sched::ExecutionTime(5)}), std::invalid_argument);
+}
+
+TEST(SystemTest, RejectsUnknownResource) {
+  System sys;
+  EXPECT_THROW(sys.add_task({"t", 3, 1, sched::ExecutionTime(5)}), std::invalid_argument);
+}
+
+TEST(SystemTest, RejectsSelfActivation) {
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  const auto t = sys.add_task({"t", cpu, 1, sched::ExecutionTime(5)});
+  EXPECT_THROW(sys.activate_by(t, {t}), std::invalid_argument);
+}
+
+TEST(SystemTest, RejectsTdmaWithoutCycleOrSlot) {
+  System sys;
+  EXPECT_THROW(sys.add_resource({"bus", Policy::kTdma, 0}), std::invalid_argument);
+  const auto bus = sys.add_resource({"bus", Policy::kTdma, 100});
+  const auto t = sys.add_task({"t", bus, 1, sched::ExecutionTime(5)});  // no slot
+  sys.activate_external(t, periodic(100));
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(SystemTest, UnpackRequiresPackedFrame) {
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  const auto a = sys.add_task({"a", cpu, 1, sched::ExecutionTime(5)});
+  const auto b = sys.add_task({"b", cpu, 2, sched::ExecutionTime(5)});
+  sys.activate_external(a, periodic(100));
+  sys.activate_unpacked(b, a, 0);
+  EXPECT_THROW(sys.validate(), std::invalid_argument);  // a is not packed
+}
+
+TEST(SystemTest, UnpackIndexInRange) {
+  System sys;
+  const auto bus = sys.add_resource({"bus", Policy::kSpnpCan});
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  const auto f = sys.add_task({"f", bus, 1, sched::ExecutionTime(4)});
+  const auto t = sys.add_task({"t", cpu, 1, sched::ExecutionTime(5)});
+  sys.activate_packed(f, {{periodic(100), SignalCoupling::kTriggering}});
+  sys.activate_unpacked(t, f, 1);
+  EXPECT_THROW(sys.validate(), std::invalid_argument);  // only inner 0 exists
+}
+
+}  // namespace
+}  // namespace hem::cpa

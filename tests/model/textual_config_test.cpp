@@ -1,0 +1,167 @@
+#include "model/textual_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/cpa_engine.hpp"
+
+namespace hem::cpa {
+namespace {
+
+ParsedSystem parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_system_config(in);
+}
+
+TEST(TextualConfigTest, MinimalSystemParsesAndAnalyses) {
+  const auto parsed = parse(R"(
+# a CPU with two tasks
+resource CPU1 spp
+source s1 periodic period=5
+source s2 periodic period=20
+task hp resource=CPU1 priority=1 cet=2
+task lp resource=CPU1 priority=2 cet=4
+activate hp from=s1
+activate lp from=s2
+)");
+  const auto report = CpaEngine(parsed.system).run();
+  EXPECT_EQ(report.task("hp").wcrt, 2);
+  EXPECT_EQ(report.task("lp").wcrt, 8);
+}
+
+TEST(TextualConfigTest, CetIntervalsAndChains) {
+  const auto parsed = parse(R"(
+resource CPU1 spp
+resource CPU2 spp
+source s periodic period=100
+task a resource=CPU1 priority=1 cet=3:5
+task b resource=CPU2 priority=1 cet=4
+activate a from=s
+activate b from=a
+)");
+  const auto report = CpaEngine(parsed.system).run();
+  EXPECT_EQ(report.task("a").bcrt, 3);
+  EXPECT_EQ(report.task("a").wcrt, 5);
+  EXPECT_EQ(report.task("b").activation->delta_min(2), 98);
+}
+
+TEST(TextualConfigTest, PaperSystemInConfigForm) {
+  const auto parsed = parse(R"(
+resource CAN can
+resource CPU1 spp
+source s1 periodic period=250
+source s2 periodic period=450
+source s3 periodic period=1000
+task F1 resource=CAN priority=1 cet=4
+task F2 resource=CAN priority=2 cet=2
+task T1 resource=CPU1 priority=1 cet=24
+task T2 resource=CPU1 priority=2 cet=32
+task T3 resource=CPU1 priority=3 cet=40
+source s4 periodic period=400
+packed F1 inputs=s1:trig,s2:trig,s3:pend
+packed F2 inputs=s4:trig
+unpack T1 frame=F1 index=0
+unpack T2 frame=F1 index=1
+unpack T3 frame=F1 index=2
+deadline T1 100
+deadline T3 250
+)");
+  EXPECT_EQ(parsed.deadlines.size(), 2u);
+  const auto feasible = check_feasible(parsed.system, parsed.deadlines);
+  EXPECT_TRUE(feasible.feasible) << feasible.reason;
+  EXPECT_EQ(feasible.report.task("T3").wcrt, 96);
+}
+
+TEST(TextualConfigTest, OrActivationAndSemSources) {
+  const auto parsed = parse(R"(
+resource CPU spp
+source fast sem period=100 jitter=30 dmin=5
+source slow sem period=300
+task a resource=CPU priority=1 cet=1
+task b resource=CPU priority=2 cet=1
+task c resource=CPU priority=3 cet=2
+activate a from=fast
+activate b from=slow
+activate c or=a,b
+)");
+  const auto report = CpaEngine(parsed.system).run();
+  EXPECT_GT(report.task("c").activation->eta_plus(1000), 10);
+}
+
+TEST(TextualConfigTest, BurstSourceAndTdma) {
+  const auto parsed = parse(R"(
+resource BUS tdma cycle=20
+source bursty burst size=3 inner=10 period=200
+task t resource=BUS priority=1 cet=4 slot=5
+activate t from=bursty
+)");
+  const auto report = CpaEngine(parsed.system).run();
+  EXPECT_GT(report.task("t").wcrt, 4);  // TDMA gap visible
+}
+
+TEST(TextualConfigTest, LeakyAndOffsetSources) {
+  const auto parsed = parse(R"(
+resource CPU spp
+source bucket leaky burst=3 spacing=50
+source table offsets period=100 at=0,30,60 jitter=5
+task a resource=CPU priority=1 cet=2
+task b resource=CPU priority=2 cet=1
+activate a from=bucket
+activate b from=table
+)");
+  const auto report = CpaEngine(parsed.system).run();
+  // Leaky bucket: three back-to-back activations of a.
+  EXPECT_EQ(report.task("a").activation->eta_plus(1), 3);
+  // Offsets: b fires 3 times per 100 ticks.
+  EXPECT_EQ(report.task("b").activation->eta_plus(101), 4);
+}
+
+TEST(TextualConfigTest, MixedFrameTimer) {
+  const auto parsed = parse(R"(
+resource CAN can
+source s periodic period=500
+task F resource=CAN priority=1 cet=4
+packed F inputs=s:pend timer=100
+)");
+  const auto report = CpaEngine(parsed.system).run();
+  // Outer stream = the timer.
+  EXPECT_EQ(report.task("F").activation->delta_min(2), 100);
+}
+
+TEST(TextualConfigTest, SyntaxErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    try {
+      parse(text);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("frobnicate x\n", "unknown keyword");
+  expect_error("resource R warp\n", "unknown policy");
+  expect_error("resource R spp\ntask t resource=R priority=1 cet=abc\n", "bad cet");
+  expect_error("source s periodic period=0\n", "invalid source");
+  expect_error("resource R spp\ntask t resource=NOPE priority=1 cet=1\n",
+               "unknown resource");
+  expect_error("resource R spp\ntask t resource=R priority=1 cet=1\nactivate t from=ghost\n",
+               "unknown source");
+  expect_error("resource R spp\ntask t resource=R priority=1 cet=1\nactivate t\n",
+               "activate needs");
+  expect_error("deadline ghost 5\n", "unknown task");
+  // Line numbers appear in the message.
+  expect_error("resource R spp\nsource s periodic\n", "line 2");
+}
+
+TEST(TextualConfigTest, IncompleteSystemRejected) {
+  EXPECT_THROW(parse("resource R spp\ntask t resource=R priority=1 cet=1\n"),
+               std::invalid_argument);
+}
+
+TEST(TextualConfigTest, MissingFileRejected) {
+  EXPECT_THROW(parse_system_config_file("/nonexistent/config.hemcpa"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem::cpa

@@ -1,0 +1,124 @@
+#include "sim/com_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace hem::sim {
+namespace {
+
+struct ComFixture : ::testing::Test {
+  EventCalendar cal;
+  std::mt19937_64 rng{1};
+};
+
+TEST_F(ComFixture, TriggeringSignalSendsFrame) {
+  ComSim com(cal, {{"F", false, 0, {{"s", true}}}});
+  BusSim bus(cal, {{"F", 1, 10, 10, [&] { com.latch(0); }, [&] { com.deliver(0); }}}, true,
+             rng);
+  com.attach_bus(bus);
+  cal.at(5, [&] { com.write_signal(0, 0); });
+  cal.run_until(1000);
+  ASSERT_EQ(com.deliveries(0, 0).size(), 1u);
+  EXPECT_EQ(com.deliveries(0, 0)[0], 15);
+}
+
+TEST_F(ComFixture, PendingSignalWaitsForTimer) {
+  ComSim com(cal, {{"F", true, 100, {{"s", false}}}});
+  BusSim bus(cal, {{"F", 1, 10, 10, [&] { com.latch(0); }, [&] { com.deliver(0); }}}, true,
+             rng);
+  com.attach_bus(bus);
+  com.start_timers(500);
+  cal.at(5, [&] { com.write_signal(0, 0); });  // pending: no transmission request
+  cal.run_until(1000);
+  // Frames go out at 0,100,...; the write at 5 rides the t=100 frame.
+  ASSERT_EQ(com.deliveries(0, 0).size(), 1u);
+  EXPECT_EQ(com.deliveries(0, 0)[0], 110);
+}
+
+TEST_F(ComFixture, FreshFlagClearedOnLatch) {
+  ComSim com(cal, {{"F", true, 100, {{"s", false}}}});
+  BusSim bus(cal, {{"F", 1, 10, 10, [&] { com.latch(0); }, [&] { com.deliver(0); }}}, true,
+             rng);
+  com.attach_bus(bus);
+  com.start_timers(350);
+  cal.at(5, [&] { com.write_signal(0, 0); });
+  cal.run_until(1000);
+  // Only the first frame after the write carries a fresh value; frames at
+  // 200 and 300 carry stale data.
+  EXPECT_EQ(com.deliveries(0, 0).size(), 1u);
+}
+
+TEST_F(ComFixture, OverwritingBeforeLatchDeliversOnce) {
+  ComSim com(cal, {{"F", true, 100, {{"s", false}}}});
+  BusSim bus(cal, {{"F", 1, 10, 10, [&] { com.latch(0); }, [&] { com.deliver(0); }}}, true,
+             rng);
+  com.attach_bus(bus);
+  com.start_timers(150);
+  cal.at(20, [&] { com.write_signal(0, 0); });
+  cal.at(40, [&] { com.write_signal(0, 0); });  // overwrites the register
+  cal.run_until(1000);
+  // Both writes ride the t=100 frame as ONE fresh value.
+  EXPECT_EQ(com.deliveries(0, 0).size(), 1u);
+  EXPECT_EQ(com.deliveries(0, 0)[0], 110);
+}
+
+TEST_F(ComFixture, SignalDuringTransmissionRidesNextFrame) {
+  ComSim com(cal, {{"F", false, 0, {{"a", true}, {"b", false}}}});
+  BusSim bus(cal, {{"F", 1, 10, 10, [&] { com.latch(0); }, [&] { com.deliver(0); }}}, true,
+             rng);
+  com.attach_bus(bus);
+  cal.at(0, [&] { com.write_signal(0, 0); });  // frame 1: [0, 10)
+  cal.at(5, [&] { com.write_signal(0, 1); });  // b written mid-transmission
+  cal.at(30, [&] { com.write_signal(0, 0); }); // frame 2: [30, 40)
+  cal.run_until(1000);
+  ASSERT_EQ(com.deliveries(0, 1).size(), 1u);
+  EXPECT_EQ(com.deliveries(0, 1)[0], 40);  // b travels in the SECOND frame
+}
+
+TEST_F(ComFixture, DeliverCallbackFires) {
+  ComSim com(cal, {{"F", false, 0, {{"s", true}}}});
+  BusSim bus(cal, {{"F", 1, 10, 10, [&] { com.latch(0); }, [&] { com.deliver(0); }}}, true,
+             rng);
+  com.attach_bus(bus);
+  std::vector<std::pair<std::size_t, std::size_t>> delivered;
+  com.on_deliver = [&](std::size_t f, std::size_t s) { delivered.emplace_back(f, s); };
+  cal.at(0, [&] { com.write_signal(0, 0); });
+  cal.run_until(100);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST_F(ComFixture, ValidationErrors) {
+  EXPECT_THROW(ComSim(cal, {}), std::invalid_argument);
+  EXPECT_THROW(ComSim(cal, {{"F", false, 0, {}}}), std::invalid_argument);
+  EXPECT_THROW(ComSim(cal, {{"F", true, 0, {{"s", false}}}}), std::invalid_argument);
+  ComSim com(cal, {{"F", false, 0, {{"s", true}}}});
+  EXPECT_THROW(com.write_signal(0, 0), std::logic_error);  // bus not attached
+}
+
+TEST(SimulatorTest, EndToEndSmoke) {
+  SimConfig cfg;
+  cfg.source_names = {"S"};
+  cfg.sources = {SourceSpec{100, 0, 0, 0}};
+  SimFrame f;
+  f.name = "F";
+  f.priority = 1;
+  f.c_best = f.c_worst = 4;
+  f.signals = {SimSignal{"s", 0, true, "T"}};
+  cfg.frames = {f};
+  cfg.tasks = {SimTask{"T", 1, 10, 10}};
+  cfg.horizon = 10'000;
+  cfg.mode = GenMode::kNominal;
+  const auto result = Simulator(cfg).run();
+  // ~100 source events -> ~100 frames -> ~100 task activations.
+  EXPECT_NEAR(static_cast<double>(result.frame_completions.at("F").size()), 100, 2);
+  EXPECT_NEAR(static_cast<double>(result.tasks.at("T").activations.size()), 100, 2);
+  EXPECT_EQ(result.tasks.at("T").wcrt, 10);
+  // Every frame completion is 4 after its trigger (idle bus).
+  EXPECT_EQ(result.frame_completions.at("F")[0], 4);
+  EXPECT_EQ(result.signal_deliveries.at("F.s")[0], 4);
+}
+
+}  // namespace
+}  // namespace hem::sim

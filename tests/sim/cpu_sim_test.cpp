@@ -1,0 +1,101 @@
+#include "sim/cpu_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hem::sim {
+namespace {
+
+TEST(CpuSimTest, SingleJobRunsToCompletion) {
+  EventCalendar cal;
+  std::mt19937_64 rng(1);
+  CpuSim cpu(cal, {{"t", 1, 10, 10}}, true, rng);
+  cal.at(5, [&] { cpu.activate(0); });
+  cal.run_until(1000);
+  ASSERT_EQ(cpu.responses(0).size(), 1u);
+  EXPECT_EQ(cpu.responses(0)[0], 10);
+  EXPECT_EQ(cpu.activations(0)[0], 5);
+}
+
+TEST(CpuSimTest, PreemptionByHigherPriority) {
+  EventCalendar cal;
+  std::mt19937_64 rng(1);
+  CpuSim cpu(cal, {{"hp", 1, 4, 4}, {"lp", 2, 10, 10}}, true, rng);
+  cal.at(0, [&] { cpu.activate(1); });
+  cal.at(3, [&] { cpu.activate(0); });
+  cal.run_until(1000);
+  // lp runs [0,3), preempted, hp runs [3,7), lp resumes [7,14).
+  ASSERT_EQ(cpu.responses(0).size(), 1u);
+  EXPECT_EQ(cpu.responses(0)[0], 4);
+  ASSERT_EQ(cpu.responses(1).size(), 1u);
+  EXPECT_EQ(cpu.responses(1)[0], 14);
+}
+
+TEST(CpuSimTest, QueuedActivationsServeFifo) {
+  EventCalendar cal;
+  std::mt19937_64 rng(1);
+  CpuSim cpu(cal, {{"t", 1, 10, 10}}, true, rng);
+  cal.at(0, [&] {
+    cpu.activate(0);
+    cpu.activate(0);
+  });
+  cal.run_until(1000);
+  ASSERT_EQ(cpu.responses(0).size(), 2u);
+  EXPECT_EQ(cpu.responses(0)[0], 10);
+  EXPECT_EQ(cpu.responses(0)[1], 20);
+  EXPECT_EQ(cpu.worst_response(0), 20);
+}
+
+TEST(CpuSimTest, NestedPreemptionAccounting) {
+  // Three levels: lo starts, mid preempts, hp preempts mid.
+  EventCalendar cal;
+  std::mt19937_64 rng(1);
+  CpuSim cpu(cal, {{"hp", 1, 2, 2}, {"mid", 2, 5, 5}, {"lo", 3, 10, 10}}, true, rng);
+  cal.at(0, [&] { cpu.activate(2); });
+  cal.at(1, [&] { cpu.activate(1); });
+  cal.at(2, [&] { cpu.activate(0); });
+  cal.run_until(1000);
+  // hp: [2,4) -> R=2.  mid: [1,2) ran 1, resumes [4,8) -> R=7.
+  // lo: ran [0,1), resumes [8,17) -> R=17.
+  EXPECT_EQ(cpu.responses(0)[0], 2);
+  EXPECT_EQ(cpu.responses(1)[0], 7);
+  EXPECT_EQ(cpu.responses(2)[0], 17);
+}
+
+TEST(CpuSimTest, SimultaneousActivationPriorityOrder) {
+  EventCalendar cal;
+  std::mt19937_64 rng(1);
+  CpuSim cpu(cal, {{"hp", 1, 3, 3}, {"lp", 2, 3, 3}}, true, rng);
+  cal.at(0, [&] {
+    cpu.activate(1);  // lp queued first...
+    cpu.activate(0);  // ...but hp preempts before any time elapses
+  });
+  cal.run_until(100);
+  EXPECT_EQ(cpu.responses(0)[0], 3);
+  EXPECT_EQ(cpu.responses(1)[0], 6);
+}
+
+TEST(CpuSimTest, ZeroRemainingEdgeCase) {
+  // hp arrives exactly when lp would complete; arrival events were scheduled
+  // first, so lp is preempted with zero remaining and completes right after
+  // hp.
+  EventCalendar cal;
+  std::mt19937_64 rng(1);
+  CpuSim cpu(cal, {{"hp", 1, 5, 5}, {"lp", 2, 10, 10}}, true, rng);
+  cal.at(10, [&] { cpu.activate(0); });
+  cal.at(0, [&] { cpu.activate(1); });
+  cal.run_until(1000);
+  EXPECT_EQ(cpu.responses(0)[0], 5);
+  EXPECT_EQ(cpu.responses(1)[0], 15);
+}
+
+TEST(CpuSimTest, ValidationErrors) {
+  EventCalendar cal;
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(CpuSim(cal, {}, true, rng), std::invalid_argument);
+  EXPECT_THROW(CpuSim(cal, {{"a", 1, 5, 5}, {"b", 1, 5, 5}}, true, rng),
+               std::invalid_argument);
+  EXPECT_THROW(CpuSim(cal, {{"a", 1, 5, 4}}, true, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem::sim

@@ -1,0 +1,112 @@
+#include "sim/edf_cpu_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/standard_event_model.hpp"
+#include "sched/edf.hpp"
+#include "sim/source_generator.hpp"
+
+namespace hem::sim {
+namespace {
+
+TEST(EdfCpuSimTest, EarlierDeadlineWins) {
+  EventCalendar cal;
+  EdfCpuSim cpu(cal, {{"urgent", 3, 5}, {"lazy", 10, 100}});
+  cal.at(0, [&] { cpu.activate(1); });
+  cal.at(2, [&] { cpu.activate(0); });
+  cal.run_until(1000);
+  // lazy runs [0,2), urgent preempts [2,5), lazy resumes [5,13).
+  EXPECT_EQ(cpu.responses(0)[0], 3);
+  EXPECT_EQ(cpu.responses(1)[0], 13);
+  EXPECT_EQ(cpu.deadline_misses(), 0);
+}
+
+TEST(EdfCpuSimTest, LaterDeadlineDoesNotPreempt) {
+  EventCalendar cal;
+  EdfCpuSim cpu(cal, {{"loose", 4, 50}, {"running", 10, 20}});
+  cal.at(0, [&] { cpu.activate(1); });
+  cal.at(2, [&] { cpu.activate(0); });  // deadline 52 > 20: no preemption
+  cal.run_until(1000);
+  EXPECT_EQ(cpu.responses(1)[0], 10);
+  EXPECT_EQ(cpu.responses(0)[0], 12);
+}
+
+TEST(EdfCpuSimTest, CountsDeadlineMisses) {
+  EventCalendar cal;
+  EdfCpuSim cpu(cal, {{"a", 10, 8}});  // cannot make its own deadline
+  cal.at(0, [&] { cpu.activate(0); });
+  cal.run_until(100);
+  EXPECT_EQ(cpu.deadline_misses(), 1);
+}
+
+TEST(EdfCpuSimTest, ValidationErrors) {
+  EventCalendar cal;
+  EXPECT_THROW(EdfCpuSim(cal, {}), std::invalid_argument);
+  EXPECT_THROW(EdfCpuSim(cal, {{"t", 0, 5}}), std::invalid_argument);
+  EXPECT_THROW(EdfCpuSim(cal, {{"t", 5, 0}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Validation of EdfAnalysis: no deadline miss when schedulable; observed
+// responses within the analytic WCRT.
+
+class RandomEdf : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomEdf, ScheduleMatchesAnalysis) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> n_dist(2, 4);
+  std::uniform_int_distribution<Time> period_dist(40, 300);
+
+  const int n = n_dist(rng);
+  std::vector<sched::EdfTask> analysis_tasks;
+  std::vector<EdfCpuSim::TaskDef> sim_tasks;
+  std::vector<Time> periods;
+  double util = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Time period = period_dist(rng);
+    const double budget = (0.85 - util) / (n - i);
+    const Time cet =
+        std::max<Time>(1, static_cast<Time>(budget * static_cast<double>(period)));
+    util += static_cast<double>(cet) / static_cast<double>(period);
+    // Constrained deadline in [cet + period/4, period].
+    std::uniform_int_distribution<Time> dl_dist(cet + period / 4, period);
+    const Time deadline = dl_dist(rng);
+    const std::string name = "t" + std::to_string(i);
+    analysis_tasks.push_back(sched::EdfTask{
+        sched::TaskParams{name, 0, sched::ExecutionTime(cet),
+                          StandardEventModel::periodic(period)},
+        deadline});
+    sim_tasks.push_back({name, cet, deadline});
+    periods.push_back(period);
+  }
+
+  const sched::EdfAnalysis analysis(analysis_tasks);
+  const bool schedulable = analysis.schedulable();
+
+  for (const auto mode : {GenMode::kNominal, GenMode::kEarliest}) {
+    EventCalendar cal;
+    EdfCpuSim cpu(cal, sim_tasks);
+    const Time horizon = 60'000;
+    for (int i = 0; i < n; ++i) {
+      const auto arrivals = generate_arrivals({periods[i], 0, 0, 0}, horizon, mode, rng);
+      for (const Time a : arrivals)
+        cal.at(a, [&cpu, i] { cpu.activate(static_cast<std::size_t>(i)); });
+    }
+    cal.run_until(horizon + 5'000);
+
+    if (schedulable) {
+      EXPECT_EQ(cpu.deadline_misses(), 0) << "seed=" << GetParam();
+      const auto bounds = analysis.analyze_all();
+      for (int i = 0; i < n; ++i)
+        EXPECT_LE(cpu.worst_response(static_cast<std::size_t>(i)), bounds[i].wcrt)
+            << "seed=" << GetParam() << " task=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEdf, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace hem::sim

@@ -1,0 +1,60 @@
+#include "sim/event_calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hem::sim {
+namespace {
+
+TEST(EventCalendarTest, RunsInTimeOrder) {
+  EventCalendar cal;
+  std::vector<int> order;
+  cal.at(30, [&] { order.push_back(3); });
+  cal.at(10, [&] { order.push_back(1); });
+  cal.at(20, [&] { order.push_back(2); });
+  cal.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(cal.now(), 30);
+}
+
+TEST(EventCalendarTest, StableOrderAtEqualTimes) {
+  EventCalendar cal;
+  std::vector<int> order;
+  cal.at(10, [&] { order.push_back(1); });
+  cal.at(10, [&] { order.push_back(2); });
+  cal.at(10, [&] { order.push_back(3); });
+  cal.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventCalendarTest, HandlersCanScheduleMore) {
+  EventCalendar cal;
+  std::vector<Time> fired;
+  std::function<void()> tick = [&] {
+    fired.push_back(cal.now());
+    if (cal.now() < 50) cal.after(10, tick);
+  };
+  cal.at(0, tick);
+  cal.run_until(1000);
+  EXPECT_EQ(fired, (std::vector<Time>{0, 10, 20, 30, 40, 50}));
+}
+
+TEST(EventCalendarTest, RunUntilStopsAtHorizon) {
+  EventCalendar cal;
+  int count = 0;
+  cal.at(10, [&] { ++count; });
+  cal.at(20, [&] { ++count; });
+  cal.at(30, [&] { ++count; });
+  cal.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(cal.empty());
+}
+
+TEST(EventCalendarTest, RejectsSchedulingIntoThePast) {
+  EventCalendar cal;
+  cal.at(10, [] {});
+  cal.step();
+  EXPECT_THROW(cal.at(5, [] {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem::sim

@@ -1,0 +1,123 @@
+#include "sim/quantum_cpu_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/standard_event_model.hpp"
+#include "sched/round_robin.hpp"
+#include "sim/source_generator.hpp"
+
+namespace hem::sim {
+namespace {
+
+TEST(QuantumCpuSimTest, SingleTaskRunsThrough) {
+  EventCalendar cal;
+  QuantumCpuSim cpu(cal, {{"t", 10, 4}});
+  cal.at(0, [&] { cpu.activate(0); });
+  cal.run_until(1000);
+  ASSERT_EQ(cpu.responses(0).size(), 1u);
+  EXPECT_EQ(cpu.responses(0)[0], 10);  // quanta are contiguous when alone
+}
+
+TEST(QuantumCpuSimTest, TwoTasksInterleaveByQuantum) {
+  EventCalendar cal;
+  QuantumCpuSim cpu(cal, {{"a", 10, 5}, {"b", 10, 5}});
+  cal.at(0, [&] {
+    cpu.activate(0);
+    cpu.activate(1);
+  });
+  cal.run_until(1000);
+  // Slices: a[0,5) b[5,10) a[10,15) b[15,20).
+  EXPECT_EQ(cpu.responses(0)[0], 15);
+  EXPECT_EQ(cpu.responses(1)[0], 20);
+}
+
+TEST(QuantumCpuSimTest, CompletionInsideSliceFreesCpu) {
+  EventCalendar cal;
+  QuantumCpuSim cpu(cal, {{"short", 3, 10}, {"long", 12, 10}});
+  cal.at(0, [&] {
+    cpu.activate(0);
+    cpu.activate(1);
+  });
+  cal.run_until(1000);
+  EXPECT_EQ(cpu.responses(0)[0], 3);
+  EXPECT_EQ(cpu.responses(1)[0], 15);
+}
+
+TEST(QuantumCpuSimTest, FifoWithinOneTask) {
+  EventCalendar cal;
+  QuantumCpuSim cpu(cal, {{"t", 6, 3}});
+  cal.at(0, [&] {
+    cpu.activate(0);
+    cpu.activate(0);
+  });
+  cal.run_until(1000);
+  ASSERT_EQ(cpu.responses(0).size(), 2u);
+  EXPECT_EQ(cpu.responses(0)[0], 6);
+  EXPECT_EQ(cpu.responses(0)[1], 12);
+}
+
+TEST(QuantumCpuSimTest, ValidationErrors) {
+  EventCalendar cal;
+  EXPECT_THROW(QuantumCpuSim(cal, {}), std::invalid_argument);
+  EXPECT_THROW(QuantumCpuSim(cal, {{"t", 0, 3}}), std::invalid_argument);
+  EXPECT_THROW(QuantumCpuSim(cal, {{"t", 3, 0}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Validation of the conservative RoundRobinAnalysis against the simulator.
+
+class RandomRoundRobin : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomRoundRobin, SimulatedResponsesWithinAnalyticBounds) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> n_dist(2, 4);
+  std::uniform_int_distribution<Time> period_dist(80, 400);
+  std::uniform_int_distribution<Time> quantum_dist(2, 10);
+
+  const int n = n_dist(rng);
+  std::vector<sched::RoundRobinTask> analysis_tasks;
+  std::vector<QuantumCpuSim::TaskDef> sim_tasks;
+  std::vector<Time> periods;
+  double util = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Time period = period_dist(rng);
+    const double budget = (0.7 - util) / (n - i);
+    const Time cet =
+        std::max<Time>(1, static_cast<Time>(budget * static_cast<double>(period)));
+    util += static_cast<double>(cet) / static_cast<double>(period);
+    const Time quantum = quantum_dist(rng);
+    const std::string name = "t" + std::to_string(i);
+    analysis_tasks.push_back(sched::RoundRobinTask{
+        sched::TaskParams{name, 0, sched::ExecutionTime(cet),
+                          StandardEventModel::periodic(period)},
+        quantum});
+    sim_tasks.push_back({name, cet, quantum});
+    periods.push_back(period);
+  }
+
+  const sched::RoundRobinAnalysis analysis(analysis_tasks);
+  const auto bounds = analysis.analyze_all();
+
+  for (const auto mode : {GenMode::kNominal, GenMode::kRandom}) {
+    EventCalendar cal;
+    QuantumCpuSim cpu(cal, sim_tasks);
+    const Time horizon = 60'000;
+    for (int i = 0; i < n; ++i) {
+      const auto arrivals = generate_arrivals({periods[i], 0, 0, 0}, horizon, mode, rng);
+      for (const Time a : arrivals)
+        cal.at(a, [&cpu, i] { cpu.activate(static_cast<std::size_t>(i)); });
+    }
+    cal.run_until(horizon + 5'000);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_LE(cpu.worst_response(static_cast<std::size_t>(i)), bounds[i].wcrt)
+          << "seed=" << GetParam() << " task=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundRobin, ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace hem::sim

@@ -1,0 +1,86 @@
+#include "sim/source_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/standard_event_model.hpp"
+#include "sim/trace_check.hpp"
+
+namespace hem::sim {
+namespace {
+
+TEST(SourceGeneratorTest, NominalIsStrictlyPeriodic) {
+  std::mt19937_64 rng(1);
+  const auto t = generate_arrivals({100, 0, 0, 0}, 1000, GenMode::kNominal, rng);
+  ASSERT_EQ(t.size(), 11u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], Time(100 * i));
+}
+
+TEST(SourceGeneratorTest, PhaseShiftsTheGrid) {
+  std::mt19937_64 rng(1);
+  const auto t = generate_arrivals({100, 0, 0, 37}, 1000, GenMode::kNominal, rng);
+  EXPECT_EQ(t.front(), 37);
+  EXPECT_EQ(t[1], 137);
+}
+
+TEST(SourceGeneratorTest, EarliestModeCreatesInitialBurst) {
+  std::mt19937_64 rng(1);
+  // P=100, J=250: events 0,1,2 all clamp to 0 (earliest possible).
+  const auto t = generate_arrivals({100, 250, 0, 0}, 1000, GenMode::kEarliest, rng);
+  ASSERT_GE(t.size(), 4u);
+  EXPECT_EQ(t[0], 0);
+  EXPECT_EQ(t[1], 0);
+  EXPECT_EQ(t[2], 0);
+  EXPECT_EQ(t[3], 50);  // 3*100 - 250
+}
+
+TEST(SourceGeneratorTest, DminRespectedInEarliestMode) {
+  std::mt19937_64 rng(1);
+  const auto t = generate_arrivals({100, 250, 20, 0}, 1000, GenMode::kEarliest, rng);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GE(t[i] - t[i - 1], 20);
+}
+
+struct GenCase {
+  Time period, jitter, dmin;
+  GenMode mode;
+};
+
+class GeneratorConformance : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorConformance, TraceConformsToItsModel) {
+  const auto& c = GetParam();
+  const auto model = std::make_shared<StandardEventModel>(c.period, c.jitter, c.dmin);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::mt19937_64 rng(seed);
+    const auto trace =
+        generate_arrivals({c.period, c.jitter, c.dmin, 0}, 20'000, c.mode, rng);
+    const auto violations =
+        check_trace_against_model(trace, *model, 3 * c.period + c.jitter, 13, 40);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << (violations.empty() ? "" : violations.front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorConformance,
+    ::testing::Values(GenCase{100, 0, 0, GenMode::kNominal},
+                      GenCase{100, 0, 0, GenMode::kRandom},
+                      GenCase{100, 30, 0, GenMode::kRandom},
+                      GenCase{100, 30, 0, GenMode::kEarliest},
+                      GenCase{100, 250, 0, GenMode::kEarliest},
+                      GenCase{100, 250, 10, GenMode::kRandom},
+                      GenCase{250, 0, 0, GenMode::kRandom},
+                      GenCase{450, 120, 30, GenMode::kEarliest},
+                      GenCase{1000, 999, 0, GenMode::kRandom}));
+
+TEST(SourceGeneratorTest, RejectsInvalidSpecs) {
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(generate_arrivals({0, 0, 0, 0}, 100, GenMode::kNominal, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_arrivals({100, -1, 0, 0}, 100, GenMode::kNominal, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_arrivals({100, 0, 150, 0}, 100, GenMode::kNominal, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hem::sim

@@ -8,13 +8,31 @@
 
 namespace hem {
 
+/// Machine-readable cause of an AnalysisError.  The global engine uses the
+/// code to decide which degraded status and fallback bound to substitute
+/// when running in graceful (non-strict) mode.
+enum class ErrorCode {
+  kGeneric,         ///< unclassified analysis failure
+  kOverload,        ///< long-run load of a resource exceeds 1
+  kWindowLimit,     ///< busy window grew beyond FixpointLimits::max_window
+  kIterationLimit,  ///< fixpoint iteration count budget exhausted
+  kTimeBudget,      ///< wall-clock budget (FixpointLimits::deadline) exhausted
+  kUnbounded,       ///< a model query is unbounded where a bound is required
+};
+
 /// A scheduling analysis could not produce a bound: the resource is
 /// overloaded, a fixpoint iteration diverged, or a model is used outside its
 /// validity domain (e.g. shaping a stream whose long-run rate exceeds the
 /// shaper rate).
 class AnalysisError : public std::runtime_error {
  public:
-  explicit AnalysisError(const std::string& what) : std::runtime_error(what) {}
+  explicit AnalysisError(const std::string& what, ErrorCode code = ErrorCode::kGeneric)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 }  // namespace hem

@@ -47,7 +47,8 @@ ModelPtr PackRule::update_inner_after_response(const ModelPtr& inner, const Mode
   const Count k = outer_old->max_simultaneous_events();
   if (is_infinite_count(k))
     throw AnalysisError(
-        "PackRule: outer stream allows unbounded simultaneous events; inner update undefined");
+        "PackRule: outer stream allows unbounded simultaneous events; inner update undefined",
+        ErrorCode::kUnbounded);
   return std::make_shared<ResponseUpdatedInnerModel>(inner, r_minus, r_plus, std::max<Count>(1, k));
 }
 

@@ -9,12 +9,19 @@
 
 namespace hem::io {
 
+namespace {
+
+std::string csv_time(Time t) { return is_infinite(t) ? "inf" : std::to_string(t); }
+std::string csv_count(Count n) { return is_infinite_count(n) ? "inf" : std::to_string(n); }
+
+}  // namespace
+
 void write_report_csv(std::ostream& os, const cpa::AnalysisReport& report) {
-  os << "task,resource,bcrt,wcrt,activations,busy_period,utilization\n";
+  os << "task,resource,bcrt,wcrt,activations,busy_period,utilization,status\n";
   for (const auto& t : report.tasks) {
-    os << t.name << ',' << t.resource << ',' << t.bcrt << ',' << t.wcrt << ','
-       << t.activations_in_busy_period << ',' << t.busy_period << ',' << t.utilization
-       << '\n';
+    os << t.name << ',' << t.resource << ',' << csv_time(t.bcrt) << ',' << csv_time(t.wcrt)
+       << ',' << csv_count(t.activations_in_busy_period) << ',' << csv_time(t.busy_period)
+       << ',' << t.utilization << ',' << cpa::to_string(t.status) << '\n';
   }
 }
 

@@ -9,8 +9,20 @@
 
 #include "core/event_model.hpp"
 #include "hierarchical/hierarchical_event_model.hpp"
+#include "model/diagnostics.hpp"
 
 namespace hem::cpa {
+
+/// Outcome class of one task's local analysis within the global run.
+enum class TaskStatus {
+  kConverged,         ///< exact bounds from a reached fixpoint
+  kOverloaded,        ///< resource load > 1 (or busy window diverged); bounds are fallbacks
+  kDiverged,          ///< global iteration found no fixpoint for this task
+  kBudgetExhausted,   ///< iteration or wall-clock budget ran out; bounds are fallbacks
+  kDegradedUpstream,  ///< own analysis fine, but a producer's bounds are fallbacks
+};
+
+[[nodiscard]] const char* to_string(TaskStatus s) noexcept;
 
 /// Per-task outcome of the global analysis.
 struct TaskResult {
@@ -25,6 +37,10 @@ struct TaskResult {
   ModelPtr output;       ///< flat output stream (Theta_tau applied)
   HemPtr hem_output;     ///< hierarchical output, for frame tasks only
   double utilization = 0.0;  ///< long-run load this task puts on its resource
+  TaskStatus status = TaskStatus::kConverged;
+
+  /// True when the bounds are conservative fallbacks rather than exact.
+  [[nodiscard]] bool degraded() const noexcept { return status != TaskStatus::kConverged; }
 };
 
 /// Full report of a CpaEngine run.
@@ -32,9 +48,13 @@ struct AnalysisReport {
   std::vector<TaskResult> tasks;
   int iterations = 0;
   bool converged = false;
+  DiagnosticSink diagnostics;  ///< structured findings of the run
 
   /// Lookup by task name; throws std::invalid_argument if absent.
   [[nodiscard]] const TaskResult& task(std::string_view name) const;
+
+  /// True when any task carries fallback (non-exact) bounds.
+  [[nodiscard]] bool degraded() const;
 
   /// Aligned text table of all task results.
   [[nodiscard]] std::string format() const;

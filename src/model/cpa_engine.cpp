@@ -6,6 +6,7 @@
 #include "core/errors.hpp"
 #include "core/output_model.hpp"
 #include "core/sem_fit.hpp"
+#include "hierarchical/inner_update.hpp"
 #include "sched/can_bus.hpp"
 #include "sched/edf.hpp"
 #include "sched/flexray_static.hpp"
@@ -15,10 +16,49 @@
 
 namespace hem::cpa {
 
+namespace {
+
+/// Degraded-status classification of a local-analysis failure.
+TaskStatus status_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverload:
+    case ErrorCode::kWindowLimit:
+      return TaskStatus::kOverloaded;
+    case ErrorCode::kIterationLimit:
+    case ErrorCode::kTimeBudget:
+      return TaskStatus::kBudgetExhausted;
+    default:
+      return TaskStatus::kDiverged;
+  }
+}
+
+DiagCode diag_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverload:
+      return DiagCode::kResourceOverload;
+    case ErrorCode::kIterationLimit:
+    case ErrorCode::kTimeBudget:
+      return DiagCode::kBusyWindowBudget;
+    default:
+      return DiagCode::kBusyWindowDivergence;
+  }
+}
+
+/// Sporadic fallback hierarchical output: outer and every inner stream
+/// degrade to the eq.-8 pending shape (spacing, delta+ = inf).
+HemPtr degraded_hem_output(const ModelPtr& outer, std::size_t inner_count, Time spacing) {
+  std::vector<ModelPtr> inner(inner_count, std::make_shared<SporadicEnvelopeModel>(spacing));
+  return std::make_shared<HierarchicalEventModel>(outer, std::move(inner),
+                                                  PackRule::instance());
+}
+
+}  // namespace
+
 CpaEngine::CpaEngine(const System& system, EngineOptions options)
-    : system_(system), options_(options) {
+    : system_(system), options_(options), limits_(options.fixpoint_limits) {
   system_.validate();
   state_.resize(system_.tasks().size());
+  resource_overloaded_.assign(system_.resources().size(), 0);
 }
 
 void CpaEngine::resolve_activations() {
@@ -87,7 +127,7 @@ void CpaEngine::resolve_activations() {
   }
 }
 
-void CpaEngine::check_resource_load() const {
+void CpaEngine::check_resource_load() {
   const auto& tasks = system_.tasks();
   for (ResourceId r = 0; r < system_.resources().size(); ++r) {
     double load = 0.0;
@@ -101,9 +141,48 @@ void CpaEngine::check_resource_load() const {
       load +=
           long_run_rate(*state_[t].act_flat) * static_cast<double>(tasks[t].cet.worst);
     }
-    if (complete && load > 1.0)
+    if (!complete || load <= 1.0) continue;
+    if (options_.strict)
       throw AnalysisError("CpaEngine: resource '" + system_.resources()[r].name +
-                          "' is overloaded (load " + std::to_string(load) + " > 1)");
+                              "' is overloaded (load " + std::to_string(load) + " > 1)",
+                          ErrorCode::kOverload);
+    resource_overloaded_[r] = 1;
+    resource_diag_[r] = Diagnostic{Severity::kError, DiagCode::kResourceOverload,
+                                   system_.resources()[r].name,
+                                   "long-run load " + std::to_string(load) +
+                                       " exceeds 1; tasks receive fallback bounds",
+                                   current_iteration_};
+  }
+}
+
+void CpaEngine::apply_resource_fallback(ResourceId r, const std::vector<TaskId>& ids,
+                                        TaskStatus status, DiagCode code,
+                                        const std::string& detail) {
+  const auto& tasks = system_.tasks();
+  const Policy policy = system_.resources()[r].policy;
+  // The linear utilisation envelope assumes a work-conserving resource; the
+  // slotted policies (TDMA, FlexRay static) idle between slots, so only
+  // infinity is sound there.
+  const bool work_conserving = policy == Policy::kSppPreemptive ||
+                               policy == Policy::kSpnpCan || policy == Policy::kEdf ||
+                               policy == Policy::kRoundRobin;
+  Time envelope = kTimeInfinity;
+  if (work_conserving) {
+    std::vector<EnvelopeTask> inputs;
+    for (TaskId t : ids) inputs.push_back(EnvelopeTask{state_[t].act_flat, tasks[t].cet.worst});
+    envelope = utilization_wcrt_envelope(inputs);
+  }
+  for (TaskId t : ids) {
+    TaskState& st = state_[t];
+    st.analyzed = true;
+    st.bcrt = tasks[t].cet.best;
+    st.wcrt = std::max(envelope, st.bcrt);
+    st.q_max = is_infinite(st.wcrt) ? kCountInfinity : st.act_flat->eta_plus(st.wcrt);
+    st.backlog = st.q_max;
+    st.busy = st.wcrt;
+    st.status = status;
+    st.has_diag = true;
+    st.diag = Diagnostic{Severity::kError, code, tasks[t].name, detail, current_iteration_};
   }
 }
 
@@ -123,6 +202,13 @@ void CpaEngine::analyze_resources() {
     }
     if (ids.empty()) continue;
 
+    if (!options_.strict && resource_overloaded_[r]) {
+      apply_resource_fallback(r, ids, TaskStatus::kOverloaded, DiagCode::kResourceOverload,
+                              "resource '" + res.name +
+                                  "' overloaded; unbounded fallback WCRT substituted");
+      continue;
+    }
+
     const auto record = [&](const std::vector<sched::ResponseResult>& results) {
       for (std::size_t i = 0; i < ids.size(); ++i) {
         TaskState& st = state_[ids[i]];
@@ -140,65 +226,105 @@ void CpaEngine::analyze_resources() {
                                state_[t].act_flat};
     };
 
-    switch (res.policy) {
-      case Policy::kSppPreemptive: {
-        std::vector<sched::TaskParams> params;
-        for (TaskId t : ids) params.push_back(params_for(t));
-        record(sched::SppAnalysis(std::move(params), options_.fixpoint_limits).analyze_all());
-        break;
+    const auto run_local = [&] {
+      switch (res.policy) {
+        case Policy::kSppPreemptive: {
+          std::vector<sched::TaskParams> params;
+          for (TaskId t : ids) params.push_back(params_for(t));
+          record(sched::SppAnalysis(std::move(params), limits_).analyze_all());
+          break;
+        }
+        case Policy::kSpnpCan: {
+          std::vector<sched::TaskParams> params;
+          for (TaskId t : ids) params.push_back(params_for(t));
+          record(sched::CanBusAnalysis(std::move(params), limits_).analyze_all());
+          break;
+        }
+        case Policy::kRoundRobin: {
+          std::vector<sched::RoundRobinTask> params;
+          for (TaskId t : ids)
+            params.push_back(sched::RoundRobinTask{params_for(t), tasks[t].slot});
+          record(sched::RoundRobinAnalysis(std::move(params), limits_).analyze_all());
+          break;
+        }
+        case Policy::kTdma: {
+          std::vector<sched::TdmaTask> params;
+          for (TaskId t : ids) params.push_back(sched::TdmaTask{params_for(t), tasks[t].slot});
+          record(sched::TdmaAnalysis(std::move(params), res.tdma_cycle, limits_).analyze_all());
+          break;
+        }
+        case Policy::kFlexRayStatic: {
+          std::vector<sched::FlexRayFrame> params;
+          for (TaskId t : ids) params.push_back(sched::FlexRayFrame{params_for(t)});
+          record(sched::FlexRayStaticAnalysis(std::move(params), res.tdma_cycle,
+                                              res.slot_length, limits_)
+                     .analyze_all());
+          break;
+        }
+        case Policy::kEdf: {
+          std::vector<sched::EdfTask> params;
+          for (TaskId t : ids)
+            params.push_back(sched::EdfTask{params_for(t), tasks[t].deadline});
+          record(sched::EdfAnalysis(std::move(params), limits_).analyze_all());
+          break;
+        }
       }
-      case Policy::kSpnpCan: {
-        std::vector<sched::TaskParams> params;
-        for (TaskId t : ids) params.push_back(params_for(t));
-        record(sched::CanBusAnalysis(std::move(params), options_.fixpoint_limits).analyze_all());
-        break;
-      }
-      case Policy::kRoundRobin: {
-        std::vector<sched::RoundRobinTask> params;
-        for (TaskId t : ids)
-          params.push_back(sched::RoundRobinTask{params_for(t), tasks[t].slot});
-        record(
-            sched::RoundRobinAnalysis(std::move(params), options_.fixpoint_limits).analyze_all());
-        break;
-      }
-      case Policy::kTdma: {
-        std::vector<sched::TdmaTask> params;
-        for (TaskId t : ids) params.push_back(sched::TdmaTask{params_for(t), tasks[t].slot});
-        record(sched::TdmaAnalysis(std::move(params), res.tdma_cycle, options_.fixpoint_limits)
-                   .analyze_all());
-        break;
-      }
-      case Policy::kFlexRayStatic: {
-        std::vector<sched::FlexRayFrame> params;
-        for (TaskId t : ids) params.push_back(sched::FlexRayFrame{params_for(t)});
-        record(sched::FlexRayStaticAnalysis(std::move(params), res.tdma_cycle,
-                                            res.slot_length, options_.fixpoint_limits)
-                   .analyze_all());
-        break;
-      }
-      case Policy::kEdf: {
-        std::vector<sched::EdfTask> params;
-        for (TaskId t : ids)
-          params.push_back(sched::EdfTask{params_for(t), tasks[t].deadline});
-        record(sched::EdfAnalysis(std::move(params), options_.fixpoint_limits).analyze_all());
-        break;
-      }
+    };
+
+    if (options_.strict) {
+      run_local();
+      continue;
+    }
+    try {
+      run_local();
+    } catch (const AnalysisError& e) {
+      apply_resource_fallback(r, ids, status_for(e.code()), diag_for(e.code()), e.what());
     }
   }
 }
 
 void CpaEngine::compute_outputs() {
-  for (TaskState& st : state_) {
+  const auto& tasks = system_.tasks();
+  for (TaskId t = 0; t < tasks.size(); ++t) {
+    TaskState& st = state_[t];
     if (!st.analyzed) continue;
+    if (is_infinite(st.wcrt)) {
+      // No finite response bound: the output degrades to the sporadic
+      // envelope (consecutive completions of one task stay >= r- apart,
+      // no arrival guarantee).
+      const Time spacing = std::max<Time>(st.bcrt, 0);
+      st.out_flat = std::make_shared<SporadicEnvelopeModel>(spacing);
+      if (st.act_hem) {
+        st.out_hem = degraded_hem_output(st.out_flat, st.act_hem->inner_count(), spacing);
+        st.hem_degraded = true;
+      }
+      continue;
+    }
     st.out_flat = std::make_shared<OutputModel>(st.act_flat, st.bcrt, st.wcrt);
     if (options_.propagate_fitted_sem) st.out_flat = fit_sem(*st.out_flat);
-    if (st.act_hem) st.out_hem = st.act_hem->after_response(st.bcrt, st.wcrt);
+    if (!st.act_hem) continue;
+    if (options_.strict) {
+      st.out_hem = st.act_hem->after_response(st.bcrt, st.wcrt);
+      continue;
+    }
+    try {
+      st.out_hem = st.act_hem->after_response(st.bcrt, st.wcrt);
+    } catch (const AnalysisError& e) {
+      const Time spacing = std::max<Time>(st.bcrt, 0);
+      st.out_hem = degraded_hem_output(st.out_flat, st.act_hem->inner_count(), spacing);
+      st.hem_degraded = true;
+      st.has_diag = true;
+      st.diag = Diagnostic{Severity::kWarning, DiagCode::kInnerUpdateUnbounded, tasks[t].name,
+                           e.what(), current_iteration_};
+    }
   }
 }
 
-std::vector<Time> CpaEngine::signature() const {
-  std::vector<Time> sig;
-  for (const TaskState& st : state_) {
+std::vector<std::vector<Time>> CpaEngine::signatures() const {
+  std::vector<std::vector<Time>> sigs(state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    const TaskState& st = state_[i];
+    std::vector<Time>& sig = sigs[i];
     sig.push_back(st.analyzed ? 1 : 0);
     sig.push_back(st.bcrt);
     sig.push_back(st.wcrt);
@@ -211,46 +337,121 @@ std::vector<Time> CpaEngine::signature() const {
       sig.push_back(-2);
     }
   }
-  return sig;
+  return sigs;
 }
 
-AnalysisReport CpaEngine::run() {
-  std::vector<Time> prev_sig;
-  int iter = 0;
-  bool converged = false;
+void CpaEngine::finalize_divergence(bool budget_hit) {
+  // Called in graceful mode when the global loop stopped without a fixpoint.
+  // Bounds of tasks whose activation curves were still moving (or whose
+  // producers'/resource-mates' were) are not sound; replace them with the
+  // unbounded fallback.  Tasks whose entire dependency cone stabilised keep
+  // their genuine fixpoint results.
+  const auto& tasks = system_.tasks();
+  std::vector<char> unstable(tasks.size(), 0);
+  for (TaskId t = 0; t < tasks.size(); ++t)
+    unstable[t] = !state_[t].analyzed || prev_sig_.empty() || prev_sig_[t] != last_sig_[t];
 
-  for (iter = 1; iter <= options_.max_iterations; ++iter) {
-    resolve_activations();
-    if (options_.check_overload) check_resource_load();
-    analyze_resources();
-    compute_outputs();
-
-    std::vector<Time> sig = signature();
-    const bool all_analyzed =
-        std::all_of(state_.begin(), state_.end(), [](const TaskState& s) { return s.analyzed; });
-    if (all_analyzed && sig == prev_sig) {
-      converged = true;
-      break;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TaskId t = 0; t < tasks.size(); ++t) {
+      if (unstable[t]) continue;
+      bool taint = false;
+      const ActivationSpec& spec = system_.activation(t);
+      const auto check = [&](TaskId p) { taint = taint || unstable[p]; };
+      if (const auto* by = std::get_if<TaskOutputActivation>(&spec))
+        for (TaskId p : by->producers) check(p);
+      if (const auto* andj = std::get_if<AndActivation>(&spec))
+        for (TaskId p : andj->producers) check(p);
+      if (const auto* packed = std::get_if<PackedActivation>(&spec))
+        for (const auto& in : packed->inputs)
+          if (const auto* tid = std::get_if<TaskId>(&in.source)) check(*tid);
+      if (const auto* up = std::get_if<UnpackedActivation>(&spec)) check(up->frame_task);
+      // Interference path: a resource-mate whose activation is unstable
+      // makes this task's interference bound unstable as well.
+      for (TaskId m = 0; m < tasks.size() && !taint; ++m)
+        if (m != t && tasks[m].resource == tasks[t].resource && unstable[m]) taint = true;
+      if (taint) {
+        unstable[t] = 1;
+        changed = true;
+      }
     }
-    prev_sig = std::move(sig);
   }
 
-  if (!converged) {
-    std::string unresolved;
-    for (TaskId t = 0; t < system_.tasks().size(); ++t) {
-      if (!state_[t].analyzed) unresolved += (unresolved.empty() ? "" : ", ") + system_.tasks()[t].name;
+  const TaskStatus status = budget_hit ? TaskStatus::kBudgetExhausted : TaskStatus::kDiverged;
+  const DiagCode code = budget_hit ? DiagCode::kWallClockBudget : DiagCode::kGlobalIterationLimit;
+  for (TaskId t = 0; t < tasks.size(); ++t) {
+    if (!unstable[t]) continue;
+    TaskState& st = state_[t];
+    if (st.status != TaskStatus::kConverged) continue;  // keep the own-failure record
+    if (!st.analyzed) {
+      st.diag = Diagnostic{Severity::kError, DiagCode::kUnresolvedActivation, tasks[t].name,
+                           "activation never resolved (dependency cycle cannot bootstrap)",
+                           current_iteration_};
+      if (!st.act_flat) st.act_flat = std::make_shared<SporadicEnvelopeModel>(0);
+      st.analyzed = true;
+    } else {
+      st.diag = Diagnostic{
+          Severity::kError, code, tasks[t].name,
+          budget_hit ? "wall-clock budget exhausted before the global fixpoint"
+                     : "no global fixpoint; last-iteration bounds unsound, substituting infinity",
+          current_iteration_};
     }
-    throw AnalysisError(
-        "CpaEngine: no fixpoint after " + std::to_string(options_.max_iterations) +
-        " global iterations" +
-        (unresolved.empty() ? std::string(" (cyclic dependency diverging)")
-                            : " (unresolved activations: " + unresolved +
-                                  " - likely a dependency cycle that cannot bootstrap)"));
+    st.has_diag = true;
+    st.status = status;
+    st.bcrt = std::min(st.bcrt, tasks[t].cet.best);
+    st.wcrt = kTimeInfinity;
+    st.q_max = kCountInfinity;
+    st.backlog = kCountInfinity;
+    st.busy = kTimeInfinity;
+    const Time spacing = std::max<Time>(st.bcrt, 0);
+    st.out_flat = std::make_shared<SporadicEnvelopeModel>(spacing);
+    if (st.act_hem) {
+      st.out_hem = degraded_hem_output(st.out_flat, st.act_hem->inner_count(), spacing);
+      st.hem_degraded = true;
+    }
   }
+}
 
+void CpaEngine::taint_downstream() {
+  const auto& tasks = system_.tasks();
+  const auto degraded = [&](TaskId p) { return state_[p].status != TaskStatus::kConverged; };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TaskId t = 0; t < tasks.size(); ++t) {
+      TaskState& st = state_[t];
+      if (st.status != TaskStatus::kConverged) continue;
+      bool taint = false;
+      const ActivationSpec& spec = system_.activation(t);
+      if (const auto* by = std::get_if<TaskOutputActivation>(&spec))
+        taint = std::any_of(by->producers.begin(), by->producers.end(), degraded);
+      else if (const auto* andj = std::get_if<AndActivation>(&spec))
+        taint = std::any_of(andj->producers.begin(), andj->producers.end(), degraded);
+      else if (const auto* packed = std::get_if<PackedActivation>(&spec)) {
+        for (const auto& in : packed->inputs)
+          if (const auto* tid = std::get_if<TaskId>(&in.source)) taint = taint || degraded(*tid);
+      } else if (const auto* up = std::get_if<UnpackedActivation>(&spec)) {
+        taint = degraded(up->frame_task) || state_[up->frame_task].hem_degraded;
+      }
+      if (!taint) continue;
+      st.status = TaskStatus::kDegradedUpstream;
+      if (!st.has_diag) {
+        st.has_diag = true;
+        st.diag = Diagnostic{Severity::kWarning, DiagCode::kDegradedUpstream, tasks[t].name,
+                             "activation derives from a producer with fallback bounds",
+                             current_iteration_};
+      }
+      changed = true;
+    }
+  }
+}
+
+AnalysisReport CpaEngine::assemble_report(int iterations, bool converged) const {
   AnalysisReport report;
-  report.iterations = iter;
+  report.iterations = iterations;
   report.converged = converged;
+  for (const auto& [r, diag] : resource_diag_) report.diagnostics.report(diag);
   const auto& tasks = system_.tasks();
   for (TaskId t = 0; t < tasks.size(); ++t) {
     const TaskState& st = state_[t];
@@ -265,9 +466,92 @@ AnalysisReport CpaEngine::run() {
     res.activation = st.act_flat;
     res.output = st.out_flat;
     res.hem_output = st.out_hem;
+    res.status = st.status;
     res.utilization =
         long_run_rate(*st.act_flat) * static_cast<double>(tasks[t].cet.worst);
+    if (st.has_diag) report.diagnostics.report(st.diag);
     report.tasks.push_back(std::move(res));
+  }
+  return report;
+}
+
+AnalysisReport CpaEngine::run() {
+  using clock = std::chrono::steady_clock;
+  limits_ = options_.fixpoint_limits;
+  if (options_.wall_clock_budget_ms > 0) {
+    const auto deadline = clock::now() + std::chrono::milliseconds(options_.wall_clock_budget_ms);
+    limits_.deadline = std::min(limits_.deadline, deadline);
+  }
+  const bool budgeted = limits_.deadline != clock::time_point::max();
+
+  int iter = 0;
+  bool converged = false;
+  bool budget_hit = false;
+
+  for (iter = 1; iter <= options_.max_iterations; ++iter) {
+    current_iteration_ = iter;
+    if (budgeted && clock::now() >= limits_.deadline) {
+      budget_hit = true;
+      break;
+    }
+    for (TaskState& st : state_) {
+      st.status = TaskStatus::kConverged;
+      st.has_diag = false;
+      st.hem_degraded = false;
+    }
+    resource_overloaded_.assign(system_.resources().size(), 0);
+    resource_diag_.clear();
+
+    resolve_activations();
+    if (options_.check_overload) check_resource_load();
+    analyze_resources();
+    compute_outputs();
+
+    std::vector<std::vector<Time>> sig = signatures();
+    const bool all_analyzed =
+        std::all_of(state_.begin(), state_.end(), [](const TaskState& s) { return s.analyzed; });
+    if (all_analyzed && !last_sig_.empty() && sig == last_sig_) {
+      converged = true;
+      prev_sig_ = last_sig_;
+      last_sig_ = std::move(sig);
+      break;
+    }
+    prev_sig_ = std::move(last_sig_);
+    last_sig_ = std::move(sig);
+  }
+  if (iter > options_.max_iterations) iter = options_.max_iterations;
+
+  if (!converged) {
+    if (options_.strict) {
+      std::string unresolved;
+      for (TaskId t = 0; t < system_.tasks().size(); ++t) {
+        if (!state_[t].analyzed)
+          unresolved += (unresolved.empty() ? "" : ", ") + system_.tasks()[t].name;
+      }
+      throw AnalysisError(
+          "CpaEngine: no fixpoint after " + std::to_string(options_.max_iterations) +
+              " global iterations" +
+              (unresolved.empty() ? std::string(" (cyclic dependency diverging)")
+                                  : " (unresolved activations: " + unresolved +
+                                        " - likely a dependency cycle that cannot bootstrap)"),
+          budget_hit ? ErrorCode::kTimeBudget : ErrorCode::kIterationLimit);
+    }
+    finalize_divergence(budget_hit);
+  }
+
+  if (!options_.strict) taint_downstream();
+
+  AnalysisReport report = assemble_report(iter, converged);
+  if (!converged) {
+    report.diagnostics.report(Diagnostic{
+        Severity::kError,
+        budget_hit ? DiagCode::kWallClockBudget : DiagCode::kGlobalIterationLimit, "system",
+        budget_hit
+            ? "wall-clock budget (" + std::to_string(options_.wall_clock_budget_ms) +
+                  " ms) exhausted after " + std::to_string(iter) + " global iterations"
+            : "no global fixpoint within " + std::to_string(options_.max_iterations) +
+                  " iterations",
+        current_iteration_});
   }
   return report;
 }

@@ -13,11 +13,24 @@
 ///   3. compute output streams: Theta_tau on flat streams, outer output +
 ///      inner update on hierarchical streams.
 /// Convergence is detected by comparing response times and sampled
-/// activation curves between consecutive iterations.  Feed-forward systems
-/// converge in as many iterations as the depth of the stream graph; cyclic
-/// systems iterate to a fixpoint or hit the iteration cap (AnalysisError).
+/// activation curves between consecutive iterations.
+///
+/// Failure handling comes in two modes:
+///   * graceful (default): a failing local analysis (overload, busy-window
+///     divergence, exhausted budget) is recorded as a Diagnostic, the
+///     affected tasks receive conservative fallback bounds (utilisation
+///     envelope or infinity, sporadic-envelope output streams), downstream
+///     tasks are tainted as degraded, and the run completes with a full
+///     AnalysisReport carrying per-task statuses;
+///   * strict: the first failure throws AnalysisError (the classic
+///     all-or-nothing behaviour, useful in tests and schedulability
+///     oracles).
+
+#include <chrono>
+#include <map>
 
 #include "model/analysis_report.hpp"
+#include "model/diagnostics.hpp"
 #include "model/system.hpp"
 
 namespace hem::cpa {
@@ -26,19 +39,28 @@ struct EngineOptions {
   int max_iterations = 64;
   Count compare_horizon = 64;  ///< delta-curve samples used for convergence
   sched::FixpointLimits fixpoint_limits{};
-  bool check_overload = true;  ///< fail fast when a resource's load exceeds 1
+  bool check_overload = true;  ///< detect resource load > 1 before local analysis
   /// Classic SymTA/S-style propagation: re-fit every output stream to a
   /// standard event model instead of propagating exact curves.  Lossy but
   /// keeps the representation closed; exposed for the A4 ablation and for
   /// users reproducing parameter-based tool results.
   bool propagate_fitted_sem = false;
+  /// Throw AnalysisError on the first overload/divergence instead of
+  /// degrading to conservative fallback bounds.
+  bool strict = false;
+  /// Wall-clock budget for the whole run in milliseconds (0 = unlimited).
+  /// Propagated into every busy-window fixpoint via FixpointLimits; on
+  /// exhaustion remaining tasks are reported as BudgetExhausted.
+  long wall_clock_budget_ms = 0;
 };
 
 class CpaEngine {
  public:
   explicit CpaEngine(const System& system, EngineOptions options = {});
 
-  /// Run the global iteration; throws AnalysisError on divergence or
+  /// Run the global iteration.  In graceful mode (default) always returns a
+  /// report; per-task statuses and `report.diagnostics` describe any
+  /// degradation.  In strict mode throws AnalysisError on divergence or
   /// overload.
   [[nodiscard]] AnalysisReport run();
 
@@ -54,17 +76,33 @@ class CpaEngine {
     Count q_max = 0;
     Count backlog = 0;
     Time busy = 0;
+    TaskStatus status = TaskStatus::kConverged;
+    bool has_diag = false;      ///< `diag` carries a valid record for this task
+    bool hem_degraded = false;  ///< inner streams replaced by fallback envelopes
+    Diagnostic diag{};          ///< failure/degradation record, valid when has_diag
   };
 
   void resolve_activations();
+  void check_resource_load();
   void analyze_resources();
   void compute_outputs();
-  [[nodiscard]] std::vector<Time> signature() const;
-  void check_resource_load() const;
+  [[nodiscard]] std::vector<std::vector<Time>> signatures() const;
+
+  void apply_resource_fallback(ResourceId r, const std::vector<TaskId>& ids,
+                               TaskStatus status, DiagCode code, const std::string& detail);
+  void finalize_divergence(bool budget_hit);
+  void taint_downstream();
+  [[nodiscard]] AnalysisReport assemble_report(int iterations, bool converged) const;
 
   const System& system_;
   EngineOptions options_;
+  sched::FixpointLimits limits_;  ///< fixpoint limits incl. derived deadline
   std::vector<TaskState> state_;
+  std::vector<char> resource_overloaded_;      ///< per-resource flag, this iteration
+  std::map<ResourceId, Diagnostic> resource_diag_;
+  std::vector<std::vector<Time>> prev_sig_;  ///< per-task signature, iteration N-1
+  std::vector<std::vector<Time>> last_sig_;  ///< per-task signature, iteration N
+  int current_iteration_ = 0;
 };
 
 }  // namespace hem::cpa

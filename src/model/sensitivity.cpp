@@ -14,6 +14,21 @@ FeasibilityResult check_feasible(const System& system, const DeadlineMap& deadli
     result.reason = e.what();
     return result;
   }
+  // Fallback bounds are conservative, not exact: a degraded report cannot
+  // certify feasibility, and treating it as infeasible keeps the sensitivity
+  // binary searches monotone in graceful mode.
+  if (result.report.degraded()) {
+    result.feasible = false;
+    for (const Diagnostic& d : result.report.diagnostics.entries()) {
+      if (d.severity == Severity::kError) {
+        result.reason = "analysis degraded: " + std::string(to_string(d.code)) + " on '" +
+                        d.entity + "'";
+        break;
+      }
+    }
+    if (result.reason.empty()) result.reason = "analysis degraded: fallback bounds in effect";
+    return result;
+  }
   for (const auto& [task, deadline] : deadlines) {
     const Time wcrt = result.report.task(task).wcrt;
     if (wcrt > deadline) {
@@ -117,6 +132,7 @@ std::optional<std::map<std::string, int>> optimize_priorities(System& system,
       bool ok = true;
       try {
         const auto report = CpaEngine(probe, options).run();
+        if (report.degraded()) ok = false;
         const auto& name = system.tasks()[candidate].name;
         const auto dl = deadlines.find(name);
         if (dl != deadlines.end() && report.task(name).wcrt > dl->second) ok = false;

@@ -1,9 +1,12 @@
 #include "model/textual_config.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "core/delta_function_model.hpp"
@@ -19,23 +22,99 @@ namespace {
   throw std::invalid_argument("line " + std::to_string(line) + ": " + message);
 }
 
-/// Split a line into whitespace-separated tokens, dropping comments.
-std::vector<std::string> tokenize(const std::string& line) {
+[[noreturn]] void fail_at(int line, int col, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(line) + ", col " + std::to_string(col) +
+                              ": " + message);
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[b.size()];
+}
+
+/// " (did you mean 'x'?)" when a candidate is within edit distance 2,
+/// empty otherwise.
+std::string did_you_mean(std::string_view got,
+                         std::initializer_list<std::string_view> candidates) {
+  std::string_view best;
+  std::size_t best_d = 3;
+  for (const std::string_view c : candidates) {
+    const std::size_t d = edit_distance(got, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  if (best.empty()) return "";
+  return " (did you mean '" + std::string(best) + "'?)";
+}
+
+/// One statement: the tokens of a config line plus their 1-based columns.
+struct Stmt {
   std::vector<std::string> tokens;
-  std::istringstream is(line.substr(0, line.find('#')));
-  std::string tok;
-  while (is >> tok) tokens.push_back(tok);
-  return tokens;
+  std::vector<int> cols;
+  int line = 0;
+};
+
+/// Split a line into whitespace-separated tokens, dropping comments and
+/// remembering where each token starts.
+Stmt tokenize(const std::string& raw, int line_no) {
+  Stmt s;
+  s.line = line_no;
+  const std::string text = raw.substr(0, raw.find('#'));
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) == 0) ++i;
+    s.tokens.push_back(text.substr(start, i - start));
+    s.cols.push_back(static_cast<int>(start) + 1);
+  }
+  return s;
+}
+
+Time to_time_at(const std::string& text, int line, int col) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("");
+    return static_cast<Time>(v);
+  } catch (...) {
+    if (col > 0) fail_at(line, col, "not a number: '" + text + "'");
+    fail(line, "not a number: '" + text + "'");
+  }
 }
 
 /// Key=value arguments after the positional tokens.
 class Args {
  public:
-  Args(const std::vector<std::string>& tokens, std::size_t first, int line) : line_(line) {
-    for (std::size_t i = first; i < tokens.size(); ++i) {
-      const auto eq = tokens[i].find('=');
-      if (eq == std::string::npos) fail(line, "expected key=value, got '" + tokens[i] + "'");
-      kv_[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  Args(const Stmt& s, std::size_t first) : line_(s.line) {
+    for (std::size_t i = first; i < s.tokens.size(); ++i) {
+      const auto eq = s.tokens[i].find('=');
+      if (eq == std::string::npos)
+        fail_at(s.line, s.cols[i], "expected key=value, got '" + s.tokens[i] + "'");
+      kv_[s.tokens[i].substr(0, eq)] = {s.tokens[i].substr(eq + 1), s.cols[i]};
+    }
+  }
+
+  /// Reject any argument key outside `keys`, suggesting the closest match.
+  void allow(std::initializer_list<std::string_view> keys) const {
+    for (const auto& [key, val] : kv_) {
+      if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+      fail_at(line_, val.second, "unknown argument '" + key + "'" + did_you_mean(key, keys));
     }
   }
 
@@ -44,33 +123,33 @@ class Args {
   [[nodiscard]] std::string str(const std::string& key) const {
     const auto it = kv_.find(key);
     if (it == kv_.end()) fail(line_, "missing required argument '" + key + "'");
-    return it->second;
+    return it->second.first;
   }
 
   [[nodiscard]] std::string str_or(const std::string& key, const std::string& def) const {
     const auto it = kv_.find(key);
-    return it == kv_.end() ? def : it->second;
+    return it == kv_.end() ? def : it->second.first;
   }
 
-  [[nodiscard]] Time time(const std::string& key) const { return to_time(str(key)); }
+  [[nodiscard]] Time time(const std::string& key) const {
+    return to_time_at(str(key), line_, col(key));
+  }
 
   [[nodiscard]] Time time_or(const std::string& key, Time def) const {
-    return has(key) ? to_time(str(key)) : def;
+    return has(key) ? time(key) : def;
   }
 
   [[nodiscard]] Time to_time(const std::string& text) const {
-    try {
-      std::size_t pos = 0;
-      const long long v = std::stoll(text, &pos);
-      if (pos != text.size()) throw std::invalid_argument("");
-      return static_cast<Time>(v);
-    } catch (...) {
-      fail(line_, "not a number: '" + text + "'");
-    }
+    return to_time_at(text, line_, 0 /* value inside a list; column unknown */);
   }
 
  private:
-  std::map<std::string, std::string> kv_;
+  [[nodiscard]] int col(const std::string& key) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? 0 : it->second.second;
+  }
+
+  std::map<std::string, std::pair<std::string, int>> kv_;
   int line_;
 };
 
@@ -116,72 +195,92 @@ struct ParserState {
   }
 };
 
-void parse_resource(ParserState& st, const std::vector<std::string>& tokens, int line) {
-  if (tokens.size() < 3) fail(line, "resource needs: resource <name> <policy>");
-  const std::string& name = tokens[1];
-  const std::string& policy = tokens[2];
-  const Args args(tokens, 3, line);
+void parse_resource(ParserState& st, const Stmt& s) {
+  const int line = s.line;
+  if (s.tokens.size() < 3) fail(line, "resource needs: resource <name> <policy>");
+  const std::string& name = s.tokens[1];
+  const std::string& policy = s.tokens[2];
+  const Args args(s, 3);
   ResourceSpec spec;
   spec.name = name;
   if (policy == "spp") {
+    args.allow({});
     spec.policy = Policy::kSppPreemptive;
   } else if (policy == "can") {
+    args.allow({});
     spec.policy = Policy::kSpnpCan;
   } else if (policy == "rr") {
+    args.allow({});
     spec.policy = Policy::kRoundRobin;
   } else if (policy == "tdma") {
+    args.allow({"cycle"});
     spec.policy = Policy::kTdma;
     spec.tdma_cycle = args.time("cycle");
   } else if (policy == "flexray") {
+    args.allow({"cycle", "slot"});
     spec.policy = Policy::kFlexRayStatic;
     spec.tdma_cycle = args.time("cycle");
     spec.slot_length = args.time("slot");
   } else if (policy == "edf") {
+    args.allow({});
     spec.policy = Policy::kEdf;
   } else {
-    fail(line, "unknown policy '" + policy + "' (spp|can|rr|tdma|flexray|edf)");
+    fail_at(line, s.cols[2],
+            "unknown policy '" + policy + "' (spp|can|rr|tdma|flexray|edf)" +
+                did_you_mean(policy, {"spp", "can", "rr", "tdma", "flexray", "edf"}));
   }
   if (st.resources.count(name) != 0) fail(line, "duplicate resource '" + name + "'");
   st.resources[name] = st.system.add_resource(std::move(spec));
 }
 
-void parse_source(ParserState& st, const std::vector<std::string>& tokens, int line) {
-  if (tokens.size() < 3) fail(line, "source needs: source <name> <kind> <params>");
-  const std::string& name = tokens[1];
-  const std::string& kind = tokens[2];
-  const Args args(tokens, 3, line);
+void parse_source(ParserState& st, const Stmt& s) {
+  const int line = s.line;
+  if (s.tokens.size() < 3) fail(line, "source needs: source <name> <kind> <params>");
+  const std::string& name = s.tokens[1];
+  const std::string& kind = s.tokens[2];
+  const Args args(s, 3);
   if (st.sources.count(name) != 0) fail(line, "duplicate source '" + name + "'");
   try {
     if (kind == "periodic") {
+      args.allow({"period"});
       st.sources[name] = StandardEventModel::periodic(args.time("period"));
     } else if (kind == "sem") {
+      args.allow({"period", "jitter", "dmin"});
       st.sources[name] = std::make_shared<StandardEventModel>(
           args.time("period"), args.time_or("jitter", 0), args.time_or("dmin", 0));
     } else if (kind == "burst") {
+      args.allow({"size", "inner", "period"});
       st.sources[name] = DeltaFunctionModel::periodic_burst(
           args.time("size"), args.time("inner"), args.time("period"));
     } else if (kind == "leaky") {
+      args.allow({"burst", "spacing"});
       st.sources[name] =
           std::make_shared<LeakyBucketModel>(args.time("burst"), args.time("spacing"));
     } else if (kind == "offsets") {
+      args.allow({"period", "at", "jitter"});
       std::vector<Time> offsets;
       for (const auto& part : split_list(args.str("at")))
         offsets.push_back(args.to_time(part));
       st.sources[name] = std::make_shared<OffsetTransactionModel>(
           args.time("period"), std::move(offsets), args.time_or("jitter", 0));
     } else {
-      fail(line, "unknown source kind '" + kind +
-                     "' (periodic|sem|burst|leaky|offsets)");
+      fail_at(line, s.cols[2],
+              "unknown source kind '" + kind + "' (periodic|sem|burst|leaky|offsets)" +
+                  did_you_mean(kind, {"periodic", "sem", "burst", "leaky", "offsets"}));
     }
   } catch (const std::invalid_argument& e) {
-    fail(line, std::string("invalid source parameters: ") + e.what());
+    const std::string what = e.what();
+    if (what.rfind("line ", 0) == 0) throw;  // already positioned (bad number, unknown key)
+    fail(line, "invalid source parameters: " + what);
   }
 }
 
-void parse_task(ParserState& st, const std::vector<std::string>& tokens, int line) {
-  if (tokens.size() < 2) fail(line, "task needs a name");
-  const std::string& name = tokens[1];
-  const Args args(tokens, 2, line);
+void parse_task(ParserState& st, const Stmt& s) {
+  const int line = s.line;
+  if (s.tokens.size() < 2) fail(line, "task needs a name");
+  const std::string& name = s.tokens[1];
+  const Args args(s, 2);
+  args.allow({"resource", "priority", "cet", "slot", "deadline"});
   const auto res = st.resources.find(args.str("resource"));
   if (res == st.resources.end()) fail(line, "unknown resource '" + args.str("resource") + "'");
   TaskSpec spec{name, res->second, static_cast<int>(args.time("priority")),
@@ -196,11 +295,13 @@ void parse_task(ParserState& st, const std::vector<std::string>& tokens, int lin
   }
 }
 
-void parse_activate(ParserState& st, const std::vector<std::string>& tokens, int line) {
-  if (tokens.size() < 2) fail(line, "activate needs a task name");
-  const auto task = st.tasks.find(tokens[1]);
-  if (task == st.tasks.end()) fail(line, "unknown task '" + tokens[1] + "'");
-  const Args args(tokens, 2, line);
+void parse_activate(ParserState& st, const Stmt& s) {
+  const int line = s.line;
+  if (s.tokens.size() < 2) fail(line, "activate needs a task name");
+  const auto task = st.tasks.find(s.tokens[1]);
+  if (task == st.tasks.end()) fail(line, "unknown task '" + s.tokens[1] + "'");
+  const Args args(s, 2);
+  args.allow({"from", "or", "and", "period"});
   if (args.has("from")) {
     const std::string from = args.str("from");
     if (const auto producer = st.tasks.find(from); producer != st.tasks.end()) {
@@ -237,11 +338,13 @@ void parse_activate(ParserState& st, const std::vector<std::string>& tokens, int
   fail(line, "activate needs from=<source|task>, or=<t1,t2,...>, or and=<t1,t2,...> period=<T>");
 }
 
-void parse_packed(ParserState& st, const std::vector<std::string>& tokens, int line) {
-  if (tokens.size() < 2) fail(line, "packed needs a frame task name");
-  const auto frame = st.tasks.find(tokens[1]);
-  if (frame == st.tasks.end()) fail(line, "unknown task '" + tokens[1] + "'");
-  const Args args(tokens, 2, line);
+void parse_packed(ParserState& st, const Stmt& s) {
+  const int line = s.line;
+  if (s.tokens.size() < 2) fail(line, "packed needs a frame task name");
+  const auto frame = st.tasks.find(s.tokens[1]);
+  if (frame == st.tasks.end()) fail(line, "unknown task '" + s.tokens[1] + "'");
+  const Args args(s, 2);
+  args.allow({"inputs", "timer"});
   std::vector<PackedActivation::Input> inputs;
   for (const auto& part : split_list(args.str("inputs"))) {
     const auto colon = part.find(':');
@@ -259,7 +362,8 @@ void parse_packed(ParserState& st, const std::vector<std::string>& tokens, int l
     else if (coupling == "pend")
       input.coupling = SignalCoupling::kPending;
     else
-      fail(line, "unknown coupling '" + coupling + "' (trig|pend)");
+      fail(line, "unknown coupling '" + coupling + "' (trig|pend)" +
+                     did_you_mean(coupling, {"trig", "pend"}));
     inputs.push_back(std::move(input));
   }
   ModelPtr timer;
@@ -271,22 +375,24 @@ void parse_packed(ParserState& st, const std::vector<std::string>& tokens, int l
   }
 }
 
-void parse_unpack(ParserState& st, const std::vector<std::string>& tokens, int line) {
-  if (tokens.size() < 2) fail(line, "unpack needs a task name");
-  const auto task = st.tasks.find(tokens[1]);
-  if (task == st.tasks.end()) fail(line, "unknown task '" + tokens[1] + "'");
-  const Args args(tokens, 2, line);
+void parse_unpack(ParserState& st, const Stmt& s) {
+  const int line = s.line;
+  if (s.tokens.size() < 2) fail(line, "unpack needs a task name");
+  const auto task = st.tasks.find(s.tokens[1]);
+  if (task == st.tasks.end()) fail(line, "unknown task '" + s.tokens[1] + "'");
+  const Args args(s, 2);
+  args.allow({"frame", "index"});
   const auto frame = st.tasks.find(args.str("frame"));
   if (frame == st.tasks.end()) fail(line, "unknown frame task '" + args.str("frame") + "'");
   st.system.activate_unpacked(task->second, frame->second,
                               static_cast<std::size_t>(args.time("index")));
 }
 
-void parse_deadline(ParserState& st, const std::vector<std::string>& tokens, int line) {
-  if (tokens.size() != 3) fail(line, "deadline needs: deadline <task> <ticks>");
-  if (st.tasks.count(tokens[1]) == 0) fail(line, "unknown task '" + tokens[1] + "'");
-  const Args args(tokens, 3, line);
-  st.deadlines[tokens[1]] = args.to_time(tokens[2]);
+void parse_deadline(ParserState& st, const Stmt& s) {
+  const int line = s.line;
+  if (s.tokens.size() != 3) fail(line, "deadline needs: deadline <task> <ticks>");
+  if (st.tasks.count(s.tokens[1]) == 0) fail(line, "unknown task '" + s.tokens[1] + "'");
+  st.deadlines[s.tokens[1]] = to_time_at(s.tokens[2], line, s.cols[2]);
 }
 
 }  // namespace
@@ -297,25 +403,28 @@ ParsedSystem parse_system_config(std::istream& in) {
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const auto tokens = tokenize(line);
-    if (tokens.empty()) continue;
-    const std::string& keyword = tokens[0];
+    const Stmt s = tokenize(line, line_no);
+    if (s.tokens.empty()) continue;
+    const std::string& keyword = s.tokens[0];
     if (keyword == "resource")
-      parse_resource(st, tokens, line_no);
+      parse_resource(st, s);
     else if (keyword == "source")
-      parse_source(st, tokens, line_no);
+      parse_source(st, s);
     else if (keyword == "task")
-      parse_task(st, tokens, line_no);
+      parse_task(st, s);
     else if (keyword == "activate")
-      parse_activate(st, tokens, line_no);
+      parse_activate(st, s);
     else if (keyword == "packed")
-      parse_packed(st, tokens, line_no);
+      parse_packed(st, s);
     else if (keyword == "unpack")
-      parse_unpack(st, tokens, line_no);
+      parse_unpack(st, s);
     else if (keyword == "deadline")
-      parse_deadline(st, tokens, line_no);
+      parse_deadline(st, s);
     else
-      fail(line_no, "unknown keyword '" + keyword + "'");
+      fail_at(line_no, s.cols[0],
+              "unknown keyword '" + keyword + "'" +
+                  did_you_mean(keyword, {"resource", "source", "task", "activate", "packed",
+                                         "unpack", "deadline"}));
   }
   try {
     st.system.validate();

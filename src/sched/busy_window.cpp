@@ -7,18 +7,29 @@ namespace hem::sched {
 
 Time least_fixpoint(const std::function<Time(Time)>& f, Time start, const FixpointLimits& limits,
                     const std::string& what) {
+  const bool bounded_clock =
+      limits.deadline != std::chrono::steady_clock::time_point::max();
   Time w = start;
   for (long it = 0; it < limits.max_iterations; ++it) {
+    if (bounded_clock && (it & 4095) == 0 &&
+        std::chrono::steady_clock::now() >= limits.deadline)
+      throw AnalysisError(what + ": wall-clock budget exhausted after " + std::to_string(it) +
+                              " fixpoint steps",
+                          ErrorCode::kTimeBudget);
     const Time next = f(w);
     if (next < w)
       throw AnalysisError(what + ": demand function is not monotone (internal error)");
     if (next == w) return w;
     if (next > limits.max_window)
       throw AnalysisError(what + ": busy window exceeds limit (" +
-                          std::to_string(limits.max_window) + " ticks) - resource overloaded?");
+                              std::to_string(limits.max_window) +
+                              " ticks) - resource overloaded?",
+                          ErrorCode::kWindowLimit);
     w = next;
   }
-  throw AnalysisError(what + ": fixpoint iteration did not converge");
+  throw AnalysisError(what + ": fixpoint iteration did not converge within " +
+                          std::to_string(limits.max_iterations) + " steps",
+                      ErrorCode::kIterationLimit);
 }
 
 Count backlog_bound(const EventModel& activation, const std::vector<Time>& completion_times) {

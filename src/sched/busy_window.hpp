@@ -15,6 +15,7 @@
 /// where delta-(q) is the earliest arrival of the q-th activation relative
 /// to the critical instant.
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -72,6 +73,12 @@ struct FixpointLimits {
   /// divergence.  Raise it for very fine-grained tick units.
   Time max_window = Time{1} << 28;
   long max_iterations = 1'000'000;
+  /// Wall-clock deadline shared by every fixpoint computation of one
+  /// analysis run (the global engine derives it from its own budget).
+  /// Checked coarsely (every few thousand steps); exceeding it throws
+  /// AnalysisError with ErrorCode::kTimeBudget.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Least fixpoint of the monotone demand function `f`, starting from

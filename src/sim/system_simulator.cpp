@@ -249,11 +249,24 @@ SystemSimResult SystemSimulator::run() {
   }
 
   // ---- schedule the external stimuli and run ------------------------------
+  const FaultInjection& faults = options_.faults;
+  if (faults.drop_rate < 0.0 || faults.drop_rate > 1.0)
+    throw std::invalid_argument("SystemSimulator: drop_rate must be within [0, 1]");
+  if (faults.extra_jitter < 0 || faults.burst < 1)
+    throw std::invalid_argument("SystemSimulator: need extra_jitter >= 0 and burst >= 1");
+  std::uniform_real_distribution<double> drop_dist(0.0, 1.0);
+  std::uniform_int_distribution<Time> jitter_dist(0, std::max<Time>(faults.extra_jitter, 0));
   for (const auto& [src, fire] : generators) {
     const auto arrivals = generate_arrivals(src, options_.horizon, options_.mode, rng);
     for (const Time a : arrivals) {
-      auto f = fire;  // copy for the calendar closure
-      cal.at(a, std::move(f));
+      if (faults.drop_rate > 0.0 && drop_dist(rng) < faults.drop_rate) continue;
+      Time when = a;
+      if (faults.extra_jitter > 0) when += jitter_dist(rng);
+      if (when >= options_.horizon) continue;
+      for (Count b = 0; b < faults.burst; ++b) {
+        auto f = fire;  // copy for the calendar closure
+        cal.at(when, std::move(f));
+      }
     }
   }
   cal.run_until(options_.horizon);

@@ -39,11 +39,25 @@ struct SystemSimResult {
 
 class SystemSimulator {
  public:
+  /// Fault-injection knobs applied to every external stimulus (sources,
+  /// packed data inputs, COM timers).  Dropping events only removes load, so
+  /// analytic bounds must still dominate the observed responses; extra
+  /// jitter and burst replication are adversarial (they inject load beyond
+  /// the declared event models) and are meant for exercising the degraded
+  /// fallback bounds, which are infinite or envelope-based and therefore
+  /// still dominate.
+  struct FaultInjection {
+    double drop_rate = 0.0;  ///< probability in [0,1] of dropping an arrival
+    Time extra_jitter = 0;   ///< uniform extra delay in [0, extra_jitter] per arrival
+    Count burst = 1;         ///< replicate each surviving arrival this many times
+  };
+
   struct Options {
     Time horizon = 500'000;
     GenMode mode = GenMode::kRandom;
     std::uint64_t seed = 1;
     bool worst_case_exec = true;
+    FaultInjection faults;
   };
 
   SystemSimulator(const cpa::System& system, Options options);

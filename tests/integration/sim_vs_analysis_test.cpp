@@ -2,6 +2,7 @@
 
 #include "scenarios/paper_system.hpp"
 #include "sim/simulator.hpp"
+#include "sim/system_simulator.hpp"
 #include "sim/trace_check.hpp"
 
 namespace hem::scenarios {
@@ -90,6 +91,62 @@ TEST(SimVsAnalysisExtra, SimulatedWcrtApproachesAnalyticBoundForT1) {
   const auto cfg = make_paper_sim_config({}, 100'000, sim::GenMode::kEarliest, 1);
   const auto result = sim::Simulator(cfg).run();
   EXPECT_EQ(result.tasks.at("T1").wcrt, 24);
+}
+
+TEST(FaultInjectionDominance, DroppedFramesStayWithinHealthyBounds) {
+  // Dropping stimuli only removes load, so the analytic bounds of the
+  // healthy system must still dominate every observed response.
+  const auto sys = build_paper_system({}, /*hierarchical=*/true);
+  const auto report = cpa::CpaEngine(sys).run();
+  ASSERT_FALSE(report.degraded());
+  for (const double drop : {0.1, 0.5}) {
+    for (const std::uint64_t seed : {1u, 17u}) {
+      sim::SystemSimulator::Options opts;
+      opts.horizon = 200'000;
+      opts.mode = sim::GenMode::kRandom;
+      opts.seed = seed;
+      opts.faults.drop_rate = drop;
+      const auto result = sim::SystemSimulator(sys, opts).run();
+      for (const auto& t : report.tasks) {
+        EXPECT_LE(result.tasks.at(t.name).wcrt, t.wcrt)
+            << t.name << " drop=" << drop << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(FaultInjectionDominance, DegradedBoundsDominateBurstyOverload) {
+  // Inflate the CPU1 CETs until the resource is overloaded: the graceful
+  // analysis reports fallback bounds (infinite for CPU1 tasks).  Then hit
+  // the simulated system with adversarial faults (bursty duplicated frames
+  // plus extra jitter) - observed responses must still stay below the
+  // degraded bounds, which is what "conservative fallback" promises.
+  PaperSystemParams p;
+  p.t1_cet = 150;
+  p.t2_cet = 200;
+  p.t3_cet = 300;
+  const auto sys = build_paper_system(p, /*hierarchical=*/true);
+  const auto report = cpa::CpaEngine(sys).run();
+  EXPECT_TRUE(report.degraded());
+  EXPECT_TRUE(report.diagnostics.has_errors());
+  bool any_overloaded = false;
+  for (const auto& t : report.tasks)
+    any_overloaded = any_overloaded || t.status == cpa::TaskStatus::kOverloaded;
+  EXPECT_TRUE(any_overloaded);
+
+  sim::SystemSimulator::Options opts;
+  opts.horizon = 150'000;
+  opts.mode = sim::GenMode::kEarliest;
+  opts.seed = 5;
+  opts.faults.extra_jitter = 40;
+  opts.faults.burst = 2;
+  const auto result = sim::SystemSimulator(sys, opts).run();
+  // Converged tasks are exempt: the injected faults exceed their declared
+  // event models, so only the degraded (fallback) bounds must dominate.
+  for (const auto& t : report.tasks) {
+    if (!t.degraded()) continue;
+    EXPECT_LE(result.tasks.at(t.name).wcrt, t.wcrt) << t.name;
+  }
 }
 
 }  // namespace

@@ -50,7 +50,25 @@ TEST(CsvTest, ReportCsvHasHeaderAndRows) {
   write_report_csv(os, report);
   const std::string text = os.str();
   EXPECT_NE(text.find("task,resource,bcrt,wcrt"), std::string::npos);
+  EXPECT_NE(text.find(",status"), std::string::npos);
   EXPECT_NE(text.find("worker,cpu,5,5,"), std::string::npos);
+  EXPECT_NE(text.find(",converged"), std::string::npos);
+}
+
+TEST(CsvTest, ReportCsvPrintsDegradedStatusAndInfinity) {
+  // An overloaded resource: graceful analysis emits fallback rows with
+  // "inf" bounds and the overloaded status in the final column.
+  cpa::System sys;
+  const auto cpu = sys.add_resource({"cpu", cpa::Policy::kSppPreemptive});
+  const auto t = sys.add_task({"worker", cpu, 1, sched::ExecutionTime(120)});
+  sys.activate_external(t, StandardEventModel::periodic(100));
+  const auto report = cpa::CpaEngine(sys).run();
+
+  std::ostringstream os;
+  write_report_csv(os, report);
+  const std::string text = os.str();
+  EXPECT_NE(text.find(",inf,"), std::string::npos) << text;
+  EXPECT_NE(text.find(",overloaded"), std::string::npos) << text;
 }
 
 TEST(CsvTest, DeltaCsvPrintsInfinity) {

@@ -50,6 +50,7 @@ TEST(AnalysisReportTest, NonConvergenceNamesUnresolvedTasks) {
   EngineOptions opts;
   opts.max_iterations = 8;
   opts.check_overload = false;
+  opts.strict = true;
   try {
     (void)CpaEngine(sys, opts).run();
     FAIL() << "expected AnalysisError";
@@ -58,6 +59,17 @@ TEST(AnalysisReportTest, NonConvergenceNamesUnresolvedTasks) {
     EXPECT_NE(what.find("alpha"), std::string::npos) << what;
     EXPECT_NE(what.find("beta"), std::string::npos) << what;
   }
+  // Graceful default: same system completes, naming the stuck tasks in
+  // unresolved-activation diagnostics instead of throwing.
+  opts.strict = false;
+  const auto report = CpaEngine(sys, opts).run();
+  EXPECT_FALSE(report.converged);
+  EXPECT_TRUE(report.degraded());
+  EXPECT_TRUE(is_infinite(report.task("alpha").wcrt));
+  EXPECT_TRUE(is_infinite(report.task("beta").wcrt));
+  const std::string diag = report.diagnostics.format();
+  EXPECT_NE(diag.find("alpha"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("beta"), std::string::npos) << diag;
 }
 
 }  // namespace

@@ -88,7 +88,17 @@ TEST(CpaEngineTest, OverloadDetected) {
   const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
   const auto t = sys.add_task({"t", cpu, 1, sched::ExecutionTime(120)});
   sys.activate_external(t, periodic(100));
-  EXPECT_THROW(CpaEngine(sys).run(), AnalysisError);
+  // Graceful default: the run completes with fallback bounds and a
+  // resource-overload diagnostic instead of throwing.
+  const auto report = CpaEngine(sys).run();
+  EXPECT_EQ(report.task("t").status, TaskStatus::kOverloaded);
+  EXPECT_TRUE(is_infinite(report.task("t").wcrt));
+  EXPECT_TRUE(report.degraded());
+  EXPECT_TRUE(report.diagnostics.has_errors());
+  // Strict mode restores the classic throw.
+  EngineOptions strict;
+  strict.strict = true;
+  EXPECT_THROW((void)CpaEngine(sys, strict).run(), AnalysisError);
 }
 
 TEST(CpaEngineTest, ReportsUtilization) {

@@ -153,6 +153,40 @@ TEST(TextualConfigTest, SyntaxErrorsCarryLineNumbers) {
   expect_error("resource R spp\nsource s periodic\n", "line 2");
 }
 
+TEST(TextualConfigTest, ErrorsCarryColumnsAndSuggestions) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    try {
+      parse(text);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  // Misspelled keyword: column of the keyword plus a suggestion.
+  expect_error("taks t resource=R\n", "line 1, col 1");
+  expect_error("taks t resource=R\n", "did you mean 'task'?");
+  // Misspelled policy: column of the policy token.
+  expect_error("resource R spt\n", "line 1, col 12");
+  expect_error("resource R spt\n", "did you mean 'spp'?");
+  // Unknown key=value argument with the closest valid key.
+  expect_error("resource R spp\ntask t resource=R prioirty=1 cet=1\n",
+               "unknown argument 'prioirty'");
+  expect_error("resource R spp\ntask t resource=R prioirty=1 cet=1\n",
+               "did you mean 'priority'?");
+  expect_error("source s periodic periood=5\n", "did you mean 'period'?");
+  // Column points at the offending argument, not the line start.
+  expect_error("source s periodic periood=5\n", "col 19");
+  // Malformed value: the column of its key=value token.
+  expect_error("source s periodic period=abc\n", "line 1, col 19");
+  // No suggestion when nothing is close.
+  try {
+    parse("resource R spp\ntask t resource=R zzzzzz=1 cet=1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos) << e.what();
+  }
+}
+
 TEST(TextualConfigTest, IncompleteSystemRejected) {
   EXPECT_THROW(parse("resource R spp\ntask t resource=R priority=1 cet=1\n"),
                std::invalid_argument);

@@ -1,28 +1,44 @@
 // hemcpa — command-line compositional analysis.
 //
 // Usage:
-//   hemcpa <config> [--eta <task> <dt_max> <step>] [--delta <task> <n_max>]
-//          [--csv] [--sim <horizon> <seed>]
+//   hemcpa <config> [options]
 //
-// --sim executes the system with the discrete-event simulator (worst-case
-// burst stimulus) and prints observed vs analytic worst-case responses.
+// Options:
+//   --eta <task> <dt_max> <step>   print the eta+ table of a task's activation
+//   --delta <task> <n_max>         print delta-/delta+ curves of a task's activation
+//   --csv                          append the report as CSV (incl. per-task status)
+//   --sim <horizon> <seed>         execute the system with the discrete-event
+//                                  simulator (earliest-burst stimulus) and compare
+//                                  observed vs analytic worst-case responses
+//   --sim-drop <rate>              fault injection: drop each stimulus with
+//                                  probability <rate> in [0,1] (requires --sim)
+//   --sim-jitter <time>            fault injection: extra uniform arrival delay
+//   --sim-burst <count>            fault injection: replicate each arrival
+//   --strict                       fail (exit 2) on the first overload/divergence
+//                                  instead of degrading to fallback bounds
+//   --diagnostics                  print the structured diagnostic records
 //
 // Reads a system description (see src/model/textual_config.hpp for the
-// format), runs the global analysis, prints the report, evaluates any
-// `deadline` constraints from the file, and optionally dumps eta+/delta
-// curves of a task's activation stream.
+// format), runs the global analysis, prints the report, and evaluates any
+// `deadline` constraints from the file.
 //
-// Exit status: 0 analysis converged and all deadlines met; 1 deadline
-// missed; 2 analysis failed; 3 usage/configuration error.
+// Exit status:
+//   0  analysis converged, all deadlines met
+//   1  deadline missed (or unverifiable because its task's bound degraded)
+//   2  analysis failed (strict-mode divergence, unsupported model, ...)
+//   3  usage or configuration error
+//   4  degraded-but-bounded: no deadline violated, but at least one task
+//      carries conservative fallback bounds (see --diagnostics)
 
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/errors.hpp"
 #include "core/model_io.hpp"
 #include "io/csv.hpp"
-#include "model/sensitivity.hpp"
+#include "model/cpa_engine.hpp"
 #include "model/textual_config.hpp"
 #include "sim/system_simulator.hpp"
 
@@ -30,9 +46,50 @@ namespace {
 
 int usage() {
   std::cerr << "usage: hemcpa <config> [--eta <task> <dt_max> <step>] "
-               "[--delta <task> <n_max>]\n";
+               "[--delta <task> <n_max>] [--csv]\n"
+               "              [--sim <horizon> <seed>] [--sim-drop <rate>] "
+               "[--sim-jitter <time>] [--sim-burst <count>]\n"
+               "              [--strict] [--diagnostics]\n";
   return 3;
 }
+
+/// Parse a decimal integer argument; malformed input is a usage error (exit
+/// code 3), never an uncaught std::stol crash.
+bool parse_ll(const char* arg, long long& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(arg, &pos);
+    return pos == std::strlen(arg);
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_double(const char* arg, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(arg, &pos);
+    return pos == std::strlen(arg);
+  } catch (...) {
+    return false;
+  }
+}
+
+int bad_number(const std::string& flag, const char* arg) {
+  std::cerr << "error: argument to " << flag << " is not a number: '" << arg << "'\n";
+  return 3;
+}
+
+struct EtaRequest {
+  std::string task;
+  hem::Time dt_max = 0;
+  hem::Time step = 0;
+};
+
+struct DeltaRequest {
+  std::string task;
+  hem::Count n_max = 0;
+};
 
 }  // namespace
 
@@ -41,6 +98,69 @@ int main(int argc, char** argv) {
 
   if (argc < 2) return usage();
 
+  // ---- phase 1: parse ALL flags up front (usage errors exit 3 before any
+  // analysis work happens) -------------------------------------------------
+  std::vector<EtaRequest> eta_requests;
+  std::vector<DeltaRequest> delta_requests;
+  bool want_csv = false;
+  bool want_diagnostics = false;
+  bool strict = false;
+  bool want_sim = false;
+  sim::SystemSimulator::Options sim_opts;
+  sim_opts.mode = sim::GenMode::kEarliest;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    long long v = 0;
+    if (flag == "--eta" && i + 3 < argc) {
+      EtaRequest req;
+      req.task = argv[i + 1];
+      if (!parse_ll(argv[i + 2], v)) return bad_number(flag, argv[i + 2]);
+      req.dt_max = v;
+      if (!parse_ll(argv[i + 3], v)) return bad_number(flag, argv[i + 3]);
+      req.step = v;
+      eta_requests.push_back(std::move(req));
+      i += 3;
+    } else if (flag == "--delta" && i + 2 < argc) {
+      DeltaRequest req;
+      req.task = argv[i + 1];
+      if (!parse_ll(argv[i + 2], v)) return bad_number(flag, argv[i + 2]);
+      req.n_max = v;
+      delta_requests.push_back(std::move(req));
+      i += 2;
+    } else if (flag == "--csv") {
+      want_csv = true;
+    } else if (flag == "--sim" && i + 2 < argc) {
+      if (!parse_ll(argv[i + 1], v)) return bad_number(flag, argv[i + 1]);
+      sim_opts.horizon = v;
+      if (!parse_ll(argv[i + 2], v)) return bad_number(flag, argv[i + 2]);
+      sim_opts.seed = static_cast<std::uint64_t>(v);
+      want_sim = true;
+      i += 2;
+    } else if (flag == "--sim-drop" && i + 1 < argc) {
+      double rate = 0.0;
+      if (!parse_double(argv[i + 1], rate)) return bad_number(flag, argv[i + 1]);
+      sim_opts.faults.drop_rate = rate;
+      i += 1;
+    } else if (flag == "--sim-jitter" && i + 1 < argc) {
+      if (!parse_ll(argv[i + 1], v)) return bad_number(flag, argv[i + 1]);
+      sim_opts.faults.extra_jitter = v;
+      i += 1;
+    } else if (flag == "--sim-burst" && i + 1 < argc) {
+      if (!parse_ll(argv[i + 1], v)) return bad_number(flag, argv[i + 1]);
+      sim_opts.faults.burst = v;
+      i += 1;
+    } else if (flag == "--strict") {
+      strict = true;
+    } else if (flag == "--diagnostics") {
+      want_diagnostics = true;
+    } else {
+      std::cerr << "error: unknown or incomplete flag '" << flag << "'\n";
+      return usage();
+    }
+  }
+
+  // ---- phase 2: configuration --------------------------------------------
   cpa::ParsedSystem parsed;
   try {
     parsed = cpa::parse_system_config_file(argv[1]);
@@ -49,72 +169,101 @@ int main(int argc, char** argv) {
     return 3;
   }
 
-  cpa::FeasibilityResult result;
+  // ---- phase 3: analysis --------------------------------------------------
+  cpa::EngineOptions eopts;
+  eopts.strict = strict;
+  cpa::AnalysisReport report;
   try {
-    result = cpa::check_feasible(parsed.system, parsed.deadlines);
+    report = cpa::CpaEngine(parsed.system, eopts).run();
   } catch (const std::exception& e) {
     std::cerr << "analysis error: " << e.what() << "\n";
     return 2;
   }
-  if (!result.feasible && result.report.tasks.empty()) {
-    std::cerr << "analysis failed: " << result.reason << "\n";
+
+  std::cout << report.format();
+
+  if (want_diagnostics) {
+    // The records themselves are part of report.format(); add the tally only.
+    std::cout << "\ndiagnostic records: " << report.diagnostics.entries().size() << " ("
+              << report.diagnostics.count(cpa::Severity::kError) << " errors, "
+              << report.diagnostics.count(cpa::Severity::kWarning) << " warnings)\n";
+  }
+
+  // ---- phase 4: auxiliary outputs ----------------------------------------
+  try {
+    for (const EtaRequest& req : eta_requests) {
+      const auto& model = report.task(req.task).activation;
+      std::cout << "\neta+ of '" << req.task << "' activation:\n"
+                << format_eta_table({sample_eta_plus(*model, req.task, req.dt_max, req.step)});
+    }
+    for (const DeltaRequest& req : delta_requests) {
+      const auto& model = report.task(req.task).activation;
+      std::cout << "\ndelta curves of '" << req.task << "' activation:\n"
+                << format_delta_table(*model, req.n_max);
+    }
+    if (want_csv) {
+      std::cout << "\n";
+      io::write_report_csv(std::cout, report);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  }
+
+  bool sim_violation = false;
+  if (want_sim) {
+    try {
+      const auto simres = sim::SystemSimulator(parsed.system, sim_opts).run();
+      std::cout << "\nsimulation (earliest-burst stimulus, horizon " << sim_opts.horizon;
+      if (sim_opts.faults.drop_rate > 0.0)
+        std::cout << ", drop " << sim_opts.faults.drop_rate;
+      if (sim_opts.faults.extra_jitter > 0)
+        std::cout << ", jitter +" << sim_opts.faults.extra_jitter;
+      if (sim_opts.faults.burst > 1) std::cout << ", burst x" << sim_opts.faults.burst;
+      std::cout << "):\n";
+      for (const auto& t : report.tasks) {
+        const auto& stats = simres.tasks.at(t.name);
+        const bool violated = stats.wcrt > t.wcrt;
+        sim_violation = sim_violation || violated;
+        std::cout << "  " << t.name << ": observed " << stats.wcrt << " / bound "
+                  << (is_infinite(t.wcrt) ? "inf" : std::to_string(t.wcrt)) << " ("
+                  << stats.responses.size() << " jobs)" << (violated ? "  **VIOLATION**" : "")
+                  << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "simulation error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  // ---- phase 5: verdict ---------------------------------------------------
+  if (sim_violation) {
+    std::cout << "\nSIMULATION VIOLATION: observed response above analytic bound\n";
     return 2;
   }
 
-  std::cout << result.report.format();
-
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    try {
-      if (flag == "--eta" && i + 3 < argc) {
-        const std::string task = argv[i + 1];
-        const Time dt_max = std::stoll(argv[i + 2]);
-        const Time step = std::stoll(argv[i + 3]);
-        i += 3;
-        const auto& model = result.report.task(task).activation;
-        std::cout << "\neta+ of '" << task << "' activation:\n"
-                  << format_eta_table({sample_eta_plus(*model, task, dt_max, step)});
-      } else if (flag == "--csv") {
-        std::cout << "\n";
-        io::write_report_csv(std::cout, result.report);
-      } else if (flag == "--sim" && i + 2 < argc) {
-        sim::SystemSimulator::Options opts;
-        opts.horizon = std::stoll(argv[i + 1]);
-        opts.seed = static_cast<std::uint64_t>(std::stoll(argv[i + 2]));
-        opts.mode = sim::GenMode::kEarliest;
-        i += 2;
-        const auto simres = sim::SystemSimulator(parsed.system, opts).run();
-        std::cout << "\nsimulation (earliest-burst stimulus, horizon " << opts.horizon
-                  << "):\n";
-        for (const auto& t : result.report.tasks) {
-          const auto& stats = simres.tasks.at(t.name);
-          std::cout << "  " << t.name << ": observed " << stats.wcrt << " / bound " << t.wcrt
-                    << " (" << stats.responses.size() << " jobs)"
-                    << (stats.wcrt > t.wcrt ? "  **VIOLATION**" : "") << "\n";
-        }
-      } else if (flag == "--delta" && i + 2 < argc) {
-        const std::string task = argv[i + 1];
-        const Count n_max = std::stoll(argv[i + 2]);
-        i += 2;
-        const auto& model = result.report.task(task).activation;
-        std::cout << "\ndelta curves of '" << task << "' activation:\n"
-                  << format_delta_table(*model, n_max);
-      } else {
-        return usage();
-      }
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      return 3;
-    }
-  }
-
   if (!parsed.deadlines.empty()) {
-    if (result.feasible) {
-      std::cout << "\nall deadlines met\n";
-    } else {
-      std::cout << "\nDEADLINE VIOLATION: " << result.reason << "\n";
+    std::string violation;
+    for (const auto& [task, deadline] : parsed.deadlines) {
+      const Time wcrt = report.task(task).wcrt;
+      if (wcrt > deadline) {
+        violation = "task '" + task + "' misses its deadline (" +
+                    (is_infinite(wcrt) ? "inf" : std::to_string(wcrt)) + " > " +
+                    std::to_string(deadline) + ")";
+        break;
+      }
+    }
+    if (!violation.empty()) {
+      std::cout << "\nDEADLINE VIOLATION: " << violation << "\n";
       return 1;
     }
+    std::cout << "\nall deadlines met\n";
+  }
+
+  if (report.degraded()) {
+    std::cout << "\nanalysis DEGRADED: conservative fallback bounds in effect"
+              << (want_diagnostics ? "" : " (re-run with --diagnostics for details)") << "\n";
+    return 4;
   }
   return 0;
 }

@@ -1,0 +1,222 @@
+// Scaling benchmark of the incremental/parallel CPA engine.
+//
+// Sweeps synthetic systems of two shapes:
+//   * chain:  N SPP resources x M tasks each, feed-forward task chains
+//             (task j on resource i is activated by task j on resource i-1),
+//             so every global iteration touches every resource until the
+//             response times settle resource by resource;
+//   * hier:   a deep pack/unpack pipeline - each stage packs the outputs of
+//             a CPU's tasks into a frame on a CAN bus and the next CPU's
+//             tasks unpack the inner streams (the paper's COM-layer shape,
+//             stacked D times).
+//
+// Each configuration runs with jobs in {1, 2, 4, 8} and with the
+// incremental engine on and off; results go to BENCH_engine.json:
+// wall-clock time, global iterations, local analyses run/skipped, the
+// analysis cache hit rate, node reuse counters, and the speedup relative
+// to the jobs=1 run of the same configuration.
+//
+// Usage: bench_engine_scaling [--quick] [--out <path>]
+//   --quick  smaller sweep and a single repetition (CI smoke test)
+//   --out    output path (default BENCH_engine.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/standard_event_model.hpp"
+#include "model/cpa_engine.hpp"
+#include "model/system.hpp"
+
+namespace {
+
+using namespace hem;
+using namespace hem::cpa;
+
+/// Feed-forward grid: `n_res` SPP resources, `m_tasks` chained tasks each.
+System make_chain_system(int n_res, int m_tasks) {
+  System sys;
+  std::vector<ResourceId> res;
+  for (int i = 0; i < n_res; ++i)
+    res.push_back(sys.add_resource({"R" + std::to_string(i), Policy::kSppPreemptive}));
+  std::vector<TaskId> prev_stage(m_tasks);
+  for (int i = 0; i < n_res; ++i) {
+    for (int j = 0; j < m_tasks; ++j) {
+      TaskSpec spec;
+      spec.name = "T" + std::to_string(i) + "_" + std::to_string(j);
+      spec.resource = res[i];
+      spec.priority = j;
+      const Time best = 2 + (i + j) % 3;
+      spec.cet = sched::ExecutionTime(best, best + 1 + (i + j) % 4);
+      const TaskId t = sys.add_task(std::move(spec));
+      if (i == 0)
+        sys.activate_external(t, StandardEventModel::periodic(200 + 31 * j));
+      else
+        sys.activate_by(t, {prev_stage[j]});
+      prev_stage[j] = t;
+    }
+  }
+  return sys;
+}
+
+/// Pack/unpack pipeline: `depth` stages of (CPU tasks -> CAN frame -> unpack).
+System make_hier_system(int depth, int signals) {
+  System sys;
+  std::vector<TaskId> stage(signals);
+  for (int d = 0; d < depth; ++d) {
+    const ResourceId cpu =
+        sys.add_resource({"CPU" + std::to_string(d), Policy::kSppPreemptive});
+    const TaskId prev_frame = stage[0];  // frame task of the previous stage
+    for (int j = 0; j < signals; ++j) {
+      TaskSpec spec;
+      spec.name = "S" + std::to_string(d) + "_" + std::to_string(j);
+      spec.resource = cpu;
+      spec.priority = j;
+      spec.cet = sched::ExecutionTime(1, 2);
+      const TaskId t = sys.add_task(std::move(spec));
+      if (d == 0)
+        sys.activate_external(t, StandardEventModel::periodic(400 + 50 * j));
+      else
+        sys.activate_unpacked(t, prev_frame, j);
+      stage[j] = t;
+    }
+    const ResourceId bus = sys.add_resource({"BUS" + std::to_string(d), Policy::kSpnpCan});
+    TaskSpec frame;
+    frame.name = "F" + std::to_string(d);
+    frame.resource = bus;
+    frame.priority = 0;
+    frame.cet = sched::ExecutionTime(4, 4);
+    const TaskId f = sys.add_task(std::move(frame));
+    std::vector<PackedActivation::Input> inputs;
+    for (int j = 0; j < signals; ++j)
+      inputs.push_back({stage[j], SignalCoupling::kTriggering});
+    sys.activate_packed(f, std::move(inputs));
+    stage[0] = f;  // next stage unpacks this frame
+  }
+  return sys;
+}
+
+struct Run {
+  std::string system;
+  int resources = 0;
+  int tasks = 0;
+  int jobs = 1;
+  bool incremental = true;
+  double wall_ms = 0.0;
+  int iterations = 0;
+  EngineStats stats;
+  double speedup_vs_jobs1 = 1.0;
+};
+
+Run measure(const std::string& name, const System& sys, int jobs, bool incremental,
+            int reps) {
+  Run run;
+  run.system = name;
+  run.resources = static_cast<int>(sys.resources().size());
+  run.tasks = static_cast<int>(sys.tasks().size());
+  run.jobs = jobs;
+  run.incremental = incremental;
+  run.wall_ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    EngineOptions opts;
+    opts.jobs = jobs;
+    opts.incremental = incremental;
+    CpaEngine engine(sys, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const AnalysisReport report = engine.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < run.wall_ms) {
+      run.wall_ms = ms;
+      run.iterations = report.iterations;
+      run.stats = report.stats;
+    }
+    if (!report.converged) std::fprintf(stderr, "warning: %s did not converge\n", name.c_str());
+  }
+  return run;
+}
+
+void write_json(std::ostream& os, const std::vector<Run>& runs, bool quick) {
+  os << "{\n  \"benchmark\": \"engine_scaling\",\n  \"quick\": " << (quick ? "true" : "false")
+     << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    os << "    {\"system\": \"" << r.system << "\", \"resources\": " << r.resources
+       << ", \"tasks\": " << r.tasks << ", \"jobs\": " << r.jobs
+       << ", \"incremental\": " << (r.incremental ? "true" : "false")
+       << ",\n     \"wall_ms\": " << r.wall_ms << ", \"iterations\": " << r.iterations
+       << ", \"local_analyses_run\": " << r.stats.local_analyses_run
+       << ", \"local_analyses_skipped\": " << r.stats.local_analyses_skipped
+       << ",\n     \"analysis_cache_hit_rate\": " << r.stats.analysis_cache_hit_rate()
+       << ", \"models_reused\": " << r.stats.models_reused
+       << ", \"models_rebuilt\": " << r.stats.models_rebuilt
+       << ", \"node_reuse_rate\": " << r.stats.node_reuse_rate()
+       << ",\n     \"speedup_vs_jobs1\": " << r.speedup_vs_jobs1 << "}"
+       << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--quick") {
+      quick = true;
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_engine_scaling [--quick] [--out <path>]\n";
+      return 3;
+    }
+  }
+
+  const int reps = quick ? 1 : 3;
+  const std::vector<int> chain_sizes = quick ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8};
+  const std::vector<int> hier_depths = quick ? std::vector<int>{2} : std::vector<int>{2, 4};
+  const std::vector<int> job_counts = quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  struct Config {
+    std::string name;
+    System sys;
+  };
+  std::vector<Config> configs;
+  for (const int n : chain_sizes)
+    configs.push_back({"chain_n" + std::to_string(n), make_chain_system(n, 8)});
+  for (const int d : hier_depths)
+    configs.push_back({"hier_d" + std::to_string(d), make_hier_system(d, 4)});
+
+  std::vector<Run> runs;
+  for (const Config& cfg : configs) {
+    for (const bool incremental : {true, false}) {
+      double jobs1_ms = 0.0;
+      for (const int jobs : job_counts) {
+        Run run = measure(cfg.name, cfg.sys, jobs, incremental, reps);
+        if (jobs == 1) jobs1_ms = run.wall_ms;
+        run.speedup_vs_jobs1 = run.wall_ms > 0.0 ? jobs1_ms / run.wall_ms : 1.0;
+        std::printf("%-10s inc=%d jobs=%d  %8.3f ms  iters=%d  run=%ld skip=%ld  hit=%.2f  speedup=%.2f\n",
+                    cfg.name.c_str(), incremental ? 1 : 0, run.jobs, run.wall_ms,
+                    run.iterations, run.stats.local_analyses_run,
+                    run.stats.local_analyses_skipped, run.stats.analysis_cache_hit_rate(),
+                    run.speedup_vs_jobs1);
+        runs.push_back(std::move(run));
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write '" << out_path << "'\n";
+    return 2;
+  }
+  write_json(out, runs, quick);
+  std::cout << "wrote " << out_path << " (" << runs.size() << " runs)\n";
+  return 0;
+}

@@ -8,19 +8,23 @@ namespace {
 
 constexpr Time kUnset = -1;
 
+/// Upper bound on the dense delta caches; very large n (from galloping
+/// searches) are computed without being stored.
+constexpr std::size_t kMaxCache = std::size_t{1} << 20;
+
 }  // namespace
 
 Time EventModel::delta_min(Count n) const {
   if (n < 2) return 0;
   const auto idx = static_cast<std::size_t>(n - 2);
-  if (idx < dmin_cache_.size() && dmin_cache_[idx] != kUnset) return dmin_cache_[idx];
-  const Time v = delta_min_raw(n);
-  if (idx >= dmin_cache_.size()) {
-    // Grow geometrically but bound the cache: very large n (from galloping
-    // searches) are computed without being stored.
-    constexpr std::size_t kMaxCache = std::size_t{1} << 20;
-    if (idx < kMaxCache) dmin_cache_.resize(std::max(dmin_cache_.size() * 2, idx + 1), kUnset);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (idx < dmin_cache_.size() && dmin_cache_[idx] != kUnset) return dmin_cache_[idx];
   }
+  const Time v = delta_min_raw(n);  // evaluated unlocked; see cache_mu_ note
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (idx >= dmin_cache_.size() && idx < kMaxCache)
+    dmin_cache_.resize(std::max(dmin_cache_.size() * 2, idx + 1), kUnset);
   if (idx < dmin_cache_.size()) dmin_cache_[idx] = v;
   return v;
 }
@@ -28,13 +32,14 @@ Time EventModel::delta_min(Count n) const {
 Time EventModel::delta_plus(Count n) const {
   if (n < 2) return 0;
   const auto idx = static_cast<std::size_t>(n - 2);
-  if (idx < dplus_cache_.size() && dplus_cache_[idx] != kUnset) return dplus_cache_[idx];
-  const Time v = delta_plus_raw(n);
-  if (idx >= dplus_cache_.size()) {
-    constexpr std::size_t kMaxCache = std::size_t{1} << 20;
-    if (idx < kMaxCache)
-      dplus_cache_.resize(std::max(dplus_cache_.size() * 2, idx + 1), kUnset);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (idx < dplus_cache_.size() && dplus_cache_[idx] != kUnset) return dplus_cache_[idx];
   }
+  const Time v = delta_plus_raw(n);  // evaluated unlocked; see cache_mu_ note
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (idx >= dplus_cache_.size() && idx < kMaxCache)
+    dplus_cache_.resize(std::max(dplus_cache_.size() * 2, idx + 1), kUnset);
   if (idx < dplus_cache_.size()) dplus_cache_[idx] = v;
   return v;
 }
@@ -93,6 +98,10 @@ Count EventModel::eta_minus_raw(Time dt) const {
 }
 
 bool models_equal(const EventModel& a, const EventModel& b, Count n_max) {
+  // Nodes are immutable, so pointer identity implies equality; the sample
+  // loop below exits on the first mismatch and reads memoised delta values
+  // on nodes that were queried before.
+  if (&a == &b) return true;
   for (Count n = 2; n <= n_max; ++n) {
     if (a.delta_min(n) != b.delta_min(n)) return false;
     if (a.delta_plus(n) != b.delta_plus(n)) return false;

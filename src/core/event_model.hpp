@@ -30,6 +30,7 @@
 /// memoised per node, so deeply composed models remain cheap to query.
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -98,9 +99,15 @@ class EventModel {
   [[nodiscard]] virtual Count eta_minus_raw(Time dt) const;
 
  private:
-  // Dense memoisation of delta values, indexed by n - 2.  Event models are
-  // used single-threaded within one analysis; `mutable` caching keeps the
-  // public API const without requiring clients to wrap nodes.
+  // Dense memoisation of delta values, indexed by n - 2.  Activation DAGs
+  // are shared between resources that the CPA engine may analyse on
+  // concurrent worker threads, so cache lookup and growth are guarded by a
+  // per-node mutex.  The raw evaluation itself runs outside the lock:
+  // models are pure, so two threads racing on the same uncached n compute
+  // the same value and the duplicated work is benign, while holding the
+  // lock across the (recursive) evaluation would serialise whole sub-DAGs
+  // and risk self-deadlock on models that re-query themselves.
+  mutable std::mutex cache_mu_;
   mutable std::vector<Time> dmin_cache_;
   mutable std::vector<Time> dplus_cache_;
 };

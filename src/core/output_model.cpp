@@ -16,6 +16,7 @@ OutputModel::OutputModel(ModelPtr input, Time r_minus, Time r_plus)
 }
 
 Time OutputModel::delta_min_raw(Count n) const {
+  const std::lock_guard<std::mutex> lock(rec_mu_);
   const Time spread = r_plus_ - r_minus_;
   // Extend the materialised recursion up to n.
   while (static_cast<Count>(rec_dmin_.size()) + 1 < n) {

@@ -15,6 +15,7 @@
 /// that consecutive completions of one task on one resource are separated by
 /// at least the minimum response time.
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,7 +47,12 @@ class OutputModel final : public EventModel {
   Time r_plus_;
 
   // The recursive delta'- is materialised incrementally: rec_dmin_[i] holds
-  // delta'-(i + 2) for every prefix value computed so far.
+  // delta'-(i + 2) for every prefix value computed so far.  Output nodes are
+  // shared across concurrently analysed resources, so extension of the
+  // prefix is serialised by a mutex (the input sub-DAG is queried while the
+  // lock is held; the activation graph is acyclic, so the per-node locks
+  // are acquired in topological order and cannot deadlock).
+  mutable std::mutex rec_mu_;
   mutable std::vector<Time> rec_dmin_;
 };
 

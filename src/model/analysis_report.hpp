@@ -43,11 +43,39 @@ struct TaskResult {
   [[nodiscard]] bool degraded() const noexcept { return status != TaskStatus::kConverged; }
 };
 
+/// Work counters of one CpaEngine run.  The incremental engine skips local
+/// analyses whose inputs are unchanged and reuses event-model DAG nodes
+/// (keeping their memoisation caches warm) across global iterations; these
+/// counters quantify how much work that saved (see docs/performance.md).
+/// The counters are deterministic: they depend only on the system and the
+/// engine options, never on the number of worker threads.
+struct EngineStats {
+  long local_analyses_run = 0;      ///< resource-level local analyses executed
+  long local_analyses_skipped = 0;  ///< clean resources that reused prior results
+  long models_reused = 0;           ///< activation/output nodes reused across iterations
+  long models_rebuilt = 0;          ///< activation/output nodes newly constructed
+  int jobs = 1;                     ///< worker threads used by the run
+
+  /// Fraction of resource-iteration slots served from the previous
+  /// iteration's results instead of a fresh local analysis.
+  [[nodiscard]] double analysis_cache_hit_rate() const noexcept {
+    const long total = local_analyses_run + local_analyses_skipped;
+    return total == 0 ? 0.0 : static_cast<double>(local_analyses_skipped) / total;
+  }
+
+  /// Fraction of per-iteration model-node demands served by reuse.
+  [[nodiscard]] double node_reuse_rate() const noexcept {
+    const long total = models_reused + models_rebuilt;
+    return total == 0 ? 0.0 : static_cast<double>(models_reused) / total;
+  }
+};
+
 /// Full report of a CpaEngine run.
 struct AnalysisReport {
   std::vector<TaskResult> tasks;
   int iterations = 0;
   bool converged = false;
+  EngineStats stats;           ///< work counters of the run
   DiagnosticSink diagnostics;  ///< structured findings of the run
 
   /// Lookup by task name; throws std::invalid_argument if absent.

@@ -1,6 +1,9 @@
 #include "model/cpa_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
 
 #include "core/combinators.hpp"
 #include "core/errors.hpp"
@@ -59,46 +62,92 @@ CpaEngine::CpaEngine(const System& system, EngineOptions options)
   system_.validate();
   state_.resize(system_.tasks().size());
   resource_overloaded_.assign(system_.resources().size(), 0);
+  changed_.assign(system_.tasks().size(), 1);
+}
+
+int CpaEngine::effective_jobs() const {
+  if (options_.jobs > 0) return options_.jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+double CpaEngine::cached_rate(TaskId t) {
+  TaskState& st = state_[t];
+  const void* key = st.act_flat.get();
+  if (st.rate_key != key) {
+    st.rate = long_run_rate(*st.act_flat);
+    st.rate_key = key;
+  }
+  return st.rate;
 }
 
 void CpaEngine::resolve_activations() {
+  const bool inc = options_.incremental;
   const auto& tasks = system_.tasks();
   for (TaskId t = 0; t < tasks.size(); ++t) {
     const ActivationSpec& spec = system_.activation(t);
     TaskState& st = state_[t];
 
+    // Reuse decision: nodes are immutable, so an activation built from the
+    // same producer nodes as last iteration IS last iteration's activation;
+    // returning the existing node keeps its delta-curve memoisation warm
+    // and gives downstream dirty tracking a stable version stamp.
+    const auto reuse = [&](const std::vector<const void*>& key) {
+      if (inc && st.act_flat && key == st.act_key) {
+        ++stats_.models_reused;
+        return true;
+      }
+      st.act_key = key;
+      ++stats_.models_rebuilt;
+      return false;
+    };
+
     if (const auto* ext = std::get_if<ExternalActivation>(&spec)) {
-      st.act_flat = ext->model;
+      if (!st.act_flat) st.act_flat = ext->model;  // external sources never change
       continue;
     }
     if (const auto* by = std::get_if<TaskOutputActivation>(&spec)) {
-      std::vector<ModelPtr> producers;
+      std::vector<const void*> key;
+      key.reserve(by->producers.size());
       bool complete = true;
       for (TaskId p : by->producers) {
         if (!state_[p].out_flat) {
           complete = false;
           break;
         }
-        producers.push_back(state_[p].out_flat);
+        key.push_back(state_[p].out_flat.get());
       }
-      if (complete) st.act_flat = or_combine(producers);
+      if (!complete || reuse(key)) continue;
+      std::vector<ModelPtr> producers;
+      producers.reserve(by->producers.size());
+      for (TaskId p : by->producers) producers.push_back(state_[p].out_flat);
+      st.act_flat = or_combine(producers);
       continue;
     }
     if (const auto* andj = std::get_if<AndActivation>(&spec)) {
-      std::vector<ModelPtr> fitted;
+      std::vector<const void*> key;
+      key.reserve(andj->producers.size());
       bool complete = true;
       for (TaskId p : andj->producers) {
         if (!state_[p].out_flat) {
           complete = false;
           break;
         }
-        fitted.push_back(fit_sem(*state_[p].out_flat, andj->period));
+        key.push_back(state_[p].out_flat.get());
       }
-      if (complete) st.act_flat = and_combine(fitted);
+      if (!complete || reuse(key)) continue;
+      std::vector<ModelPtr> fitted;
+      fitted.reserve(andj->producers.size());
+      for (TaskId p : andj->producers)
+        fitted.push_back(fit_sem(*state_[p].out_flat, andj->period));
+      st.act_flat = and_combine(fitted);
       continue;
     }
     if (const auto* packed = std::get_if<PackedActivation>(&spec)) {
+      std::vector<const void*> key;
+      key.reserve(packed->inputs.size());
       std::vector<PackInput> inputs;
+      inputs.reserve(packed->inputs.size());
       bool complete = true;
       for (const auto& in : packed->inputs) {
         ModelPtr m;
@@ -111,17 +160,27 @@ void CpaEngine::resolve_activations() {
           complete = false;
           break;
         }
+        key.push_back(m.get());
         inputs.push_back(PackInput{std::move(m), in.coupling});
       }
-      if (complete) {
-        st.act_hem = pack(inputs, packed->timer);
-        st.act_flat = st.act_hem->outer();
+      if (!complete || (st.act_hem && reuse(key))) continue;
+      if (!st.act_hem) {
+        st.act_key = key;
+        ++stats_.models_rebuilt;
       }
+      st.act_hem = pack(inputs, packed->timer);
+      st.act_flat = st.act_hem->outer();
       continue;
     }
     if (const auto* up = std::get_if<UnpackedActivation>(&spec)) {
       const TaskState& frame = state_[up->frame_task];
-      if (frame.out_hem) st.act_flat = frame.out_hem->inner(up->index);
+      if (!frame.out_hem) continue;
+      const ModelPtr& inner = frame.out_hem->inner(up->index);
+      if (st.act_flat.get() == inner.get())
+        ++stats_.models_reused;
+      else
+        ++stats_.models_rebuilt;
+      st.act_flat = inner;
       continue;
     }
   }
@@ -138,8 +197,7 @@ void CpaEngine::check_resource_load() {
         complete = false;
         break;
       }
-      load +=
-          long_run_rate(*state_[t].act_flat) * static_cast<double>(tasks[t].cet.worst);
+      load += cached_rate(t) * static_cast<double>(tasks[t].cet.worst);
     }
     if (!complete || load <= 1.0) continue;
     if (options_.strict)
@@ -186,108 +244,207 @@ void CpaEngine::apply_resource_fallback(ResourceId r, const std::vector<TaskId>&
   }
 }
 
+void CpaEngine::analyze_one_resource(ResourceId r, const std::vector<TaskId>& ids) {
+  const auto& tasks = system_.tasks();
+  const ResourceSpec& res = system_.resources()[r];
+
+  // Stamp the activation versions this analysis consumed: the resource
+  // stays clean until one of them is replaced.
+  const auto mark_analyzed = [&] {
+    for (TaskId t : ids) state_[t].analyzed_act = state_[t].act_flat.get();
+  };
+
+  if (!options_.strict && resource_overloaded_[r]) {
+    apply_resource_fallback(r, ids, TaskStatus::kOverloaded, DiagCode::kResourceOverload,
+                            "resource '" + res.name +
+                                "' overloaded; unbounded fallback WCRT substituted");
+    mark_analyzed();
+    return;
+  }
+
+  const auto record = [&](const std::vector<sched::ResponseResult>& results) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      TaskState& st = state_[ids[i]];
+      st.analyzed = true;
+      st.bcrt = results[i].bcrt;
+      st.wcrt = results[i].wcrt;
+      st.q_max = results[i].activations;
+      st.backlog = results[i].backlog;
+      st.busy = results[i].busy_period;
+    }
+  };
+
+  const auto params_for = [&](TaskId t) {
+    return sched::TaskParams{tasks[t].name, tasks[t].priority, tasks[t].cet,
+                             state_[t].act_flat};
+  };
+
+  const auto run_local = [&] {
+    switch (res.policy) {
+      case Policy::kSppPreemptive: {
+        std::vector<sched::TaskParams> params;
+        for (TaskId t : ids) params.push_back(params_for(t));
+        record(sched::SppAnalysis(std::move(params), limits_).analyze_all());
+        break;
+      }
+      case Policy::kSpnpCan: {
+        std::vector<sched::TaskParams> params;
+        for (TaskId t : ids) params.push_back(params_for(t));
+        record(sched::CanBusAnalysis(std::move(params), limits_).analyze_all());
+        break;
+      }
+      case Policy::kRoundRobin: {
+        std::vector<sched::RoundRobinTask> params;
+        for (TaskId t : ids)
+          params.push_back(sched::RoundRobinTask{params_for(t), tasks[t].slot});
+        record(sched::RoundRobinAnalysis(std::move(params), limits_).analyze_all());
+        break;
+      }
+      case Policy::kTdma: {
+        std::vector<sched::TdmaTask> params;
+        for (TaskId t : ids) params.push_back(sched::TdmaTask{params_for(t), tasks[t].slot});
+        record(sched::TdmaAnalysis(std::move(params), res.tdma_cycle, limits_).analyze_all());
+        break;
+      }
+      case Policy::kFlexRayStatic: {
+        std::vector<sched::FlexRayFrame> params;
+        for (TaskId t : ids) params.push_back(sched::FlexRayFrame{params_for(t)});
+        record(sched::FlexRayStaticAnalysis(std::move(params), res.tdma_cycle,
+                                            res.slot_length, limits_)
+                   .analyze_all());
+        break;
+      }
+      case Policy::kEdf: {
+        std::vector<sched::EdfTask> params;
+        for (TaskId t : ids)
+          params.push_back(sched::EdfTask{params_for(t), tasks[t].deadline});
+        record(sched::EdfAnalysis(std::move(params), limits_).analyze_all());
+        break;
+      }
+    }
+  };
+
+  if (options_.strict) {
+    run_local();
+    mark_analyzed();
+    return;
+  }
+  try {
+    run_local();
+  } catch (const AnalysisError& e) {
+    apply_resource_fallback(r, ids, status_for(e.code()), diag_for(e.code()), e.what());
+  }
+  mark_analyzed();
+}
+
 void CpaEngine::analyze_resources() {
   const auto& tasks = system_.tasks();
-  for (ResourceId r = 0; r < system_.resources().size(); ++r) {
-    const ResourceSpec& res = system_.resources()[r];
-    // Analyse the resolved subset of the resource's tasks.  Tasks whose
-    // activation depends on not-yet-analysed producers (e.g. same-resource
-    // chains) join in a later global iteration; interference only grows, so
-    // the iteration converges to the full-fixpoint result and the final
-    // round always covers the complete task set.
-    std::vector<TaskId> ids;
-    for (TaskId t = 0; t < tasks.size(); ++t) {
-      if (tasks[t].resource != r) continue;
-      if (state_[t].act_flat) ids.push_back(t);
-    }
-    if (ids.empty()) continue;
+  const std::size_t n_res = system_.resources().size();
 
-    if (!options_.strict && resource_overloaded_[r]) {
-      apply_resource_fallback(r, ids, TaskStatus::kOverloaded, DiagCode::kResourceOverload,
-                              "resource '" + res.name +
-                                  "' overloaded; unbounded fallback WCRT substituted");
+  // Analyse the resolved subset of each resource's tasks.  Tasks whose
+  // activation depends on not-yet-analysed producers (e.g. same-resource
+  // chains) join in a later global iteration; interference only grows, so
+  // the iteration converges to the full-fixpoint result and the final
+  // round always covers the complete task set.
+  std::vector<std::vector<TaskId>> ids(n_res);
+  for (TaskId t = 0; t < tasks.size(); ++t)
+    if (state_[t].act_flat) ids[tasks[t].resource].push_back(t);
+
+  // Dirty set: a resource must be re-analysed iff the resolved task subset
+  // or any resolved activation node changed since its last local analysis.
+  // Nodes are immutable, so unchanged pointers guarantee an identical
+  // analysis input and the prior ResponseResults (and per-task statuses /
+  // diagnostics) are reused verbatim.  Resources whose tasks carry fallback
+  // bounds stay dirty so their degradation record (incl. the iteration it
+  // was raised in) tracks the classic engine exactly.
+  std::vector<ResourceId> dirty;
+  for (ResourceId r = 0; r < n_res; ++r) {
+    if (ids[r].empty()) continue;
+    bool is_dirty = !options_.incremental;
+    for (TaskId t : ids[r]) {
+      if (state_[t].act_flat.get() != state_[t].analyzed_act ||
+          state_[t].status != TaskStatus::kConverged) {
+        is_dirty = true;
+        break;
+      }
+    }
+    if (!is_dirty) {
+      ++stats_.local_analyses_skipped;
       continue;
     }
+    dirty.push_back(r);
+  }
+  stats_.local_analyses_run += static_cast<long>(dirty.size());
 
-    const auto record = [&](const std::vector<sched::ResponseResult>& results) {
-      for (std::size_t i = 0; i < ids.size(); ++i) {
-        TaskState& st = state_[ids[i]];
-        st.analyzed = true;
-        st.bcrt = results[i].bcrt;
-        st.wcrt = results[i].wcrt;
-        st.q_max = results[i].activations;
-        st.backlog = results[i].backlog;
-        st.busy = results[i].busy_period;
-      }
-    };
-
-    const auto params_for = [&](TaskId t) {
-      return sched::TaskParams{tasks[t].name, tasks[t].priority, tasks[t].cet,
-                               state_[t].act_flat};
-    };
-
-    const auto run_local = [&] {
-      switch (res.policy) {
-        case Policy::kSppPreemptive: {
-          std::vector<sched::TaskParams> params;
-          for (TaskId t : ids) params.push_back(params_for(t));
-          record(sched::SppAnalysis(std::move(params), limits_).analyze_all());
-          break;
-        }
-        case Policy::kSpnpCan: {
-          std::vector<sched::TaskParams> params;
-          for (TaskId t : ids) params.push_back(params_for(t));
-          record(sched::CanBusAnalysis(std::move(params), limits_).analyze_all());
-          break;
-        }
-        case Policy::kRoundRobin: {
-          std::vector<sched::RoundRobinTask> params;
-          for (TaskId t : ids)
-            params.push_back(sched::RoundRobinTask{params_for(t), tasks[t].slot});
-          record(sched::RoundRobinAnalysis(std::move(params), limits_).analyze_all());
-          break;
-        }
-        case Policy::kTdma: {
-          std::vector<sched::TdmaTask> params;
-          for (TaskId t : ids) params.push_back(sched::TdmaTask{params_for(t), tasks[t].slot});
-          record(sched::TdmaAnalysis(std::move(params), res.tdma_cycle, limits_).analyze_all());
-          break;
-        }
-        case Policy::kFlexRayStatic: {
-          std::vector<sched::FlexRayFrame> params;
-          for (TaskId t : ids) params.push_back(sched::FlexRayFrame{params_for(t)});
-          record(sched::FlexRayStaticAnalysis(std::move(params), res.tdma_cycle,
-                                              res.slot_length, limits_)
-                     .analyze_all());
-          break;
-        }
-        case Policy::kEdf: {
-          std::vector<sched::EdfTask> params;
-          for (TaskId t : ids)
-            params.push_back(sched::EdfTask{params_for(t), tasks[t].deadline});
-          record(sched::EdfAnalysis(std::move(params), limits_).analyze_all());
-          break;
-        }
-      }
-    };
-
-    if (options_.strict) {
-      run_local();
-      continue;
-    }
-    try {
-      run_local();
-    } catch (const AnalysisError& e) {
-      apply_resource_fallback(r, ids, status_for(e.code()), diag_for(e.code()), e.what());
+  // Reset the transient analysis outcome only where a fresh analysis will
+  // rewrite it; skipped resources keep last iteration's statuses.
+  for (ResourceId r : dirty) {
+    for (TaskId t : ids[r]) {
+      state_[t].status = TaskStatus::kConverged;
+      state_[t].has_diag = false;
     }
   }
+
+  // Run the dirty analyses, serially or on a small worker pool.  Each
+  // analysis writes only to its own resource's task slots; shared upstream
+  // event-model nodes are safe to query concurrently (their memoisation is
+  // mutex-guarded).  Failures are captured per resource and, in strict
+  // mode, rethrown for the lowest-numbered resource - exactly the failure
+  // the serial engine would have thrown first.
+  std::vector<std::exception_ptr> errors(dirty.size());
+  const auto work = [&](std::size_t i) {
+    try {
+      analyze_one_resource(dirty[i], ids[dirty[i]]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const int jobs = effective_jobs();
+  if (jobs <= 1 || dirty.size() <= 1) {
+    for (std::size_t i = 0; i < dirty.size(); ++i) work(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    const std::size_t workers = std::min(static_cast<std::size_t>(jobs), dirty.size());
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i; (i = next.fetch_add(1)) < dirty.size();) work(i);
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+
+  for (std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
 }
 
 void CpaEngine::compute_outputs() {
+  const bool inc = options_.incremental;
   const auto& tasks = system_.tasks();
   for (TaskId t = 0; t < tasks.size(); ++t) {
     TaskState& st = state_[t];
     if (!st.analyzed) continue;
+
+    // Outputs are a pure function of (activation node, r-, r+); when none
+    // of them moved, last iteration's output nodes - including any
+    // degradation flags and inner-update diagnostics - carry over.
+    const void* act = st.act_flat.get();
+    const void* hem = st.act_hem ? static_cast<const void*>(st.act_hem.get()) : nullptr;
+    if (inc && st.out_flat && act == st.out_key_act && hem == st.out_key_hem &&
+        st.bcrt == st.out_key_bcrt && st.wcrt == st.out_key_wcrt) {
+      ++stats_.models_reused;
+      continue;
+    }
+    st.out_key_act = act;
+    st.out_key_hem = hem;
+    st.out_key_bcrt = st.bcrt;
+    st.out_key_wcrt = st.wcrt;
+    st.hem_degraded = false;
+    st.out_has_diag = false;
+    ++stats_.models_rebuilt;
+
     if (is_infinite(st.wcrt)) {
       // No finite response bound: the output degrades to the sporadic
       // envelope (consecutive completions of one task stay >= r- apart,
@@ -313,31 +470,40 @@ void CpaEngine::compute_outputs() {
       const Time spacing = std::max<Time>(st.bcrt, 0);
       st.out_hem = degraded_hem_output(st.out_flat, st.act_hem->inner_count(), spacing);
       st.hem_degraded = true;
-      st.has_diag = true;
-      st.diag = Diagnostic{Severity::kWarning, DiagCode::kInnerUpdateUnbounded, tasks[t].name,
-                           e.what(), current_iteration_};
+      st.out_has_diag = true;
+      st.out_diag = Diagnostic{Severity::kWarning, DiagCode::kInnerUpdateUnbounded,
+                               tasks[t].name, e.what(), current_iteration_};
     }
   }
 }
 
-std::vector<std::vector<Time>> CpaEngine::signatures() const {
-  std::vector<std::vector<Time>> sigs(state_.size());
-  for (std::size_t i = 0; i < state_.size(); ++i) {
-    const TaskState& st = state_[i];
-    std::vector<Time>& sig = sigs[i];
-    sig.push_back(st.analyzed ? 1 : 0);
-    sig.push_back(st.bcrt);
-    sig.push_back(st.wcrt);
-    if (st.act_flat) {
-      for (Count n = 2; n <= options_.compare_horizon; ++n) {
-        sig.push_back(st.act_flat->delta_min(n));
-        sig.push_back(st.act_flat->delta_plus(n));
+bool CpaEngine::update_convergence() {
+  bool all_equal = have_prev_;
+  for (std::size_t t = 0; t < state_.size(); ++t) {
+    TaskState& st = state_[t];
+    bool changed = !have_prev_;
+    if (!changed) {
+      if (st.analyzed != st.prev_analyzed || st.bcrt != st.prev_bcrt ||
+          st.wcrt != st.prev_wcrt) {
+        changed = true;
+      } else if (st.act_flat.get() != st.prev_act.get()) {
+        // A genuinely rebuilt node may still be semantically identical
+        // (the classic fixpoint shape: values converged but nodes were
+        // reconstructed); compare curves with early exit on the memoised
+        // samples up to the convergence horizon.
+        changed = !st.act_flat || !st.prev_act ||
+                  !models_equal(*st.act_flat, *st.prev_act, options_.compare_horizon);
       }
-    } else {
-      sig.push_back(-2);
     }
+    changed_[t] = changed ? 1 : 0;
+    all_equal = all_equal && !changed;
+    st.prev_analyzed = st.analyzed;
+    st.prev_bcrt = st.bcrt;
+    st.prev_wcrt = st.wcrt;
+    st.prev_act = st.act_flat;
   }
-  return sigs;
+  have_prev_ = true;
+  return all_equal;
 }
 
 void CpaEngine::finalize_divergence(bool budget_hit) {
@@ -349,7 +515,7 @@ void CpaEngine::finalize_divergence(bool budget_hit) {
   const auto& tasks = system_.tasks();
   std::vector<char> unstable(tasks.size(), 0);
   for (TaskId t = 0; t < tasks.size(); ++t)
-    unstable[t] = !state_[t].analyzed || prev_sig_.empty() || prev_sig_[t] != last_sig_[t];
+    unstable[t] = !state_[t].analyzed || !have_prev_ || changed_[t];
 
   bool changed = true;
   while (changed) {
@@ -436,7 +602,7 @@ void CpaEngine::taint_downstream() {
       }
       if (!taint) continue;
       st.status = TaskStatus::kDegradedUpstream;
-      if (!st.has_diag) {
+      if (!st.has_diag && !st.out_has_diag) {
         st.has_diag = true;
         st.diag = Diagnostic{Severity::kWarning, DiagCode::kDegradedUpstream, tasks[t].name,
                              "activation derives from a producer with fallback bounds",
@@ -447,10 +613,11 @@ void CpaEngine::taint_downstream() {
   }
 }
 
-AnalysisReport CpaEngine::assemble_report(int iterations, bool converged) const {
+AnalysisReport CpaEngine::assemble_report(int iterations, bool converged) {
   AnalysisReport report;
   report.iterations = iterations;
   report.converged = converged;
+  report.stats = stats_;
   for (const auto& [r, diag] : resource_diag_) report.diagnostics.report(diag);
   const auto& tasks = system_.tasks();
   for (TaskId t = 0; t < tasks.size(); ++t) {
@@ -467,9 +634,11 @@ AnalysisReport CpaEngine::assemble_report(int iterations, bool converged) const 
     res.output = st.out_flat;
     res.hem_output = st.out_hem;
     res.status = st.status;
-    res.utilization =
-        long_run_rate(*st.act_flat) * static_cast<double>(tasks[t].cet.worst);
-    if (st.has_diag) report.diagnostics.report(st.diag);
+    res.utilization = cached_rate(t) * static_cast<double>(tasks[t].cet.worst);
+    if (st.has_diag)
+      report.diagnostics.report(st.diag);
+    else if (st.out_has_diag)
+      report.diagnostics.report(st.out_diag);
     report.tasks.push_back(std::move(res));
   }
   return report;
@@ -483,6 +652,8 @@ AnalysisReport CpaEngine::run() {
     limits_.deadline = std::min(limits_.deadline, deadline);
   }
   const bool budgeted = limits_.deadline != clock::time_point::max();
+  stats_ = EngineStats{};
+  stats_.jobs = effective_jobs();
 
   int iter = 0;
   bool converged = false;
@@ -494,11 +665,6 @@ AnalysisReport CpaEngine::run() {
       budget_hit = true;
       break;
     }
-    for (TaskState& st : state_) {
-      st.status = TaskStatus::kConverged;
-      st.has_diag = false;
-      st.hem_degraded = false;
-    }
     resource_overloaded_.assign(system_.resources().size(), 0);
     resource_diag_.clear();
 
@@ -507,17 +673,13 @@ AnalysisReport CpaEngine::run() {
     analyze_resources();
     compute_outputs();
 
-    std::vector<std::vector<Time>> sig = signatures();
     const bool all_analyzed =
         std::all_of(state_.begin(), state_.end(), [](const TaskState& s) { return s.analyzed; });
-    if (all_analyzed && !last_sig_.empty() && sig == last_sig_) {
+    const bool stable = update_convergence();
+    if (all_analyzed && stable) {
       converged = true;
-      prev_sig_ = last_sig_;
-      last_sig_ = std::move(sig);
       break;
     }
-    prev_sig_ = std::move(last_sig_);
-    last_sig_ = std::move(sig);
   }
   if (iter > options_.max_iterations) iter = options_.max_iterations;
 

@@ -15,6 +15,23 @@
 /// Convergence is detected by comparing response times and sampled
 /// activation curves between consecutive iterations.
 ///
+/// The engine is INCREMENTAL and PARALLEL:
+///   * Dirty-set scheduling - every model node carries a stable identity
+///     (nodes are immutable), so an activation whose producer nodes did not
+///     change between iterations is provably unchanged.  Resources whose
+///     complete input set is clean skip their local analysis and keep the
+///     prior ResponseResults; see AnalysisReport::stats for the counters.
+///   * Node reuse - resolve/output steps return the previous DAG node
+///     (keeping its warm delta-curve memoisation) when all inputs are
+///     pointer-identical, instead of reconstructing OrModel/OutputModel/
+///     pack nodes every round.
+///   * Worker pool - the local analyses of the dirty resources of one
+///     iteration are independent and run on `EngineOptions::jobs` threads.
+///     Results, diagnostics, and their order are bit-identical for every
+///     job count (the dirty set is computed serially, analysis results are
+///     written to disjoint per-resource slots, and diagnostics are emitted
+///     in task/resource order after the pool joins).
+///
 /// Failure handling comes in two modes:
 ///   * graceful (default): a failing local analysis (overload, busy-window
 ///     divergence, exhausted budget) is recorded as a Diagnostic, the
@@ -24,10 +41,12 @@
 ///     AnalysisReport carrying per-task statuses;
 ///   * strict: the first failure throws AnalysisError (the classic
 ///     all-or-nothing behaviour, useful in tests and schedulability
-///     oracles).
+///     oracles).  With jobs > 1 the failure of the lowest-numbered dirty
+///     resource is rethrown, matching the serial engine.
 
 #include <chrono>
 #include <map>
+#include <vector>
 
 #include "model/analysis_report.hpp"
 #include "model/diagnostics.hpp"
@@ -52,6 +71,16 @@ struct EngineOptions {
   /// Propagated into every busy-window fixpoint via FixpointLimits; on
   /// exhaustion remaining tasks are reported as BudgetExhausted.
   long wall_clock_budget_ms = 0;
+  /// Worker threads for the per-iteration local analyses: 1 = serial,
+  /// 0 = one per hardware thread.  Results are bit-identical for every
+  /// value (modulo wall-clock budgets, which are inherently timing
+  /// dependent).
+  int jobs = 1;
+  /// Re-analyse only resources whose activation inputs changed since their
+  /// last local analysis and reuse event-model nodes (with their warm
+  /// memoisation caches) across iterations.  Disable to force the classic
+  /// full re-evaluation every round (benchmark baseline).
+  bool incremental = true;
 };
 
 class CpaEngine {
@@ -77,22 +106,53 @@ class CpaEngine {
     Count backlog = 0;
     Time busy = 0;
     TaskStatus status = TaskStatus::kConverged;
-    bool has_diag = false;      ///< `diag` carries a valid record for this task
+    bool has_diag = false;      ///< `diag` carries a valid analysis record
+    Diagnostic diag{};          ///< local-analysis failure/degradation record
+    bool out_has_diag = false;  ///< `out_diag` carries a valid output record
+    Diagnostic out_diag{};      ///< inner-update degradation record
     bool hem_degraded = false;  ///< inner streams replaced by fallback envelopes
-    Diagnostic diag{};          ///< failure/degradation record, valid when has_diag
+
+    // Incremental bookkeeping.  Event-model nodes are immutable, so the raw
+    // pointer of a node is a version stamp: identical pointer == identical
+    // stream.
+    std::vector<const void*> act_key;    ///< producer nodes act_flat was built from
+    const void* analyzed_act = nullptr;  ///< activation node of the last local analysis
+    const void* out_key_act = nullptr;   ///< inputs the current outputs were built from
+    const void* out_key_hem = nullptr;
+    Time out_key_bcrt = -1;
+    Time out_key_wcrt = -1;
+    double rate = 0.0;                   ///< memoised long_run_rate(act_flat)
+    const void* rate_key = nullptr;      ///< activation node `rate` belongs to
+
+    // Convergence bookkeeping: previous iteration's observable state.
+    ModelPtr prev_act;
+    bool prev_analyzed = false;
+    Time prev_bcrt = -1;
+    Time prev_wcrt = -1;
   };
 
   void resolve_activations();
   void check_resource_load();
   void analyze_resources();
+  void analyze_one_resource(ResourceId r, const std::vector<TaskId>& ids);
   void compute_outputs();
-  [[nodiscard]] std::vector<std::vector<Time>> signatures() const;
+
+  /// Compare this iteration's per-task state (analysed flag, response
+  /// bounds, activation curves up to compare_horizon) against the previous
+  /// iteration, recording per-task change flags for divergence handling.
+  /// Early-exits per task: pointer-identical activation nodes are equal by
+  /// construction, rebuilt nodes are sampled against the memoised previous
+  /// curves only until the first mismatch.
+  [[nodiscard]] bool update_convergence();
+
+  [[nodiscard]] double cached_rate(TaskId t);
+  [[nodiscard]] int effective_jobs() const;
 
   void apply_resource_fallback(ResourceId r, const std::vector<TaskId>& ids,
                                TaskStatus status, DiagCode code, const std::string& detail);
   void finalize_divergence(bool budget_hit);
   void taint_downstream();
-  [[nodiscard]] AnalysisReport assemble_report(int iterations, bool converged) const;
+  [[nodiscard]] AnalysisReport assemble_report(int iterations, bool converged);
 
   const System& system_;
   EngineOptions options_;
@@ -100,8 +160,9 @@ class CpaEngine {
   std::vector<TaskState> state_;
   std::vector<char> resource_overloaded_;      ///< per-resource flag, this iteration
   std::map<ResourceId, Diagnostic> resource_diag_;
-  std::vector<std::vector<Time>> prev_sig_;  ///< per-task signature, iteration N-1
-  std::vector<std::vector<Time>> last_sig_;  ///< per-task signature, iteration N
+  std::vector<char> changed_;  ///< per-task: iteration N differs from N-1
+  bool have_prev_ = false;     ///< at least one full iteration completed
+  EngineStats stats_;
   int current_iteration_ = 0;
 };
 

@@ -184,6 +184,7 @@ std::vector<std::string> split_list(const std::string& text) {
 struct ParserState {
   System system;
   DeadlineMap deadlines;
+  int jobs = 0;
   std::map<std::string, ResourceId> resources;
   std::map<std::string, TaskId> tasks;
   std::map<std::string, ModelPtr> sources;
@@ -388,6 +389,17 @@ void parse_unpack(ParserState& st, const Stmt& s) {
                               static_cast<std::size_t>(args.time("index")));
 }
 
+void parse_option(ParserState& st, const Stmt& s) {
+  const int line = s.line;
+  const Args args(s, 1);
+  args.allow({"jobs"});
+  if (args.has("jobs")) {
+    const Time jobs = args.time("jobs");
+    if (jobs < 1) fail(line, "jobs must be >= 1, got " + std::to_string(jobs));
+    st.jobs = static_cast<int>(jobs);
+  }
+}
+
 void parse_deadline(ParserState& st, const Stmt& s) {
   const int line = s.line;
   if (s.tokens.size() != 3) fail(line, "deadline needs: deadline <task> <ticks>");
@@ -420,18 +432,20 @@ ParsedSystem parse_system_config(std::istream& in) {
       parse_unpack(st, s);
     else if (keyword == "deadline")
       parse_deadline(st, s);
+    else if (keyword == "option")
+      parse_option(st, s);
     else
       fail_at(line_no, s.cols[0],
               "unknown keyword '" + keyword + "'" +
                   did_you_mean(keyword, {"resource", "source", "task", "activate", "packed",
-                                         "unpack", "deadline"}));
+                                         "unpack", "deadline", "option"}));
   }
   try {
     st.system.validate();
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument(std::string("configuration incomplete: ") + e.what());
   }
-  return ParsedSystem{std::move(st.system), std::move(st.deadlines)};
+  return ParsedSystem{std::move(st.system), std::move(st.deadlines), st.jobs};
 }
 
 ParsedSystem parse_system_config_file(const std::string& path) {

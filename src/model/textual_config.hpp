@@ -30,6 +30,9 @@
 ///
 /// # optional deadline constraints (consumed by the CLI / sensitivity):
 /// deadline T1 100
+///
+/// # optional engine options (overridable from the CLI):
+/// option jobs=4                    # worker threads for the local analyses
 /// ```
 
 #include <istream>
@@ -40,10 +43,12 @@
 
 namespace hem::cpa {
 
-/// A parsed configuration: the system plus optional deadline constraints.
+/// A parsed configuration: the system plus optional deadline constraints
+/// and engine options.
 struct ParsedSystem {
   System system;
   DeadlineMap deadlines;
+  int jobs = 0;  ///< `option jobs=<n>`; 0 = not specified
 };
 
 /// Parse a configuration from a stream.

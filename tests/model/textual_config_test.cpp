@@ -187,6 +187,30 @@ TEST(TextualConfigTest, ErrorsCarryColumnsAndSuggestions) {
   }
 }
 
+TEST(TextualConfigTest, OptionJobs) {
+  const std::string base = R"(
+resource CPU1 spp
+source s1 periodic period=5
+task hp resource=CPU1 priority=1 cet=2
+activate hp from=s1
+)";
+  EXPECT_EQ(parse(base).jobs, 0);  // unset by default
+  EXPECT_EQ(parse(base + "option jobs=4\n").jobs, 4);
+
+  const auto expect_error = [&](const std::string& line, const std::string& needle) {
+    try {
+      parse(base + line);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("option jobs=0\n", "jobs must be >= 1");
+  expect_error("option jobs=-2\n", "jobs must be >= 1");
+  expect_error("option jobs=many\n", "not a number");
+  expect_error("option jbos=4\n", "did you mean 'jobs'?");
+}
+
 TEST(TextualConfigTest, IncompleteSystemRejected) {
   EXPECT_THROW(parse("resource R spp\ntask t resource=R priority=1 cet=1\n"),
                std::invalid_argument);

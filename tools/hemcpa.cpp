@@ -17,6 +17,10 @@
 //   --strict                       fail (exit 2) on the first overload/divergence
 //                                  instead of degrading to fallback bounds
 //   --diagnostics                  print the structured diagnostic records
+//   --jobs <n>                     worker threads for the per-iteration local
+//                                  analyses (>= 1; 0 is rejected); overrides
+//                                  `option jobs=<n>` from the configuration.
+//                                  Results are identical for every job count.
 //
 // Reads a system description (see src/model/textual_config.hpp for the
 // format), runs the global analysis, prints the report, and evaluates any
@@ -49,7 +53,7 @@ int usage() {
                "[--delta <task> <n_max>] [--csv]\n"
                "              [--sim <horizon> <seed>] [--sim-drop <rate>] "
                "[--sim-jitter <time>] [--sim-burst <count>]\n"
-               "              [--strict] [--diagnostics]\n";
+               "              [--strict] [--diagnostics] [--jobs <n>]\n";
   return 3;
 }
 
@@ -106,6 +110,7 @@ int main(int argc, char** argv) {
   bool want_diagnostics = false;
   bool strict = false;
   bool want_sim = false;
+  long long cli_jobs = 0;  // 0 = not given on the command line
   sim::SystemSimulator::Options sim_opts;
   sim_opts.mode = sim::GenMode::kEarliest;
 
@@ -150,6 +155,14 @@ int main(int argc, char** argv) {
       if (!parse_ll(argv[i + 1], v)) return bad_number(flag, argv[i + 1]);
       sim_opts.faults.burst = v;
       i += 1;
+    } else if (flag == "--jobs" && i + 1 < argc) {
+      if (!parse_ll(argv[i + 1], v)) return bad_number(flag, argv[i + 1]);
+      if (v < 1) {
+        std::cerr << "error: --jobs needs a thread count >= 1, got " << v << "\n";
+        return 3;
+      }
+      cli_jobs = v;
+      i += 1;
     } else if (flag == "--strict") {
       strict = true;
     } else if (flag == "--diagnostics") {
@@ -172,6 +185,11 @@ int main(int argc, char** argv) {
   // ---- phase 3: analysis --------------------------------------------------
   cpa::EngineOptions eopts;
   eopts.strict = strict;
+  // CLI flag wins over `option jobs=<n>` from the configuration file.
+  if (cli_jobs > 0)
+    eopts.jobs = static_cast<int>(cli_jobs);
+  else if (parsed.jobs > 0)
+    eopts.jobs = parsed.jobs;
   cpa::AnalysisReport report;
   try {
     report = cpa::CpaEngine(parsed.system, eopts).run();

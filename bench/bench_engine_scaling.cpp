@@ -16,9 +16,12 @@
 // analysis cache hit rate, node reuse counters, and the speedup relative
 // to the jobs=1 run of the same configuration.
 //
-// Usage: bench_engine_scaling [--quick] [--out <path>]
-//   --quick  smaller sweep and a single repetition (CI smoke test)
-//   --out    output path (default BENCH_engine.json)
+// Usage: bench_engine_scaling [--quick] [--out <path>] [--trace-out <path>]
+//   --quick      smaller sweep and a single repetition (CI smoke test)
+//   --out        output path (default BENCH_engine.json)
+//   --trace-out  record the whole sweep as Chrome trace_event JSON; the
+//                timings then include the tracing overhead, so compare a
+//                traced run against a default run to measure the probe cost
 
 #include <algorithm>
 #include <chrono>
@@ -31,6 +34,8 @@
 #include "core/standard_event_model.hpp"
 #include "model/cpa_engine.hpp"
 #include "model/system.hpp"
+#include "obs/exporters.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -166,17 +171,24 @@ void write_json(std::ostream& os, const std::vector<Run>& runs, bool quick) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_engine.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--quick") {
       quick = true;
     } else if (flag == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_engine_scaling [--quick] [--out <path>]\n";
+      std::cerr << "usage: bench_engine_scaling [--quick] [--out <path>] "
+                   "[--trace-out <path>]\n";
       return 3;
     }
   }
+
+  hem::obs::Tracer tracer;
+  if (!trace_path.empty()) hem::obs::set_tracer(&tracer);
 
   const int reps = quick ? 1 : 3;
   const std::vector<int> chain_sizes = quick ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8};
@@ -218,5 +230,15 @@ int main(int argc, char** argv) {
   }
   write_json(out, runs, quick);
   std::cout << "wrote " << out_path << " (" << runs.size() << " runs)\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::cerr << "error: cannot write '" << trace_path << "'\n";
+      return 2;
+    }
+    hem::obs::write_chrome_trace(trace_file, tracer, hem::obs::registry());
+    std::cout << "wrote " << trace_path << " (" << tracer.size() << " trace events)\n";
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace hem {
 
 namespace {
@@ -12,17 +14,29 @@ constexpr Time kUnset = -1;
 /// searches) are computed without being stored.
 constexpr std::size_t kMaxCache = std::size_t{1} << 20;
 
+// Observability probes for the per-node delta caches (aggregated across all
+// nodes; recorded only while obs::counting() is on).
+obs::Counter& g_cache_hit = obs::registry().counter("model.delta_cache.hit");
+obs::Counter& g_cache_miss = obs::registry().counter("model.delta_cache.miss");
+obs::Counter& g_cache_contention = obs::registry().counter("model.delta_cache.lock_contention");
+
 }  // namespace
 
 Time EventModel::delta_min(Count n) const {
   if (n < 2) return 0;
   const auto idx = static_cast<std::size_t>(n - 2);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    if (idx < dmin_cache_.size() && dmin_cache_[idx] != kUnset) return dmin_cache_[idx];
+    std::unique_lock<std::mutex> lock(cache_mu_, std::defer_lock);
+    obs::lock_counted(lock, g_cache_contention);
+    if (idx < dmin_cache_.size() && dmin_cache_[idx] != kUnset) {
+      obs::bump(g_cache_hit);
+      return dmin_cache_[idx];
+    }
   }
+  obs::bump(g_cache_miss);
   const Time v = delta_min_raw(n);  // evaluated unlocked; see cache_mu_ note
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::unique_lock<std::mutex> lock(cache_mu_, std::defer_lock);
+  obs::lock_counted(lock, g_cache_contention);
   if (idx >= dmin_cache_.size() && idx < kMaxCache)
     dmin_cache_.resize(std::max(dmin_cache_.size() * 2, idx + 1), kUnset);
   if (idx < dmin_cache_.size()) dmin_cache_[idx] = v;
@@ -33,11 +47,17 @@ Time EventModel::delta_plus(Count n) const {
   if (n < 2) return 0;
   const auto idx = static_cast<std::size_t>(n - 2);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    if (idx < dplus_cache_.size() && dplus_cache_[idx] != kUnset) return dplus_cache_[idx];
+    std::unique_lock<std::mutex> lock(cache_mu_, std::defer_lock);
+    obs::lock_counted(lock, g_cache_contention);
+    if (idx < dplus_cache_.size() && dplus_cache_[idx] != kUnset) {
+      obs::bump(g_cache_hit);
+      return dplus_cache_[idx];
+    }
   }
+  obs::bump(g_cache_miss);
   const Time v = delta_plus_raw(n);  // evaluated unlocked; see cache_mu_ note
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::unique_lock<std::mutex> lock(cache_mu_, std::defer_lock);
+  obs::lock_counted(lock, g_cache_contention);
   if (idx >= dplus_cache_.size() && idx < kMaxCache)
     dplus_cache_.resize(std::max(dplus_cache_.size() * 2, idx + 1), kUnset);
   if (idx < dplus_cache_.size()) dplus_cache_[idx] = v;

@@ -4,7 +4,18 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace hem {
+
+namespace {
+
+// Probes for the materialised delta'- recursion shared across threads.
+obs::Counter& g_rec_hit = obs::registry().counter("model.output_rec.hit");
+obs::Counter& g_rec_extend = obs::registry().counter("model.output_rec.extend");
+obs::Counter& g_rec_contention = obs::registry().counter("model.output_rec.lock_contention");
+
+}  // namespace
 
 OutputModel::OutputModel(ModelPtr input, Time r_minus, Time r_plus)
     : input_(std::move(input)), r_minus_(r_minus), r_plus_(r_plus) {
@@ -16,7 +27,12 @@ OutputModel::OutputModel(ModelPtr input, Time r_minus, Time r_plus)
 }
 
 Time OutputModel::delta_min_raw(Count n) const {
-  const std::lock_guard<std::mutex> lock(rec_mu_);
+  std::unique_lock<std::mutex> lock(rec_mu_, std::defer_lock);
+  obs::lock_counted(lock, g_rec_contention);
+  if (static_cast<Count>(rec_dmin_.size()) + 1 >= n)
+    obs::bump(g_rec_hit);
+  else
+    obs::bump(g_rec_extend);
   const Time spread = r_plus_ - r_minus_;
   // Extend the materialised recursion up to n.
   while (static_cast<Count>(rec_dmin_.size()) + 1 < n) {

@@ -1,5 +1,7 @@
 #include "io/csv.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -14,14 +16,38 @@ namespace {
 std::string csv_time(Time t) { return is_infinite(t) ? "inf" : std::to_string(t); }
 std::string csv_count(Count n) { return is_infinite_count(n) ? "inf" : std::to_string(n); }
 
+/// Fixed six-decimal rendering: the default operator<< (6 significant
+/// digits) silently rounds large utilizations and switches to scientific
+/// notation, which breaks downstream numeric parsers.
+std::string csv_double(double v) {
+  if (std::isinf(v)) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
 }  // namespace
+
+std::string csv_field(const std::string& text) {
+  if (text.find_first_of(",\"\r\n") == std::string::npos) return text;
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (const char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
 void write_report_csv(std::ostream& os, const cpa::AnalysisReport& report) {
   os << "task,resource,bcrt,wcrt,activations,busy_period,utilization,status\n";
   for (const auto& t : report.tasks) {
-    os << t.name << ',' << t.resource << ',' << csv_time(t.bcrt) << ',' << csv_time(t.wcrt)
-       << ',' << csv_count(t.activations_in_busy_period) << ',' << csv_time(t.busy_period)
-       << ',' << t.utilization << ',' << cpa::to_string(t.status) << '\n';
+    os << csv_field(t.name) << ',' << csv_field(t.resource) << ',' << csv_time(t.bcrt) << ','
+       << csv_time(t.wcrt) << ',' << csv_count(t.activations_in_busy_period) << ','
+       << csv_time(t.busy_period) << ',' << csv_double(t.utilization) << ','
+       << csv_field(cpa::to_string(t.status)) << '\n';
   }
 }
 

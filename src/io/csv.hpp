@@ -15,8 +15,15 @@
 namespace hem::io {
 
 /// Write the per-task results as CSV:
-/// `task,resource,bcrt,wcrt,activations,busy_period,utilization`.
+/// `task,resource,bcrt,wcrt,activations,busy_period,utilization,status`.
+/// Text fields are RFC-4180 quoted when they contain a delimiter, quote, or
+/// newline; utilization is rendered with a fixed six decimals.
 void write_report_csv(std::ostream& os, const cpa::AnalysisReport& report);
+
+/// RFC-4180 field encoding: returns `text` unchanged when it contains no
+/// comma, double quote, or line break; otherwise wraps it in double quotes
+/// with embedded quotes doubled.
+[[nodiscard]] std::string csv_field(const std::string& text);
 
 /// Write one event timestamp per line.
 void write_trace_csv(std::ostream& os, std::span<const Time> trace);

@@ -10,6 +10,7 @@
 #include "core/output_model.hpp"
 #include "core/sem_fit.hpp"
 #include "hierarchical/inner_update.hpp"
+#include "obs/obs.hpp"
 #include "sched/can_bus.hpp"
 #include "sched/edf.hpp"
 #include "sched/flexray_static.hpp"
@@ -55,6 +56,18 @@ HemPtr degraded_hem_output(const ModelPtr& outer, std::size_t inner_count, Time 
                                                   PackRule::instance());
 }
 
+// EngineStats is the per-run view of these registry counters: the engine
+// accumulates its work counters locally (deterministic, unaffected by other
+// engines in the process) and publishes the totals here at the end of every
+// run, where the metrics dump and the trace exporter pick them up.
+obs::Counter& g_eng_analyses_run = obs::registry().counter("engine.local_analyses_run");
+obs::Counter& g_eng_analyses_skipped = obs::registry().counter("engine.local_analyses_skipped");
+obs::Counter& g_eng_models_reused = obs::registry().counter("engine.models_reused");
+obs::Counter& g_eng_models_rebuilt = obs::registry().counter("engine.models_rebuilt");
+obs::Counter& g_eng_iterations = obs::registry().counter("engine.iterations");
+obs::Counter& g_eng_rate_hit = obs::registry().counter("engine.rate_memo.hit");
+obs::Counter& g_eng_rate_miss = obs::registry().counter("engine.rate_memo.miss");
+
 }  // namespace
 
 CpaEngine::CpaEngine(const System& system, EngineOptions options)
@@ -75,13 +88,18 @@ double CpaEngine::cached_rate(TaskId t) {
   TaskState& st = state_[t];
   const void* key = st.act_flat.get();
   if (st.rate_key != key) {
+    obs::bump(g_eng_rate_miss);
     st.rate = long_run_rate(*st.act_flat);
     st.rate_key = key;
+  } else {
+    obs::bump(g_eng_rate_hit);
   }
   return st.rate;
 }
 
 void CpaEngine::resolve_activations() {
+  obs::Span span("engine", "resolve_activations");
+  span.arg("iteration", static_cast<long>(current_iteration_));
   const bool inc = options_.incremental;
   const auto& tasks = system_.tasks();
   for (TaskId t = 0; t < tasks.size(); ++t) {
@@ -358,21 +376,24 @@ void CpaEngine::analyze_resources() {
   // bounds stay dirty so their degradation record (incl. the iteration it
   // was raised in) tracks the classic engine exactly.
   std::vector<ResourceId> dirty;
+  std::vector<const char*> causes;  ///< parallel to `dirty`; trace-span labels
   for (ResourceId r = 0; r < n_res; ++r) {
     if (ids[r].empty()) continue;
-    bool is_dirty = !options_.incremental;
+    const char* cause = options_.incremental ? nullptr : "full-reanalysis";
     for (TaskId t : ids[r]) {
-      if (state_[t].act_flat.get() != state_[t].analyzed_act ||
-          state_[t].status != TaskStatus::kConverged) {
-        is_dirty = true;
-        break;
-      }
+      if (cause != nullptr) break;
+      if (state_[t].act_flat.get() != state_[t].analyzed_act)
+        cause = state_[t].analyzed_act == nullptr ? "first-analysis" : "activation-changed";
+      else if (state_[t].status != TaskStatus::kConverged)
+        cause = "degraded-status";
     }
-    if (!is_dirty) {
+    if (cause == nullptr) {
       ++stats_.local_analyses_skipped;
+      obs::instant("engine", [&] { return "clean:" + system_.resources()[r].name; });
       continue;
     }
     dirty.push_back(r);
+    causes.push_back(cause);
   }
   stats_.local_analyses_run += static_cast<long>(dirty.size());
 
@@ -393,6 +414,10 @@ void CpaEngine::analyze_resources() {
   // the serial engine would have thrown first.
   std::vector<std::exception_ptr> errors(dirty.size());
   const auto work = [&](std::size_t i) {
+    obs::Span span("engine", [&] { return "local:" + system_.resources()[dirty[i]].name; });
+    span.arg("cause", causes[i]);
+    span.arg("iteration", static_cast<long>(current_iteration_));
+    span.arg("tasks", static_cast<long>(ids[dirty[i]].size()));
     try {
       analyze_one_resource(dirty[i], ids[dirty[i]]);
     } catch (...) {
@@ -421,6 +446,8 @@ void CpaEngine::analyze_resources() {
 }
 
 void CpaEngine::compute_outputs() {
+  obs::Span span("engine", "compute_outputs");
+  span.arg("iteration", static_cast<long>(current_iteration_));
   const bool inc = options_.incremental;
   const auto& tasks = system_.tasks();
   for (TaskId t = 0; t < tasks.size(); ++t) {
@@ -659,29 +686,42 @@ AnalysisReport CpaEngine::run() {
   bool converged = false;
   bool budget_hit = false;
 
-  for (iter = 1; iter <= options_.max_iterations; ++iter) {
-    current_iteration_ = iter;
-    if (budgeted && clock::now() >= limits_.deadline) {
-      budget_hit = true;
-      break;
-    }
-    resource_overloaded_.assign(system_.resources().size(), 0);
-    resource_diag_.clear();
+  {
+    obs::Span run_span("engine", "CpaEngine::run");
+    run_span.arg("tasks", static_cast<long>(system_.tasks().size()));
+    run_span.arg("resources", static_cast<long>(system_.resources().size()));
+    run_span.arg("jobs", static_cast<long>(stats_.jobs));
 
-    resolve_activations();
-    if (options_.check_overload) check_resource_load();
-    analyze_resources();
-    compute_outputs();
+    for (iter = 1; iter <= options_.max_iterations; ++iter) {
+      current_iteration_ = iter;
+      if (budgeted && clock::now() >= limits_.deadline) {
+        budget_hit = true;
+        break;
+      }
+      obs::Span iter_span("engine", "iteration");
+      iter_span.arg("n", static_cast<long>(iter));
+      resource_overloaded_.assign(system_.resources().size(), 0);
+      resource_diag_.clear();
 
-    const bool all_analyzed =
-        std::all_of(state_.begin(), state_.end(), [](const TaskState& s) { return s.analyzed; });
-    const bool stable = update_convergence();
-    if (all_analyzed && stable) {
-      converged = true;
-      break;
+      resolve_activations();
+      if (options_.check_overload) check_resource_load();
+      analyze_resources();
+      compute_outputs();
+
+      const bool all_analyzed = std::all_of(state_.begin(), state_.end(),
+                                            [](const TaskState& s) { return s.analyzed; });
+      const bool stable = update_convergence();
+      if (all_analyzed && stable) {
+        converged = true;
+        break;
+      }
     }
+    if (iter > options_.max_iterations) iter = options_.max_iterations;
+    obs::instant("engine", [&] {
+      return converged ? std::string("converged")
+                       : std::string(budget_hit ? "budget-exhausted" : "iteration-limit");
+    }, {{"iterations", std::to_string(iter)}});
   }
-  if (iter > options_.max_iterations) iter = options_.max_iterations;
 
   if (!converged) {
     if (options_.strict) {
@@ -715,6 +755,15 @@ AnalysisReport CpaEngine::run() {
                   " iterations",
         current_iteration_});
   }
+
+  // Publish the run's work counters into the shared registry (see the
+  // g_eng_* declarations above); EngineStats stays the authoritative,
+  // per-run view inside the report.
+  g_eng_analyses_run.add(stats_.local_analyses_run);
+  g_eng_analyses_skipped.add(stats_.local_analyses_skipped);
+  g_eng_models_reused.add(stats_.models_reused);
+  g_eng_models_rebuilt.add(stats_.models_rebuilt);
+  g_eng_iterations.add(iter);
   return report;
 }
 

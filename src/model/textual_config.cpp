@@ -86,16 +86,32 @@ Stmt tokenize(const std::string& raw, int line_no) {
   return s;
 }
 
-Time to_time_at(const std::string& text, int line, int col) {
+[[noreturn]] void fail_positioned(int line, int col, const std::string& message) {
+  if (col > 0) fail_at(line, col, message);
+  fail(line, message);
+}
+
+/// Parse a time value, consuming the whole token.  Overflow and trailing
+/// garbage are rejected with positioned errors; negative values are rejected
+/// unless `allow_negative` (periods, jitters, distances, and execution times
+/// are durations - a negative one silently corrupts the analysis).
+Time to_time_at(const std::string& text, int line, int col, bool allow_negative = false) {
+  long long v = 0;
   try {
     std::size_t pos = 0;
-    const long long v = std::stoll(text, &pos);
-    if (pos != text.size()) throw std::invalid_argument("");
-    return static_cast<Time>(v);
-  } catch (...) {
-    if (col > 0) fail_at(line, col, "not a number: '" + text + "'");
-    fail(line, "not a number: '" + text + "'");
+    v = std::stoll(text, &pos);
+    if (pos != text.size())
+      fail_positioned(line, col, "not a number: '" + text + "' (trailing characters)");
+  } catch (const std::out_of_range&) {
+    fail_positioned(line, col, "number out of range: '" + text + "'");
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    if (what.rfind("line ", 0) == 0) throw;  // already positioned (trailing garbage)
+    fail_positioned(line, col, "not a number: '" + text + "'");
   }
+  if (!allow_negative && v < 0)
+    fail_positioned(line, col, "negative value not allowed here: '" + text + "'");
+  return static_cast<Time>(v);
 }
 
 /// Key=value arguments after the positional tokens.
@@ -106,7 +122,12 @@ class Args {
       const auto eq = s.tokens[i].find('=');
       if (eq == std::string::npos)
         fail_at(s.line, s.cols[i], "expected key=value, got '" + s.tokens[i] + "'");
-      kv_[s.tokens[i].substr(0, eq)] = {s.tokens[i].substr(eq + 1), s.cols[i]};
+      std::string key = s.tokens[i].substr(0, eq);
+      // A silently-overwriting duplicate is almost always a typo'd edit of
+      // the first occurrence; report the second one by column.
+      if (kv_.count(key) != 0)
+        fail_at(s.line, s.cols[i], "duplicate argument '" + key + "'");
+      kv_[std::move(key)] = {s.tokens[i].substr(eq + 1), s.cols[i]};
     }
   }
 
@@ -131,8 +152,8 @@ class Args {
     return it == kv_.end() ? def : it->second.first;
   }
 
-  [[nodiscard]] Time time(const std::string& key) const {
-    return to_time_at(str(key), line_, col(key));
+  [[nodiscard]] Time time(const std::string& key, bool allow_negative = false) const {
+    return to_time_at(str(key), line_, col(key), allow_negative);
   }
 
   [[nodiscard]] Time time_or(const std::string& key, Time def) const {
@@ -143,26 +164,46 @@ class Args {
     return to_time_at(text, line_, 0 /* value inside a list; column unknown */);
   }
 
- private:
+  /// 1-based column of the key=value token carrying `key` (0 if absent).
   [[nodiscard]] int col(const std::string& key) const {
     const auto it = kv_.find(key);
     return it == kv_.end() ? 0 : it->second.second;
   }
 
+ private:
   std::map<std::string, std::pair<std::string, int>> kv_;
   int line_;
 };
 
-sched::ExecutionTime parse_cet(const std::string& text, int line) {
+sched::ExecutionTime parse_cet(const std::string& text, int line, int col) {
+  // Each half must consume its whole token: `cet=5x` or `cet=3:7junk` is a
+  // typo, not a 5 or a 3:7.  Overflow and negatives get their own messages.
+  const auto part = [&](const std::string& p) -> Time {
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(p, &pos);
+      if (pos != p.size())
+        fail_positioned(line, col, "bad cet '" + text + "': trailing characters in '" + p + "'");
+      if (v < 0)
+        fail_positioned(line, col, "bad cet '" + text + "': negative execution time");
+      return static_cast<Time>(v);
+    } catch (const std::out_of_range&) {
+      fail_positioned(line, col, "bad cet '" + text + "': number out of range");
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      if (what.rfind("line ", 0) == 0) throw;  // already positioned
+      fail_positioned(line, col, "bad cet '" + text + "' (expected <c> or <lo>:<hi>)");
+    }
+  };
   const auto colon = text.find(':');
   try {
-    if (colon == std::string::npos) {
-      return sched::ExecutionTime(static_cast<Time>(std::stoll(text)));
-    }
-    return sched::ExecutionTime(static_cast<Time>(std::stoll(text.substr(0, colon))),
-                                static_cast<Time>(std::stoll(text.substr(colon + 1))));
-  } catch (const std::invalid_argument&) {
-    fail(line, "bad cet '" + text + "' (expected <c> or <lo>:<hi>)");
+    if (colon == std::string::npos) return sched::ExecutionTime(part(text));
+    return sched::ExecutionTime(part(text.substr(0, colon)), part(text.substr(colon + 1)));
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    if (what.rfind("line ", 0) == 0) throw;  // positioned errors from part()
+    // ExecutionTime's own validation (lo <= hi).
+    fail_positioned(line, col, "bad cet '" + text + "': " + what);
   }
 }
 
@@ -185,6 +226,8 @@ struct ParserState {
   System system;
   DeadlineMap deadlines;
   int jobs = 0;
+  std::string trace_out;
+  bool metrics = false;
   std::map<std::string, ResourceId> resources;
   std::map<std::string, TaskId> tasks;
   std::map<std::string, ModelPtr> sources;
@@ -284,8 +327,9 @@ void parse_task(ParserState& st, const Stmt& s) {
   args.allow({"resource", "priority", "cet", "slot", "deadline"});
   const auto res = st.resources.find(args.str("resource"));
   if (res == st.resources.end()) fail(line, "unknown resource '" + args.str("resource") + "'");
-  TaskSpec spec{name, res->second, static_cast<int>(args.time("priority")),
-                parse_cet(args.str("cet"), line)};
+  TaskSpec spec{name, res->second,
+                static_cast<int>(args.time("priority", /*allow_negative=*/true)),
+                parse_cet(args.str("cet"), line, args.col("cet"))};
   spec.slot = args.time_or("slot", 0);
   spec.deadline = args.time_or("deadline", 0);
   if (st.tasks.count(name) != 0) fail(line, "duplicate task '" + name + "'");
@@ -392,11 +436,25 @@ void parse_unpack(ParserState& st, const Stmt& s) {
 void parse_option(ParserState& st, const Stmt& s) {
   const int line = s.line;
   const Args args(s, 1);
-  args.allow({"jobs"});
+  args.allow({"jobs", "trace", "metrics"});
   if (args.has("jobs")) {
-    const Time jobs = args.time("jobs");
+    const Time jobs = args.time("jobs", /*allow_negative=*/true);
     if (jobs < 1) fail(line, "jobs must be >= 1, got " + std::to_string(jobs));
     st.jobs = static_cast<int>(jobs);
+  }
+  if (args.has("trace")) {
+    const std::string path = args.str("trace");
+    if (path.empty()) fail_at(line, args.col("trace"), "trace needs a file path");
+    st.trace_out = path;
+  }
+  if (args.has("metrics")) {
+    const std::string v = args.str("metrics");
+    if (v == "on" || v == "1" || v == "true")
+      st.metrics = true;
+    else if (v == "off" || v == "0" || v == "false")
+      st.metrics = false;
+    else
+      fail_at(line, args.col("metrics"), "metrics must be on|off, got '" + v + "'");
   }
 }
 
@@ -445,7 +503,8 @@ ParsedSystem parse_system_config(std::istream& in) {
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument(std::string("configuration incomplete: ") + e.what());
   }
-  return ParsedSystem{std::move(st.system), std::move(st.deadlines), st.jobs};
+  return ParsedSystem{std::move(st.system), std::move(st.deadlines), st.jobs,
+                      std::move(st.trace_out), st.metrics};
 }
 
 ParsedSystem parse_system_config_file(const std::string& path) {

@@ -33,6 +33,8 @@
 ///
 /// # optional engine options (overridable from the CLI):
 /// option jobs=4                    # worker threads for the local analyses
+/// option trace=run.json            # Chrome trace_event output file
+/// option metrics=on                # print the plain-text metrics dump
 /// ```
 
 #include <istream>
@@ -48,7 +50,9 @@ namespace hem::cpa {
 struct ParsedSystem {
   System system;
   DeadlineMap deadlines;
-  int jobs = 0;  ///< `option jobs=<n>`; 0 = not specified
+  int jobs = 0;           ///< `option jobs=<n>`; 0 = not specified
+  std::string trace_out;  ///< `option trace=<file>`; empty = no tracing
+  bool metrics = false;   ///< `option metrics=on`
 };
 
 /// Parse a configuration from a stream.

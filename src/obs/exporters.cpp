@@ -1,0 +1,109 @@
+#include "obs/exporters.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace hem::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Nanoseconds -> the microsecond `ts`/`dur` unit of the trace_event format,
+/// keeping sub-microsecond resolution as a decimal fraction.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+void write_args(std::ostream& os,
+                const std::vector<std::pair<std::string, std::string>>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << json_escape(args[i].first) << "\":\"" << json_escape(args[i].second) << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer, const Registry& registry) {
+  std::vector<TraceEvent> events = tracer.snapshot();
+  // Events arrive at span *completion*; viewers expect begin-timestamp order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  const std::uint64_t end_ts = events.empty() ? 0 : tracer.now_ns();
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const TraceEvent& ev : events) {
+    sep();
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"" << json_escape(ev.category)
+       << "\",\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":";
+    write_us(os, ev.ts_ns);
+    if (ev.phase == 'X') {
+      os << ",\"dur\":";
+      write_us(os, ev.dur_ns);
+    }
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (!ev.args.empty()) {
+      os << ",\"args\":";
+      write_args(os, ev.args);
+    }
+    os << "}";
+  }
+  // Final counter samples: one 'C' event per registry counter at the trace
+  // end timestamp, so Perfetto renders them as counter tracks and the JSON
+  // itself carries the cache statistics.
+  registry.for_each_counter([&](const std::string& name, const Counter& c) {
+    sep();
+    os << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\"metrics\",\"ph\":\"C\","
+       << "\"pid\":1,\"tid\":0,\"ts\":";
+    write_us(os, end_ts);
+    os << ",\"args\":{\"value\":" << c.value() << "}}";
+  });
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_metrics_text(std::ostream& os, const Registry& registry) {
+  registry.for_each_counter(
+      [&](const std::string& name, const Counter& c) { os << name << " " << c.value() << "\n"; });
+  registry.for_each_histogram([&](const std::string& name, const Histogram& h) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", h.mean());
+    os << name << " count=" << h.count() << " sum=" << h.sum() << " min=" << h.min()
+       << " max=" << h.max() << " mean=" << buf << "\n";
+  });
+}
+
+}  // namespace hem::obs

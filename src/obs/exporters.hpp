@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file exporters.hpp
+/// Serialisation of collected observability data:
+///   * Chrome trace_event JSON (the "JSON Object Format": a top-level object
+///     with a `traceEvents` array) - loadable in about:tracing, Perfetto, or
+///     `chrome://tracing`.  Spans become 'X' (complete) events with
+///     microsecond timestamps/durations, instants become 'i' events, and
+///     every registry counter is appended as a 'C' (counter) sample so the
+///     trace is self-contained (delta-cache hit rates next to the spans they
+///     explain).
+///   * a plain-text metrics dump: one `name value` line per counter and a
+///     `name count=.. sum=.. min=.. max=.. mean=..` line per histogram,
+///     sorted by name (stable for diffing and CI greps).
+
+#include <iosfwd>
+
+#include "obs/obs.hpp"
+
+namespace hem::obs {
+
+/// Write the trace_event JSON for `tracer`'s events plus one final counter
+/// sample per `registry` counter.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer, const Registry& registry);
+
+/// Write the plain-text metrics dump of every counter and histogram.
+void write_metrics_text(std::ostream& os, const Registry& registry);
+
+/// Escape a string for embedding in a JSON string literal (quotes not
+/// included).  Exposed for tests.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace hem::obs

@@ -1,0 +1,178 @@
+#include "obs/obs.hpp"
+
+namespace hem::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Bucket index for a sample: 0 for <= 0, otherwise 1 + floor(log2(sample)),
+/// clamped to the last bucket.
+int bucket_index(long sample) noexcept {
+  if (sample <= 0) return 0;
+  int i = 1;
+  unsigned long v = static_cast<unsigned long>(sample);
+  while (v > 1 && i < Histogram::kBuckets - 1) {
+    v >>= 1U;
+    ++i;
+  }
+  return i;
+}
+
+/// Relaxed fetch-min/max via CAS (no atomic<long>::fetch_min pre-C++26).
+void atomic_min(std::atomic<long>& a, long v) noexcept {
+  long cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<long>& a, long v) noexcept {
+  long cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(long sample) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  if (!has_sample_.exchange(true, std::memory_order_relaxed)) {
+    // First sample seeds min/max; racing seeds converge via the CAS loops.
+    min_.store(sample, std::memory_order_relaxed);
+    max_.store(sample, std::memory_order_relaxed);
+  }
+  atomic_min(min_, sample);
+  atomic_max(max_, sample);
+  buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  has_sample_.store(false, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, c);
+}
+
+void Registry::for_each_histogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) fn(name, h);
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Registry& registry() {
+  // Meyers singleton: probes at namespace scope in other translation units
+  // call this during static initialisation; construction on first use keeps
+  // that order-safe.
+  static Registry instance;
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+void Tracer::record(TraceEvent&& ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Global enablement
+// ---------------------------------------------------------------------------
+
+namespace detail {
+#if HEM_OBS_ENABLED
+std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<bool> g_counting{false};
+#endif
+}  // namespace detail
+
+void set_tracer(Tracer* t) noexcept {
+#if HEM_OBS_ENABLED
+  detail::g_tracer.store(t, std::memory_order_relaxed);
+  if (t != nullptr) detail::g_counting.store(true, std::memory_order_relaxed);
+#else
+  (void)t;
+#endif
+}
+
+void set_counting(bool on) noexcept {
+#if HEM_OBS_ENABLED
+  detail::g_counting.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+std::uint32_t thread_id() noexcept {
+#if HEM_OBS_ENABLED
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+#else
+  return 0;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+void Span::begin(Tracer* t, const char* category, std::string name) {
+  tracer_ = t;
+  event_.name = std::move(name);
+  event_.category = category;
+  event_.phase = 'X';
+  event_.tid = thread_id();
+  event_.ts_ns = t->now_ns();
+}
+
+void Span::finish() {
+  // A tracer swapped out mid-span still receives the event: `tracer_` pins
+  // the sink the span began on, so begin/end always pair up.
+  event_.dur_ns = tracer_->now_ns() - event_.ts_ns;
+  tracer_->record(std::move(event_));
+}
+
+}  // namespace hem::obs

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/obs.hpp"
+
 namespace hem::sched {
+
+namespace {
+
+// Fixpoint probes: one least_fixpoint call per busy-window / completion-time
+// candidate, so `candidates` counts the w(q) evaluations of a run and the
+// histogram shows how many demand-function steps each needed.
+obs::Counter& g_fixpoint_candidates = obs::registry().counter("sched.busy_window.candidates");
+obs::Counter& g_fixpoint_steps = obs::registry().counter("sched.busy_window.fixpoint_steps");
+obs::Histogram& g_fixpoint_hist =
+    obs::registry().histogram("sched.busy_window.steps_per_fixpoint");
+
+}  // namespace
 
 Time least_fixpoint(const std::function<Time(Time)>& f, Time start, const FixpointLimits& limits,
                     const std::string& what) {
@@ -19,7 +33,14 @@ Time least_fixpoint(const std::function<Time(Time)>& f, Time start, const Fixpoi
     const Time next = f(w);
     if (next < w)
       throw AnalysisError(what + ": demand function is not monotone (internal error)");
-    if (next == w) return w;
+    if (next == w) {
+      if (obs::counting()) {
+        g_fixpoint_candidates.add(1);
+        g_fixpoint_steps.add(it + 1);
+        g_fixpoint_hist.record(it + 1);
+      }
+      return w;
+    }
     if (next > limits.max_window)
       throw AnalysisError(what + ": busy window exceeds limit (" +
                               std::to_string(limits.max_window) +

@@ -71,6 +71,76 @@ TEST(CsvTest, ReportCsvPrintsDegradedStatusAndInfinity) {
   EXPECT_NE(text.find(",overloaded"), std::string::npos) << text;
 }
 
+TEST(CsvTest, FieldQuotingFollowsRfc4180) {
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field(""), "");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(csv_field("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvTest, ReportCsvQuotesCommaBearingNames) {
+  // Task and resource names with CSV metacharacters must round-trip as one
+  // field each, not shift the columns of every row after them.
+  cpa::System sys;
+  const auto cpu = sys.add_resource({"cpu,0 \"main\"", cpa::Policy::kSppPreemptive});
+  const auto t = sys.add_task({"worker,a", cpu, 1, sched::ExecutionTime(5)});
+  sys.activate_external(t, StandardEventModel::periodic(100));
+  const auto report = cpa::CpaEngine(sys).run();
+
+  std::ostringstream os;
+  write_report_csv(os, report);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"worker,a\",\"cpu,0 \"\"main\"\"\","), std::string::npos) << text;
+
+  // Parse the data row back with a minimal RFC-4180 reader: the row must
+  // split into exactly the 8 header columns.
+  const auto row_start = text.find('\n') + 1;
+  const std::string row = text.substr(row_start, text.find('\n', row_start) - row_start);
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const char c = row[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < row.size() && row[i + 1] == '"') {
+        cur += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  ASSERT_EQ(fields.size(), 8u) << row;
+  EXPECT_EQ(fields[0], "worker,a");
+  EXPECT_EQ(fields[1], "cpu,0 \"main\"");
+}
+
+TEST(CsvTest, ReportCsvUtilizationHasFixedPrecision) {
+  cpa::System sys;
+  const auto cpu = sys.add_resource({"cpu", cpa::Policy::kSppPreemptive});
+  const auto t = sys.add_task({"worker", cpu, 1, sched::ExecutionTime(5)});
+  sys.activate_external(t, StandardEventModel::periodic(100));
+  const auto report = cpa::CpaEngine(sys).run();
+
+  std::ostringstream os;
+  write_report_csv(os, report);
+  // utilization = 5/100, rendered with exactly six decimals (never
+  // scientific notation or 6-significant-digit rounding).
+  EXPECT_NE(os.str().find(",0.050000,"), std::string::npos) << os.str();
+}
+
 TEST(CsvTest, DeltaCsvPrintsInfinity) {
   // A pending-style curve has infinite delta+.
   std::ostringstream os;

@@ -187,6 +187,93 @@ TEST(TextualConfigTest, ErrorsCarryColumnsAndSuggestions) {
   }
 }
 
+TEST(TextualConfigTest, RejectsTrailingGarbageAndOverflow) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    try {
+      parse(text);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  const std::string head = "resource R spp\nsource s periodic period=5\n";
+  // Partially-numeric cet values used to be silently truncated (cet=5x -> 5).
+  expect_error(head + "task t resource=R priority=1 cet=5x\n",
+               "bad cet '5x': trailing characters");
+  expect_error(head + "task t resource=R priority=1 cet=3:7junk\n",
+               "bad cet '3:7junk': trailing characters");
+  // The error points at the cet=... token.
+  expect_error(head + "task t resource=R priority=1 cet=5x\n", "line 3, col 30");
+  // Overflow used to escape as a raw std::out_of_range with no position.
+  expect_error(head + "task t resource=R priority=1 cet=99999999999999999999\n",
+               "bad cet '99999999999999999999': number out of range");
+  expect_error("resource R spp\nsource s periodic period=99999999999999999999\n",
+               "line 2, col 19: number out of range");
+}
+
+TEST(TextualConfigTest, RejectsNegativeTimeValues) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    try {
+      parse(text);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("resource R spp\nsource s periodic period=-5\n",
+               "line 2, col 19: negative value not allowed here: '-5'");
+  expect_error("resource R spp\nsource s sem period=100 jitter=-3\n",
+               "line 2, col 25: negative value not allowed here: '-3'");
+  expect_error("resource R spp\nsource s sem period=100 dmin=-1\n",
+               "negative value not allowed here: '-1'");
+  expect_error(
+      "resource R spp\nsource s periodic period=5\ntask t resource=R priority=1 cet=-4\n",
+      "bad cet '-4': negative execution time");
+  // Priorities stay signed: some policies order by arbitrary integers.
+  const auto parsed = parse(
+      "resource R spp\nsource s periodic period=50\n"
+      "task t resource=R priority=-1 cet=2\nactivate t from=s\n");
+  EXPECT_EQ(parsed.system.tasks().size(), 1u);
+}
+
+TEST(TextualConfigTest, DuplicateArgumentIsPositionedError) {
+  try {
+    parse("resource R spp\nsource s periodic period=5 period=7\n");
+    FAIL() << "expected duplicate-argument error";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate argument 'period'"), std::string::npos) << msg;
+    // Column of the SECOND occurrence, not the first.
+    EXPECT_NE(msg.find("line 2, col 28"), std::string::npos) << msg;
+  }
+}
+
+TEST(TextualConfigTest, OptionTraceAndMetrics) {
+  const std::string base = R"(
+resource CPU1 spp
+source s1 periodic period=5
+task hp resource=CPU1 priority=1 cet=2
+activate hp from=s1
+)";
+  EXPECT_EQ(parse(base).trace_out, "");
+  EXPECT_FALSE(parse(base).metrics);
+  EXPECT_EQ(parse(base + "option trace=run.json\n").trace_out, "run.json");
+  EXPECT_TRUE(parse(base + "option metrics=on\n").metrics);
+  EXPECT_TRUE(parse(base + "option metrics=1\n").metrics);
+  EXPECT_FALSE(parse(base + "option metrics=off\n").metrics);
+
+  const auto expect_error = [&](const std::string& line, const std::string& needle) {
+    try {
+      parse(base + line);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("option metrics=maybe\n", "metrics must be on|off");
+  expect_error("option trace=\n", "trace needs a file path");
+}
+
 TEST(TextualConfigTest, OptionJobs) {
   const std::string base = R"(
 resource CPU1 spp

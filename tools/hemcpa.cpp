@@ -21,6 +21,15 @@
 //                                  analyses (>= 1; 0 is rejected); overrides
 //                                  `option jobs=<n>` from the configuration.
 //                                  Results are identical for every job count.
+//   --trace-out <file>             record the analysis as Chrome trace_event
+//                                  JSON (open in about:tracing / Perfetto);
+//                                  overrides `option trace=<file>`.  The
+//                                  analysis results are bit-identical with
+//                                  and without tracing.
+//   --metrics                      print the observability counter/histogram
+//                                  dump (delta-cache hits, busy-window
+//                                  fixpoint steps, engine work counters)
+//                                  after the report
 //
 // Reads a system description (see src/model/textual_config.hpp for the
 // format), runs the global analysis, prints the report, and evaluates any
@@ -30,11 +39,13 @@
 //   0  analysis converged, all deadlines met
 //   1  deadline missed (or unverifiable because its task's bound degraded)
 //   2  analysis failed (strict-mode divergence, unsupported model, ...)
-//   3  usage or configuration error
+//   3  usage or configuration error (including an unwritable --trace-out
+//      file)
 //   4  degraded-but-bounded: no deadline violated, but at least one task
 //      carries conservative fallback bounds (see --diagnostics)
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -44,6 +55,8 @@
 #include "io/csv.hpp"
 #include "model/cpa_engine.hpp"
 #include "model/textual_config.hpp"
+#include "obs/exporters.hpp"
+#include "obs/obs.hpp"
 #include "sim/system_simulator.hpp"
 
 namespace {
@@ -53,7 +66,8 @@ int usage() {
                "[--delta <task> <n_max>] [--csv]\n"
                "              [--sim <horizon> <seed>] [--sim-drop <rate>] "
                "[--sim-jitter <time>] [--sim-burst <count>]\n"
-               "              [--strict] [--diagnostics] [--jobs <n>]\n";
+               "              [--strict] [--diagnostics] [--jobs <n>] "
+               "[--trace-out <file>] [--metrics]\n";
   return 3;
 }
 
@@ -111,6 +125,8 @@ int main(int argc, char** argv) {
   bool strict = false;
   bool want_sim = false;
   long long cli_jobs = 0;  // 0 = not given on the command line
+  std::string cli_trace_out;
+  bool cli_metrics = false;
   sim::SystemSimulator::Options sim_opts;
   sim_opts.mode = sim::GenMode::kEarliest;
 
@@ -163,6 +179,15 @@ int main(int argc, char** argv) {
       }
       cli_jobs = v;
       i += 1;
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      cli_trace_out = argv[i + 1];
+      if (cli_trace_out.empty()) {
+        std::cerr << "error: --trace-out needs a non-empty file name\n";
+        return 3;
+      }
+      i += 1;
+    } else if (flag == "--metrics") {
+      cli_metrics = true;
     } else if (flag == "--strict") {
       strict = true;
     } else if (flag == "--diagnostics") {
@@ -190,6 +215,15 @@ int main(int argc, char** argv) {
     eopts.jobs = static_cast<int>(cli_jobs);
   else if (parsed.jobs > 0)
     eopts.jobs = parsed.jobs;
+
+  // Same precedence for the observability options: the CLI wins over
+  // `option trace=` / `option metrics=` from the configuration file.
+  const std::string trace_out = !cli_trace_out.empty() ? cli_trace_out : parsed.trace_out;
+  const bool want_metrics = cli_metrics || parsed.metrics;
+  obs::Tracer tracer;
+  if (!trace_out.empty()) obs::set_tracer(&tracer);
+  if (want_metrics) obs::set_counting(true);
+
   cpa::AnalysisReport report;
   try {
     report = cpa::CpaEngine(parsed.system, eopts).run();
@@ -226,6 +260,25 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 3;
+  }
+
+  if (want_metrics) {
+    std::cout << "\nmetrics:\n";
+    obs::write_metrics_text(std::cout, obs::registry());
+  }
+
+  if (!trace_out.empty()) {
+    std::ofstream trace_file(trace_out);
+    if (!trace_file) {
+      std::cerr << "error: cannot open trace output file '" << trace_out << "'\n";
+      return 3;
+    }
+    obs::write_chrome_trace(trace_file, tracer, obs::registry());
+    trace_file.flush();
+    if (!trace_file) {
+      std::cerr << "error: failed writing trace output file '" << trace_out << "'\n";
+      return 3;
+    }
   }
 
   bool sim_violation = false;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/output_model.hpp"
+#include "verify/contracts.hpp"
 
 namespace hem {
 
@@ -24,8 +25,11 @@ HemPtr HierarchicalEventModel::after_response(Time r_minus, Time r_plus) const {
   // Inner streams: rule-specific inner update function B (Def. 7).
   std::vector<ModelPtr> new_inner;
   new_inner.reserve(inner_.size());
-  for (const auto& m : inner_)
-    new_inner.push_back(rule_->update_inner_after_response(m, outer_, r_minus, r_plus));
+  for (const auto& m : inner_) {
+    ModelPtr updated = rule_->update_inner_after_response(m, outer_, r_minus, r_plus);
+    HEM_VERIFY_INNER_UPDATE(*m, *updated, r_minus, r_plus, "after_response (Def. 9)");
+    new_inner.push_back(std::move(updated));
+  }
   return std::make_shared<HierarchicalEventModel>(std::move(new_outer), std::move(new_inner),
                                                   rule_);
 }

@@ -6,6 +6,7 @@
 
 #include "core/combinators.hpp"
 #include "hierarchical/inner_update.hpp"
+#include "verify/contracts.hpp"
 
 namespace hem {
 
@@ -42,7 +43,7 @@ HemPtr pack(const std::vector<PackInput>& inputs, ModelPtr timer) {
     if (!in.model) throw std::invalid_argument("pack: null input model");
     if (in.coupling == SignalCoupling::kTriggering) triggering.push_back(in.model);
   }
-  if (timer) triggering.push_back(timer);
+  if (timer) triggering.push_back(std::move(timer));
   if (triggering.empty())
     throw std::invalid_argument(
         "pack: no triggering input and no timer - the frame would never be sent");
@@ -60,8 +61,10 @@ HemPtr pack(const std::vector<PackInput>& inputs, ModelPtr timer) {
       inner.push_back(std::make_shared<PendingSignalModel>(in.model, outer));  // eqs. (7)-(8)
   }
 
-  return std::make_shared<HierarchicalEventModel>(std::move(outer), std::move(inner),
-                                                  PackRule::instance());
+  auto hem = std::make_shared<HierarchicalEventModel>(std::move(outer), std::move(inner),
+                                                      PackRule::instance());
+  HEM_VERIFY_PACK(*hem, "pack (Omega_pa)");
+  return hem;
 }
 
 }  // namespace hem

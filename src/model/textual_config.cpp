@@ -95,6 +95,24 @@ Stmt tokenize(const std::string& raw, int line_no) {
 /// garbage are rejected with positioned errors; negative values are rejected
 /// unless `allow_negative` (periods, jitters, distances, and execution times
 /// are durations - a negative one silently corrupts the analysis).
+/// Parse a decimal fraction (used by `option sim_drop=`), consuming the
+/// whole token; positioned rejection like to_time_at.
+double to_double_at(const std::string& text, int line, int col) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size())
+      fail_positioned(line, col, "not a number: '" + text + "' (trailing characters)");
+    return v;
+  } catch (const std::out_of_range&) {
+    fail_positioned(line, col, "number out of range: '" + text + "'");
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    if (what.rfind("line ", 0) == 0) throw;  // already positioned (trailing garbage)
+    fail_positioned(line, col, "not a number: '" + text + "'");
+  }
+}
+
 Time to_time_at(const std::string& text, int line, int col, bool allow_negative = false) {
   long long v = 0;
   try {
@@ -228,14 +246,36 @@ struct ParserState {
   int jobs = 0;
   std::string trace_out;
   bool metrics = false;
+  bool strict = false;
+  double sim_drop = 0.0;
+  Time sim_jitter = 0;
+  Count sim_burst = 1;
+  std::vector<verify::Diagnostic> warnings;
+  ConfigIndex index;
   std::map<std::string, ResourceId> resources;
   std::map<std::string, TaskId> tasks;
   std::map<std::string, ModelPtr> sources;
 
-  [[nodiscard]] ModelPtr stream_for(const std::string& name, int line) const {
+  [[nodiscard]] ModelPtr stream_for(const std::string& name, int line) {
     const auto it = sources.find(name);
-    if (it != sources.end()) return it->second;
+    if (it != sources.end()) {
+      ++index.source_refs[name];
+      return it->second;
+    }
     fail(line, "unknown source '" + name + "'");
+  }
+
+  void warn(int line, int col, std::string code, std::string message) {
+    warnings.push_back({verify::LintSeverity::kWarning, line, col, std::move(code),
+                        std::move(message)});
+  }
+
+  /// Record an error-severity diagnostic, then throw it positioned.  Used
+  /// where a lint code owns the failure (e.g. HL004), so hemlint reports
+  /// the specific code instead of the generic parse-error HL000.
+  [[noreturn]] void fail_diag(int line, int col, std::string code, const std::string& message) {
+    warnings.push_back({verify::LintSeverity::kError, line, col, std::move(code), message});
+    fail_positioned(line, col, message);
   }
 };
 
@@ -274,6 +314,7 @@ void parse_resource(ParserState& st, const Stmt& s) {
                 did_you_mean(policy, {"spp", "can", "rr", "tdma", "flexray", "edf"}));
   }
   if (st.resources.count(name) != 0) fail(line, "duplicate resource '" + name + "'");
+  st.index.resources[name] = {line, s.cols[1]};
   st.resources[name] = st.system.add_resource(std::move(spec));
 }
 
@@ -284,14 +325,31 @@ void parse_source(ParserState& st, const Stmt& s) {
   const std::string& kind = s.tokens[2];
   const Args args(s, 3);
   if (st.sources.count(name) != 0) fail(line, "duplicate source '" + name + "'");
+  st.index.sources[name] = {line, s.cols[1]};
+  st.index.source_refs.emplace(name, 0);
   try {
     if (kind == "periodic") {
       args.allow({"period"});
       st.sources[name] = StandardEventModel::periodic(args.time("period"));
     } else if (kind == "sem") {
       args.allow({"period", "jitter", "dmin"});
-      st.sources[name] = std::make_shared<StandardEventModel>(
-          args.time("period"), args.time_or("jitter", 0), args.time_or("dmin", 0));
+      const Time period = args.time("period");
+      const Time jitter = args.time_or("jitter", 0);
+      const Time dmin = args.time_or("dmin", 0);
+      // Pre-check the SEM invariant so the finding carries its own lint
+      // code and column instead of a generic constructor message.
+      if (dmin > period)
+        st.fail_diag(line, args.col("dmin"), "HL004",
+                     "dmin=" + std::to_string(dmin) + " exceeds period=" +
+                         std::to_string(period) +
+                         " (a SEM cannot space events further apart than its period)");
+      if (jitter > period)
+        st.warn(line, args.col("jitter"),
+                "HL003", "jitter=" + std::to_string(jitter) + " exceeds period=" +
+                             std::to_string(period) +
+                             " (burst regime: up to " + std::to_string(jitter / period + 1) +
+                             " activations can pile up)");
+      st.sources[name] = std::make_shared<StandardEventModel>(period, jitter, dmin);
     } else if (kind == "burst") {
       args.allow({"size", "inner", "period"});
       st.sources[name] = DeltaFunctionModel::periodic_burst(
@@ -333,6 +391,7 @@ void parse_task(ParserState& st, const Stmt& s) {
   spec.slot = args.time_or("slot", 0);
   spec.deadline = args.time_or("deadline", 0);
   if (st.tasks.count(name) != 0) fail(line, "duplicate task '" + name + "'");
+  st.index.tasks[name] = {line, s.cols[1]};
   try {
     st.tasks[name] = st.system.add_task(std::move(spec));
   } catch (const std::invalid_argument& e) {
@@ -436,7 +495,10 @@ void parse_unpack(ParserState& st, const Stmt& s) {
 void parse_option(ParserState& st, const Stmt& s) {
   const int line = s.line;
   const Args args(s, 1);
-  args.allow({"jobs", "trace", "metrics"});
+  args.allow({"jobs", "trace", "metrics", "strict", "sim_drop", "sim_jitter", "sim_burst"});
+  for (const char* key : {"jobs", "trace", "metrics", "strict", "sim_drop", "sim_jitter",
+                          "sim_burst"})
+    if (args.has(key)) st.index.options[key] = {line, args.col(key)};
   if (args.has("jobs")) {
     const Time jobs = args.time("jobs", /*allow_negative=*/true);
     if (jobs < 1) fail(line, "jobs must be >= 1, got " + std::to_string(jobs));
@@ -456,55 +518,125 @@ void parse_option(ParserState& st, const Stmt& s) {
     else
       fail_at(line, args.col("metrics"), "metrics must be on|off, got '" + v + "'");
   }
+  if (args.has("strict")) {
+    const std::string v = args.str("strict");
+    if (v == "on" || v == "1" || v == "true")
+      st.strict = true;
+    else if (v == "off" || v == "0" || v == "false")
+      st.strict = false;
+    else
+      fail_at(line, args.col("strict"), "strict must be on|off, got '" + v + "'");
+  }
+  if (args.has("sim_drop")) {
+    const double rate = to_double_at(args.str("sim_drop"), line, args.col("sim_drop"));
+    if (rate < 0.0 || rate > 1.0)
+      fail_at(line, args.col("sim_drop"),
+              "sim_drop must be a probability in [0, 1], got " + args.str("sim_drop"));
+    st.sim_drop = rate;
+  }
+  if (args.has("sim_jitter")) st.sim_jitter = args.time("sim_jitter");
+  if (args.has("sim_burst")) {
+    const Time burst = args.time("sim_burst");
+    if (burst < 1)
+      fail_at(line, args.col("sim_burst"),
+              "sim_burst must be >= 1, got " + std::to_string(burst));
+    st.sim_burst = burst;
+  }
 }
 
 void parse_deadline(ParserState& st, const Stmt& s) {
   const int line = s.line;
   if (s.tokens.size() != 3) fail(line, "deadline needs: deadline <task> <ticks>");
   if (st.tasks.count(s.tokens[1]) == 0) fail(line, "unknown task '" + s.tokens[1] + "'");
+  st.index.deadlines[s.tokens[1]] = {line, s.cols[1]};
   st.deadlines[s.tokens[1]] = to_time_at(s.tokens[2], line, s.cols[2]);
+}
+
+/// Turn a thrown parser message ("line <l>[, col <c>]: <rest>") back into a
+/// positioned error Diagnostic; unpositioned messages keep line/col = 0.
+/// Generic parse failures carry the catch-all code HL000.
+verify::Diagnostic error_diagnostic(const std::string& what) {
+  verify::Diagnostic d{verify::LintSeverity::kError, 0, 0, "HL000", what};
+  if (what.rfind("line ", 0) != 0) return d;
+  std::size_t pos = 5;
+  int line = 0;
+  while (pos < what.size() && std::isdigit(static_cast<unsigned char>(what[pos])) != 0)
+    line = line * 10 + (what[pos++] - '0');
+  int col = 0;
+  if (what.compare(pos, 6, ", col ") == 0) {
+    pos += 6;
+    while (pos < what.size() && std::isdigit(static_cast<unsigned char>(what[pos])) != 0)
+      col = col * 10 + (what[pos++] - '0');
+  }
+  if (what.compare(pos, 2, ": ") != 0) return d;  // not the parser's format after all
+  d.line = line;
+  d.col = col;
+  d.message = what.substr(pos + 2);
+  return d;
 }
 
 }  // namespace
 
-ParsedSystem parse_system_config(std::istream& in) {
+ParsedSystem parse_system_config(std::istream& in, std::vector<verify::Diagnostic>* diags) {
   ParserState st;
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const Stmt s = tokenize(line, line_no);
-    if (s.tokens.empty()) continue;
-    const std::string& keyword = s.tokens[0];
-    if (keyword == "resource")
-      parse_resource(st, s);
-    else if (keyword == "source")
-      parse_source(st, s);
-    else if (keyword == "task")
-      parse_task(st, s);
-    else if (keyword == "activate")
-      parse_activate(st, s);
-    else if (keyword == "packed")
-      parse_packed(st, s);
-    else if (keyword == "unpack")
-      parse_unpack(st, s);
-    else if (keyword == "deadline")
-      parse_deadline(st, s);
-    else if (keyword == "option")
-      parse_option(st, s);
-    else
-      fail_at(line_no, s.cols[0],
-              "unknown keyword '" + keyword + "'" +
-                  did_you_mean(keyword, {"resource", "source", "task", "activate", "packed",
-                                         "unpack", "deadline", "option"}));
-  }
   try {
-    st.system.validate();
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const Stmt s = tokenize(line, line_no);
+      if (s.tokens.empty()) continue;
+      const std::string& keyword = s.tokens[0];
+      if (keyword == "resource")
+        parse_resource(st, s);
+      else if (keyword == "source")
+        parse_source(st, s);
+      else if (keyword == "task")
+        parse_task(st, s);
+      else if (keyword == "activate")
+        parse_activate(st, s);
+      else if (keyword == "packed")
+        parse_packed(st, s);
+      else if (keyword == "unpack")
+        parse_unpack(st, s);
+      else if (keyword == "deadline")
+        parse_deadline(st, s);
+      else if (keyword == "option")
+        parse_option(st, s);
+      else
+        fail_at(line_no, s.cols[0],
+                "unknown keyword '" + keyword + "'" +
+                    did_you_mean(keyword, {"resource", "source", "task", "activate", "packed",
+                                           "unpack", "deadline", "option"}));
+    }
+    try {
+      st.system.validate();
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("configuration incomplete: ") + e.what());
+    }
   } catch (const std::invalid_argument& e) {
-    throw std::invalid_argument(std::string("configuration incomplete: ") + e.what());
+    if (diags != nullptr) {
+      *diags = st.warnings;
+      const bool coded = std::any_of(diags->begin(), diags->end(),
+                                     [](const verify::Diagnostic& d) { return d.is_error(); });
+      if (!coded) diags->push_back(error_diagnostic(e.what()));
+    }
+    throw;
   }
-  return ParsedSystem{std::move(st.system), std::move(st.deadlines), st.jobs,
-                      std::move(st.trace_out), st.metrics};
+  ParsedSystem parsed;
+  parsed.system = std::move(st.system);
+  parsed.deadlines = std::move(st.deadlines);
+  parsed.jobs = st.jobs;
+  parsed.trace_out = std::move(st.trace_out);
+  parsed.metrics = st.metrics;
+  parsed.strict = st.strict;
+  parsed.sim_drop = st.sim_drop;
+  parsed.sim_jitter = st.sim_jitter;
+  parsed.sim_burst = st.sim_burst;
+  parsed.warnings = st.warnings;
+  parsed.index = std::move(st.index);
+  if (diags != nullptr) *diags = parsed.warnings;
+  return parsed;
 }
 
 ParsedSystem parse_system_config_file(const std::string& path) {

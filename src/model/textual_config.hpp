@@ -35,15 +35,44 @@
 /// option jobs=4                    # worker threads for the local analyses
 /// option trace=run.json            # Chrome trace_event output file
 /// option metrics=on                # print the plain-text metrics dump
+/// option strict=on                 # fail fast instead of degrading
+/// option sim_drop=0.1              # --sim fault injection defaults
+/// option sim_jitter=30
+/// option sim_burst=2
 /// ```
+///
+/// The parser also emits *warnings* (suspicious-but-valid constructs, e.g.
+/// jitter > period) as positioned verify::Diagnostic records; `hemlint`
+/// layers its graph-level checks on top of them (see docs/linting.md).
 
 #include <istream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "model/sensitivity.hpp"
 #include "model/system.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace hem::cpa {
+
+/// 1-based position of a declaration in the configuration text.
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+};
+
+/// Where every named entity was declared, plus reference counts — the
+/// parser records this so `hemlint` can position its graph-level findings
+/// without re-tokenising the file.
+struct ConfigIndex {
+  std::map<std::string, SourceLoc> resources;
+  std::map<std::string, SourceLoc> sources;
+  std::map<std::string, SourceLoc> tasks;
+  std::map<std::string, SourceLoc> deadlines;  ///< `deadline` statements, by task
+  std::map<std::string, SourceLoc> options;    ///< `option` keys seen
+  std::map<std::string, int> source_refs;      ///< uses per source name
+};
 
 /// A parsed configuration: the system plus optional deadline constraints
 /// and engine options.
@@ -53,12 +82,26 @@ struct ParsedSystem {
   int jobs = 0;           ///< `option jobs=<n>`; 0 = not specified
   std::string trace_out;  ///< `option trace=<file>`; empty = no tracing
   bool metrics = false;   ///< `option metrics=on`
+  bool strict = false;    ///< `option strict=on`
+  double sim_drop = 0.0;  ///< `option sim_drop=<rate>`; --sim fault default
+  Time sim_jitter = 0;    ///< `option sim_jitter=<time>`
+  Count sim_burst = 1;    ///< `option sim_burst=<count>`
+  std::vector<verify::Diagnostic> warnings;  ///< positioned parser warnings
+  ConfigIndex index;
 };
 
 /// Parse a configuration from a stream.
-/// \throws std::invalid_argument with "<line>: <message>" on syntax or
-///         reference errors.
-[[nodiscard]] ParsedSystem parse_system_config(std::istream& in);
+///
+/// Warnings land in ParsedSystem::warnings.  Fatal problems still throw;
+/// when `diags` is non-null it additionally receives, before the throw, all
+/// warnings collected so far plus one error-severity Diagnostic describing
+/// the failure (positioned, with its HL*** code) — this is how `hemlint`
+/// reports parse errors uniformly.
+///
+/// \throws std::invalid_argument with "line <l>[, col <c>]: <message>" on
+///         syntax or reference errors.
+[[nodiscard]] ParsedSystem parse_system_config(std::istream& in,
+                                               std::vector<verify::Diagnostic>* diags = nullptr);
 
 /// Parse a configuration file.
 [[nodiscard]] ParsedSystem parse_system_config_file(const std::string& path);

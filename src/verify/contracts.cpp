@@ -1,0 +1,36 @@
+#include "verify/contracts.hpp"
+
+#include "verify/model_checker.hpp"
+
+namespace hem::verify {
+
+namespace {
+
+CheckerOptions contract_options() {
+  CheckerOptions opts;
+  opts.horizon = kContractHorizon;
+  opts.check_eta = false;  // galloping searches are too hot for a per-construction contract
+  return opts;
+}
+
+[[noreturn]] void raise(const ModelChecker& checker, const char* site) {
+  throw ContractViolation(std::string("model-algebra contract violated at ") + site + ":\n" +
+                          checker.format());
+}
+
+}  // namespace
+
+void enforce_pack_contract(const HierarchicalEventModel& hem, const char* site) {
+  ModelChecker checker(contract_options());
+  checker.check_hierarchical(hem, site, /*outer_bounds_inner=*/true);
+  if (!checker.ok()) raise(checker, site);
+}
+
+void enforce_inner_update_contract(const EventModel& before, const EventModel& after,
+                                   Time r_minus, Time r_plus, const char* site) {
+  ModelChecker checker(contract_options());
+  checker.check_inner_update(before, after, r_minus, r_plus, site);
+  if (!checker.ok()) raise(checker, site);
+}
+
+}  // namespace hem::verify

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Cheap construction-time contracts over the model algebra, compiled in
+/// when HEM_VERIFY is ON (CMake option; default ON in Debug builds, OFF in
+/// Release, mirroring the HEM_OBS gate).
+///
+/// The contracts run a small-horizon, eta-free ModelChecker pass at the two
+/// construction sites where the paper's hierarchical guarantees are
+/// established — the pack constructor Omega_pa (Def. 8) and the inner
+/// update B (Def. 9) — and throw ContractViolation on any failure.
+/// ContractViolation derives from std::logic_error, NOT AnalysisError: the
+/// graceful engine degrades on AnalysisError, which would silently mask a
+/// contract bug behind conservative fallback bounds.
+///
+/// Call sites use the HEM_VERIFY_* macros, which compile to nothing when
+/// the CMake option is OFF (HEM_VERIFY_DISABLE defined).
+
+#include <stdexcept>
+#include <string>
+
+#include "core/event_model.hpp"
+#include "hierarchical/hierarchical_event_model.hpp"
+
+namespace hem::verify {
+
+/// A model-algebra axiom failed at a construction site.  Deliberately not
+/// an AnalysisError: this is a bug in the model algebra, never a property
+/// of the analysed system, and must not be degraded away.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Horizon of the construction-time checks: large enough to catch shape
+/// errors, small enough to run at every pack()/after_response().
+inline constexpr Count kContractHorizon = 8;
+
+/// Check delta monotonicity/ordering on every component of `hem` plus the
+/// Def.-8 outer-bounds-inners property.  Used on pack() outputs.
+/// \throws ContractViolation listing the violated axioms.
+void enforce_pack_contract(const HierarchicalEventModel& hem, const char* site);
+
+/// Check an inner-update result against its eq.-8 fallback (Def. 9):
+/// delta'-(n) >= (n-1)*r- and delta'+ only widens.
+/// \throws ContractViolation listing the violated axioms.
+void enforce_inner_update_contract(const EventModel& before, const EventModel& after,
+                                   Time r_minus, Time r_plus, const char* site);
+
+}  // namespace hem::verify
+
+// The first parameter must not be spelled `hem`: macro substitution would
+// also rewrite the `::hem::verify` qualifier in the expansion.
+#ifndef HEM_VERIFY_DISABLE
+#define HEM_VERIFY_PACK(hierarchy, site) ::hem::verify::enforce_pack_contract((hierarchy), (site))
+#define HEM_VERIFY_INNER_UPDATE(before, after, r_minus, r_plus, site) \
+  ::hem::verify::enforce_inner_update_contract((before), (after), (r_minus), (r_plus), (site))
+#else
+#define HEM_VERIFY_PACK(hierarchy, site) ((void)0)
+#define HEM_VERIFY_INNER_UPDATE(before, after, r_minus, r_plus, site) ((void)0)
+#endif

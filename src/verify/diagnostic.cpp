@@ -1,0 +1,33 @@
+#include "verify/diagnostic.hpp"
+
+#include <sstream>
+
+namespace hem::verify {
+
+const char* to_string(LintSeverity s) noexcept {
+  switch (s) {
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string format(const Diagnostic& d) {
+  std::ostringstream os;
+  if (d.line > 0) {
+    os << d.line << ":";
+    if (d.col > 0) os << d.col << ":";
+    os << " ";
+  }
+  os << to_string(d.severity) << ": " << d.message;
+  if (!d.code.empty()) os << " [" << d.code << "]";
+  return os.str();
+}
+
+std::string format(const Diagnostic& d, const std::string& file) {
+  return file + ":" + format(d);
+}
+
+}  // namespace hem::verify

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file diagnostic.hpp
+/// Positioned configuration diagnostics, shared between the textual_config
+/// parser (which emits warnings while parsing), the `hemlint` static config
+/// analyzer (which adds graph-level checks), and the `hemcpa` CLI (which
+/// prints parser warnings under `--diagnostics`).
+///
+/// Distinct from cpa::Diagnostic (src/model/diagnostics.hpp), which records
+/// *engine* findings per analysis iteration; this struct records *config*
+/// findings per source line/column, with stable `HL***` codes documented in
+/// docs/linting.md.
+
+#include <string>
+
+namespace hem::verify {
+
+/// Severity of a configuration diagnostic.
+enum class LintSeverity {
+  kWarning,  ///< suspicious but analysable configuration
+  kError,    ///< the configuration is wrong (or cannot be analysed)
+};
+
+[[nodiscard]] const char* to_string(LintSeverity s) noexcept;
+
+/// One positioned finding about a configuration.
+struct Diagnostic {
+  LintSeverity severity = LintSeverity::kWarning;
+  int line = 0;         ///< 1-based source line; 0 = whole file
+  int col = 0;          ///< 1-based source column; 0 = unknown
+  std::string code;     ///< stable diagnostic code, e.g. "HL003"
+  std::string message;  ///< human-readable description
+
+  [[nodiscard]] bool is_error() const noexcept { return severity == LintSeverity::kError; }
+};
+
+/// gcc-style rendering: "<line>:<col>: <severity>: <message> [<code>]".
+/// Line/column parts are omitted when unknown (0).
+[[nodiscard]] std::string format(const Diagnostic& d);
+
+/// Same, prefixed with a file name: "<file>:<line>:<col>: ...".
+[[nodiscard]] std::string format(const Diagnostic& d, const std::string& file);
+
+}  // namespace hem::verify

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file lint.hpp
+/// Graph-level static checks over a parsed `.hemcpa` configuration — the
+/// engine of the `hemlint` tool, exposed as a library so tests can drive it
+/// from strings.
+///
+/// Diagnostic codes (full table with rationale in docs/linting.md):
+///
+///   HL000  configuration does not parse (catch-all, positioned)   error
+///   HL001  long-run resource utilization > 1                      error
+///   HL002  duplicate priority on an SPP/CAN resource              warning
+///   HL003  SEM jitter > period (burst regime)                     warning
+///   HL004  SEM dmin > period (contradictory spacing)              error
+///   HL005  declared event source never referenced                 warning
+///   HL006  task unreachable (depends on an unresolvable cycle)    error
+///   HL007  activation dependency cycle without external stimulus  error
+///   HL008  packed frame with no timer and no triggering input     error
+///   HL009  `option strict=on` combined with sim fault injection   warning
+///   HL010  deadline below the task's worst-case execution time    error
+///
+/// HL000, HL003 and HL004 are emitted by the textual_config parser itself
+/// (so `hemcpa --diagnostics` shows them too); the rest need the activation
+/// graph and are computed here without running the CPA engine.
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "verify/diagnostic.hpp"
+
+namespace hem::verify {
+
+/// Outcome of linting one configuration.
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  ///< in source order, parser first
+  bool parse_ok = false;                ///< false: only parse diagnostics present
+
+  [[nodiscard]] std::size_t count(LintSeverity s) const;
+
+  /// True when the configuration should be rejected: any error, or any
+  /// diagnostic at all under `werror`.
+  [[nodiscard]] bool fails(bool werror) const;
+};
+
+/// Lint a configuration text.  Never throws on bad configurations — parse
+/// failures become HL000/HL004 diagnostics with parse_ok = false.
+[[nodiscard]] LintResult lint_config(std::istream& in);
+
+/// CLI exit-code convention of `hemlint`: 0 clean (or warnings without
+/// --werror), 1 findings reject the config.  (3, usage error, is decided by
+/// the CLI itself.)
+[[nodiscard]] int lint_exit_code(const LintResult& result, bool werror);
+
+}  // namespace hem::verify

@@ -298,6 +298,96 @@ activate hp from=s1
   expect_error("option jbos=4\n", "did you mean 'jobs'?");
 }
 
+TEST(TextualConfigTest, OptionStrictAndSimFaults) {
+  const std::string base = R"(
+resource CPU1 spp
+source s1 periodic period=5
+task hp resource=CPU1 priority=1 cet=2
+activate hp from=s1
+)";
+  const auto defaults = parse(base);
+  EXPECT_FALSE(defaults.strict);
+  EXPECT_EQ(defaults.sim_drop, 0.0);
+  EXPECT_EQ(defaults.sim_jitter, 0);
+  EXPECT_EQ(defaults.sim_burst, 1);
+
+  const auto tuned = parse(base +
+                           "option strict=on\n"
+                           "option sim_drop=0.25\n"
+                           "option sim_jitter=7\n"
+                           "option sim_burst=3\n");
+  EXPECT_TRUE(tuned.strict);
+  EXPECT_DOUBLE_EQ(tuned.sim_drop, 0.25);
+  EXPECT_EQ(tuned.sim_jitter, 7);
+  EXPECT_EQ(tuned.sim_burst, 3);
+  EXPECT_FALSE(parse(base + "option strict=off\n").strict);
+
+  const auto expect_error = [&](const std::string& line, const std::string& needle) {
+    try {
+      parse(base + line);
+      FAIL() << "expected parse error containing '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("option strict=maybe\n", "strict must be on|off");
+  expect_error("option sim_drop=1.5\n", "probability in [0, 1]");
+  expect_error("option sim_drop=-0.1\n", "probability in [0, 1]");
+  expect_error("option sim_burst=0\n", "sim_burst must be >= 1");
+}
+
+TEST(TextualConfigTest, ParserWarningsArePositioned) {
+  std::istringstream in(R"(
+resource CPU1 spp
+source s1 sem period=100 jitter=250
+task hp resource=CPU1 priority=1 cet=2
+activate hp from=s1
+)");
+  std::vector<verify::Diagnostic> diags;
+  const auto parsed = parse_system_config(in, &diags);
+  ASSERT_EQ(parsed.warnings.size(), 1u);
+  const auto& w = parsed.warnings.front();
+  EXPECT_EQ(w.code, "HL003");
+  EXPECT_EQ(w.severity, verify::LintSeverity::kWarning);
+  EXPECT_EQ(w.line, 3);
+  EXPECT_EQ(w.col, 26);  // the jitter= token
+  EXPECT_EQ(diags.size(), 1u);  // warnings mirrored into the out-param
+}
+
+TEST(TextualConfigTest, FailedParseStillReportsDiagnostics) {
+  std::istringstream in(R"(
+resource CPU1 spp
+source s1 sem period=100 dmin=400
+)");
+  std::vector<verify::Diagnostic> diags;
+  EXPECT_THROW(parse_system_config(in, &diags), std::invalid_argument);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.front().code, "HL004");
+  EXPECT_TRUE(diags.front().is_error());
+  EXPECT_EQ(diags.front().line, 3);
+}
+
+TEST(TextualConfigTest, IndexRecordsDeclarationPositions) {
+  std::istringstream in(R"(
+resource CPU1 spp
+source s1 periodic period=5
+task hp resource=CPU1 priority=1 cet=2
+activate hp from=s1
+deadline hp 50
+)");
+  const auto parsed = parse_system_config(in);
+  ASSERT_TRUE(parsed.index.resources.count("CPU1"));
+  EXPECT_EQ(parsed.index.resources.at("CPU1").line, 2);
+  ASSERT_TRUE(parsed.index.sources.count("s1"));
+  EXPECT_EQ(parsed.index.sources.at("s1").line, 3);
+  ASSERT_TRUE(parsed.index.tasks.count("hp"));
+  EXPECT_EQ(parsed.index.tasks.at("hp").line, 4);
+  ASSERT_TRUE(parsed.index.deadlines.count("hp"));
+  EXPECT_EQ(parsed.index.deadlines.at("hp").line, 6);
+  ASSERT_TRUE(parsed.index.source_refs.count("s1"));
+  EXPECT_EQ(parsed.index.source_refs.at("s1"), 1);
+}
+
 TEST(TextualConfigTest, IncompleteSystemRejected) {
   EXPECT_THROW(parse("resource R spp\ntask t resource=R priority=1 cet=1\n"),
                std::invalid_argument);

@@ -15,8 +15,14 @@
 //   --sim-jitter <time>            fault injection: extra uniform arrival delay
 //   --sim-burst <count>            fault injection: replicate each arrival
 //   --strict                       fail (exit 2) on the first overload/divergence
-//                                  instead of degrading to fallback bounds
+//                                  instead of degrading to fallback bounds;
+//                                  also settable as `option strict=on`
 //   --diagnostics                  print the structured diagnostic records
+//                                  and any positioned configuration warnings
+//   --verify                       after convergence, run the model-algebra
+//                                  axiom checker (docs/linting.md) over every
+//                                  resolved activation/output model; exit 4
+//                                  on any axiom violation
 //   --jobs <n>                     worker threads for the per-iteration local
 //                                  analyses (>= 1; 0 is rejected); overrides
 //                                  `option jobs=<n>` from the configuration.
@@ -42,7 +48,8 @@
 //   3  usage or configuration error (including an unwritable --trace-out
 //      file)
 //   4  degraded-but-bounded: no deadline violated, but at least one task
-//      carries conservative fallback bounds (see --diagnostics)
+//      carries conservative fallback bounds (see --diagnostics), or
+//      --verify found a model-algebra axiom violation
 
 #include <cstring>
 #include <fstream>
@@ -58,6 +65,7 @@
 #include "obs/exporters.hpp"
 #include "obs/obs.hpp"
 #include "sim/system_simulator.hpp"
+#include "verify/model_checker.hpp"
 
 namespace {
 
@@ -66,7 +74,7 @@ int usage() {
                "[--delta <task> <n_max>] [--csv]\n"
                "              [--sim <horizon> <seed>] [--sim-drop <rate>] "
                "[--sim-jitter <time>] [--sim-burst <count>]\n"
-               "              [--strict] [--diagnostics] [--jobs <n>] "
+               "              [--strict] [--diagnostics] [--verify] [--jobs <n>] "
                "[--trace-out <file>] [--metrics]\n";
   return 3;
 }
@@ -122,8 +130,12 @@ int main(int argc, char** argv) {
   std::vector<DeltaRequest> delta_requests;
   bool want_csv = false;
   bool want_diagnostics = false;
+  bool want_verify = false;
   bool strict = false;
   bool want_sim = false;
+  bool cli_sim_drop = false;  // whether the CLI set each fault-injection
+  bool cli_sim_jitter = false;  // field ('option sim_*=' supplies defaults,
+  bool cli_sim_burst = false;   // the CLI wins)
   long long cli_jobs = 0;  // 0 = not given on the command line
   std::string cli_trace_out;
   bool cli_metrics = false;
@@ -162,14 +174,17 @@ int main(int argc, char** argv) {
       double rate = 0.0;
       if (!parse_double(argv[i + 1], rate)) return bad_number(flag, argv[i + 1]);
       sim_opts.faults.drop_rate = rate;
+      cli_sim_drop = true;
       i += 1;
     } else if (flag == "--sim-jitter" && i + 1 < argc) {
       if (!parse_ll(argv[i + 1], v)) return bad_number(flag, argv[i + 1]);
       sim_opts.faults.extra_jitter = v;
+      cli_sim_jitter = true;
       i += 1;
     } else if (flag == "--sim-burst" && i + 1 < argc) {
       if (!parse_ll(argv[i + 1], v)) return bad_number(flag, argv[i + 1]);
       sim_opts.faults.burst = v;
+      cli_sim_burst = true;
       i += 1;
     } else if (flag == "--jobs" && i + 1 < argc) {
       if (!parse_ll(argv[i + 1], v)) return bad_number(flag, argv[i + 1]);
@@ -192,6 +207,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (flag == "--diagnostics") {
       want_diagnostics = true;
+    } else if (flag == "--verify") {
+      want_verify = true;
     } else {
       std::cerr << "error: unknown or incomplete flag '" << flag << "'\n";
       return usage();
@@ -207,9 +224,24 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  // Positioned parser warnings (e.g. jitter > period) surface under
+  // --diagnostics; hemlint reports the same records with more checks.
+  if (want_diagnostics && !parsed.warnings.empty()) {
+    std::cout << "configuration warnings:\n";
+    for (const auto& w : parsed.warnings)
+      std::cout << "  " << argv[1] << ":" << verify::format(w) << "\n";
+    std::cout << "\n";
+  }
+
   // ---- phase 3: analysis --------------------------------------------------
   cpa::EngineOptions eopts;
-  eopts.strict = strict;
+  // `option strict=on` from the configuration file; the CLI can only add
+  // strictness, not remove it.
+  eopts.strict = strict || parsed.strict;
+  // Fault-injection defaults from `option sim_*=`; CLI flags win per field.
+  if (!cli_sim_drop) sim_opts.faults.drop_rate = parsed.sim_drop;
+  if (!cli_sim_jitter) sim_opts.faults.extra_jitter = parsed.sim_jitter;
+  if (!cli_sim_burst) sim_opts.faults.burst = parsed.sim_burst;
   // CLI flag wins over `option jobs=<n>` from the configuration file.
   if (cli_jobs > 0)
     eopts.jobs = static_cast<int>(cli_jobs);
@@ -307,6 +339,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- phase 4.5: model-algebra verification ------------------------------
+  bool verify_failed = false;
+  if (want_verify) {
+    verify::ModelChecker checker;
+    for (const auto& t : report.tasks) {
+      if (t.activation) checker.check_model(*t.activation, t.name + ".activation");
+      if (t.output) checker.check_model(*t.output, t.name + ".output");
+      // after_response() outputs: per-model axioms + the Def.-9 floor are
+      // checked; Def.-8 outer-bounds-inners only holds for fresh pack
+      // outputs, not for updated HEMs (see model_checker.hpp).
+      if (t.hem_output)
+        checker.check_hierarchical(*t.hem_output, t.name + ".hem_output",
+                                   /*outer_bounds_inner=*/false);
+    }
+    if (!checker.ok()) {
+      verify_failed = true;
+      std::cout << "\nmodel verification: " << checker.violations().size()
+                << " axiom violation(s)\n";
+      for (const auto& v : checker.violations()) std::cout << "  " << v.format() << "\n";
+    } else {
+      std::cout << "\nmodel verification: all axioms hold on " << report.tasks.size()
+                << " task(s)\n";
+    }
+  }
+
   // ---- phase 5: verdict ---------------------------------------------------
   if (sim_violation) {
     std::cout << "\nSIMULATION VIOLATION: observed response above analytic bound\n";
@@ -329,6 +386,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "\nall deadlines met\n";
+  }
+
+  if (verify_failed) {
+    std::cout << "\nMODEL VERIFICATION FAILED: axiom violation in a resolved model\n";
+    return 4;
   }
 
   if (report.degraded()) {

@@ -1,0 +1,68 @@
+// hemlint — static analyzer for .hemcpa configuration files.
+//
+// Usage:
+//   hemlint [--werror] <config> [<config> ...]
+//
+// Parses each configuration (same parser as hemcpa) and runs graph-level
+// static checks WITHOUT running the CPA engine: utilization > 1, duplicate
+// priorities, jitter/dmin vs period, unreferenced sources, unreachable
+// tasks, activation dependency cycles, never-flushable pack constructors,
+// strict + fault-injection combinations, unsatisfiable deadlines.  Findings
+// carry stable HL*** codes and gcc-style file:line:col positions; see
+// docs/linting.md for the full table.
+//
+// Options:
+//   --werror   treat warnings as errors (any finding rejects the config)
+//
+// Exit status:
+//   0  all configurations clean (warnings allowed unless --werror)
+//   1  at least one configuration rejected
+//   3  usage error (no inputs, unknown flag, unreadable file)
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "verify/lint.hpp"
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      std::cerr << "usage: hemlint [--werror] <config> [<config> ...]\n";
+      return 3;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: hemlint [--werror] <config> [<config> ...]\n";
+    return 3;
+  }
+
+  bool rejected = false;
+  std::size_t warnings = 0;
+  std::size_t errors = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "error: cannot open configuration file '" << file << "'\n";
+      return 3;
+    }
+    const hem::verify::LintResult result = hem::verify::lint_config(in);
+    for (const auto& d : result.diagnostics) std::cout << format(d, file) << "\n";
+    warnings += result.count(hem::verify::LintSeverity::kWarning);
+    errors += result.count(hem::verify::LintSeverity::kError);
+    rejected = rejected || result.fails(werror);
+  }
+  if (warnings + errors > 0)
+    std::cout << warnings << " warning(s), " << errors << " error(s)"
+              << (rejected && errors == 0 ? " (warnings rejected by --werror)" : "") << "\n";
+  return rejected ? 1 : 0;
+}

@@ -18,6 +18,7 @@ enum class ErrorCode {
   kIterationLimit,  ///< fixpoint iteration count budget exhausted
   kTimeBudget,      ///< wall-clock budget (FixpointLimits::deadline) exhausted
   kUnbounded,       ///< a model query is unbounded where a bound is required
+  kCancelled,       ///< run aborted via an exec::CancelToken (watchdog/shutdown)
 };
 
 /// A scheduling analysis could not produce a bound: the resource is

@@ -1,0 +1,536 @@
+#include "exec/batch_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/errors.hpp"
+#include "exec/cancel.hpp"
+#include "exec/journal.hpp"
+#include "io/csv.hpp"
+#include "model/cpa_engine.hpp"
+#include "model/textual_config.hpp"
+#include "obs/obs.hpp"
+
+namespace hem::exec {
+
+namespace {
+
+namespace fs = std::filesystem;
+using steady = std::chrono::steady_clock;
+
+obs::Counter& g_jobs_run = obs::registry().counter("batch.jobs_run");
+obs::Counter& g_jobs_done = obs::registry().counter("batch.jobs_done");
+obs::Counter& g_jobs_failed = obs::registry().counter("batch.jobs_failed");
+obs::Counter& g_jobs_cancelled = obs::registry().counter("batch.jobs_cancelled");
+obs::Counter& g_jobs_abandoned = obs::registry().counter("batch.jobs_abandoned");
+obs::Counter& g_retries = obs::registry().counter("batch.retries");
+obs::Counter& g_watchdog_cancels = obs::registry().counter("batch.watchdog_cancels");
+obs::Counter& g_journal_skips = obs::registry().counter("batch.journal_skips");
+obs::Histogram& g_job_ms = obs::registry().histogram("batch.job_duration_ms");
+
+/// Everything a worker thread may touch after the scheduler abandons it.
+/// Workers hold shared_ptrs to this and to their Job, so a hard-abandoned
+/// (detached) thread can never reach freed scheduler state.
+struct Sync {
+  std::mutex mx;
+  std::condition_variable cv;
+};
+
+/// What one analysis attempt produced, written by the worker.
+struct Outcome {
+  bool ok = false;         ///< converged report, rows valid
+  bool degraded = false;
+  bool converged = false;
+  bool cancelled = false;
+  bool transient = false;  ///< retry may succeed with raised budgets
+  CancelReason cancel_reason = CancelReason::kNone;
+  long duration_ms = 0;
+  std::string message;
+  std::vector<std::string> rows;
+};
+
+struct Job {
+  enum Phase { kRunning, kFinished, kAbandoned };
+
+  std::size_t index = 0;
+  int attempt = 1;
+  std::thread worker;
+  CancelToken token;
+  steady::time_point started;
+  bool soft_cancelled = false;
+  steady::time_point soft_cancel_at;
+  // Guarded by Sync::mx from here on.
+  Phase phase = kRunning;
+  Outcome outcome;
+};
+
+/// Split a converged report into merged-CSV rows, reusing the single-run
+/// writer so batch rows are byte-identical to `hemcpa --csv` output.
+std::vector<std::string> report_rows(const std::string& config, const cpa::AnalysisReport& rep) {
+  std::ostringstream ss;
+  io::write_report_csv(ss, rep);
+  std::istringstream in(ss.str());
+  std::vector<std::string> rows;
+  std::string line;
+  std::getline(in, line);  // drop the per-run header
+  const std::string prefix = io::csv_field(config) + ",";
+  while (std::getline(in, line)) rows.push_back(prefix + line);
+  return rows;
+}
+
+[[nodiscard]] bool transient_code(ErrorCode code) noexcept {
+  return code == ErrorCode::kTimeBudget || code == ErrorCode::kIterationLimit ||
+         code == ErrorCode::kWindowLimit;
+}
+
+/// Run one analysis attempt end to end behind the exception firewall:
+/// whatever a config does — parse errors, overload in strict mode,
+/// ContractViolation from the model algebra, std::bad_alloc — comes back
+/// as an Outcome, never as an escaped exception.
+Outcome attempt_config(const std::string& path, const BatchOptions& opt, int attempt,
+                       CancelToken* token) {
+  Outcome out;
+  const auto t0 = steady::now();
+  obs::Span span("batch", [&] { return "job:" + path; });
+  span.arg("attempt", static_cast<long>(attempt));
+  try {
+    cpa::ParsedSystem parsed = cpa::parse_system_config_file(path);
+    // Budgets scale by retry_budget_factor per extra attempt, so a
+    // transient budget exhaustion is retried with more headroom.
+    long scale = 1;
+    for (int i = 1; i < attempt; ++i) scale *= opt.retry_budget_factor;
+    cpa::EngineOptions eopts;
+    eopts.strict = opt.strict || parsed.strict;
+    eopts.check_overload = parsed.check_overload;
+    eopts.jobs = opt.engine_jobs != 0 ? opt.engine_jobs : (parsed.jobs != 0 ? parsed.jobs : 1);
+    eopts.max_iterations = static_cast<int>(
+        std::min<long>(static_cast<long>(opt.max_iterations) * scale, 1'000'000));
+    if (opt.engine_budget_ms > 0) eopts.wall_clock_budget_ms = opt.engine_budget_ms * scale;
+    if (opt.fixpoint_max_iterations > 0)
+      eopts.fixpoint_limits.max_iterations = opt.fixpoint_max_iterations;
+    if (opt.fixpoint_max_window > 0) eopts.fixpoint_limits.max_window = opt.fixpoint_max_window;
+    eopts.cancel = token;
+
+    cpa::CpaEngine engine(parsed.system, eopts);
+    cpa::AnalysisReport report = engine.run();
+    out.converged = report.converged;
+    out.degraded = report.degraded();
+    if (report.converged) {
+      out.ok = true;
+      out.rows = report_rows(path, report);
+    } else {
+      // Graceful mode returned fallback bounds without a fixpoint — for a
+      // batch that is a failure, but one more global iterations may fix.
+      out.transient = true;
+      out.message = "no global fixpoint within " + std::to_string(eopts.max_iterations) +
+                    " iterations";
+    }
+  } catch (const AnalysisError& e) {
+    if (e.code() == ErrorCode::kCancelled) {
+      out.cancelled = true;
+      out.cancel_reason = token->reason();
+    } else {
+      out.transient = transient_code(e.code());
+    }
+    out.message = e.what();
+  } catch (const std::bad_alloc&) {
+    out.message = "out of memory (std::bad_alloc)";
+  } catch (const std::exception& e) {
+    out.message = e.what();  // parse errors, ContractViolation, ...
+  }
+  out.duration_ms = static_cast<long>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(steady::now() - t0).count());
+  span.arg("outcome", out.ok          ? "done"
+                      : out.cancelled ? "cancelled"
+                      : out.transient ? "transient-failure"
+                                      : "failed");
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kAbandoned:
+      return "abandoned";
+  }
+  return "queued";
+}
+
+int BatchReport::exit_code() const {
+  if (interrupted) return 6;
+  bool failed = false;
+  bool degraded_any = false;
+  for (const JobResult& j : jobs) {
+    if (j.state == JobState::kFailed || j.state == JobState::kCancelled ||
+        j.state == JobState::kAbandoned)
+      failed = true;
+    else if (j.state == JobState::kDone && j.degraded)
+      degraded_any = true;
+  }
+  if (failed) return 5;
+  if (degraded_any) return 4;
+  return 0;
+}
+
+void BatchReport::write_csv(std::ostream& os) const {
+  os << "config,task,resource,bcrt,wcrt,activations,busy_period,utilization,status\n";
+  for (const JobResult& j : jobs) {
+    if (j.state == JobState::kDone) {
+      for (const std::string& row : j.rows) os << row << '\n';
+    } else {
+      os << io::csv_field(j.path) << ",-,-,-,-,-,-,-," << to_string(j.state) << '\n';
+    }
+  }
+}
+
+void BatchReport::write_summary(std::ostream& os) const {
+  long done = 0, degraded_n = 0, failed = 0, cancelled = 0, abandoned_n = 0, queued = 0;
+  for (const JobResult& j : jobs) {
+    switch (j.state) {
+      case JobState::kDone:
+        ++done;
+        if (j.degraded) ++degraded_n;
+        break;
+      case JobState::kFailed:
+        ++failed;
+        break;
+      case JobState::kCancelled:
+        ++cancelled;
+        break;
+      case JobState::kAbandoned:
+        ++abandoned_n;
+        break;
+      default:
+        ++queued;
+        break;
+    }
+  }
+  os << "batch: " << jobs.size() << " configs, " << done << " done";
+  if (degraded_n > 0) os << " (" << degraded_n << " degraded)";
+  if (failed > 0) os << ", " << failed << " failed";
+  if (cancelled > 0) os << ", " << cancelled << " cancelled";
+  if (abandoned_n > 0) os << ", " << abandoned_n << " abandoned";
+  if (queued > 0) os << ", " << queued << " not run";
+  if (journal_skips > 0) os << ", " << journal_skips << " restored from journal";
+  if (retries > 0) os << ", " << retries << " retries";
+  if (watchdog_cancels > 0) os << ", " << watchdog_cancels << " watchdog cancels";
+  if (interrupted) os << " [interrupted]";
+  os << '\n';
+}
+
+BatchRunner::BatchRunner(std::vector<std::string> configs, BatchOptions options)
+    : configs_(std::move(configs)), options_(std::move(options)) {}
+
+std::vector<std::string> BatchRunner::collect_configs(const std::string& dir_or_manifest) {
+  std::error_code ec;
+  if (fs::is_directory(dir_or_manifest, ec)) {
+    std::vector<std::string> configs;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir_or_manifest)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".hemcpa")
+        configs.push_back(entry.path().string());
+    }
+    if (configs.empty())
+      throw std::invalid_argument("batch directory '" + dir_or_manifest +
+                                  "' contains no .hemcpa configs");
+    std::sort(configs.begin(), configs.end());
+    return configs;
+  }
+  std::ifstream in(dir_or_manifest);
+  if (!in)
+    throw std::invalid_argument("batch operand '" + dir_or_manifest +
+                                "' is neither a directory nor a readable manifest");
+  const fs::path base = fs::path(dir_or_manifest).parent_path();
+  std::vector<std::string> configs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_no == 1 && line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
+    const std::size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    const std::size_t end = line.find_last_not_of(" \t");
+    const std::string entry = line.substr(begin, end - begin + 1);
+    const fs::path p(entry);
+    configs.push_back(p.is_absolute() || base.empty() ? p.string() : (base / p).string());
+  }
+  if (configs.empty())
+    throw std::invalid_argument("batch manifest '" + dir_or_manifest + "' lists no configs");
+  return configs;
+}
+
+BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, std::ostream* log) {
+  if (ran_) throw std::logic_error("BatchRunner::run may only be called once");
+  ran_ = true;
+
+  BatchReport report;
+  report.jobs.resize(configs_.size());
+  for (std::size_t i = 0; i < configs_.size(); ++i) report.jobs[i].path = configs_[i];
+
+  const bool journal_enabled = !options_.journal_path.empty();
+  Journal journal(options_.journal_path);
+  if (journal_enabled) {
+    if (options_.resume)
+      journal.load();  // absent file = fresh batch
+    else
+      journal.clear();  // fail fast on an unwritable journal location
+  }
+
+  // Build the initial ready queue: fingerprint every config and, on
+  // --resume, restore jobs the journal already has in a terminal state.
+  std::deque<std::pair<std::size_t, int>> ready;  // (index, attempt)
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    JobResult& j = report.jobs[i];
+    try {
+      j.fingerprint = fingerprint_file(configs_[i]);
+    } catch (const std::exception& e) {
+      j.state = JobState::kFailed;
+      j.message = e.what();
+      obs::bump(g_jobs_failed);
+      continue;
+    }
+    if (journal_enabled && options_.resume) {
+      if (const JournalEntry* e = journal.find(configs_[i], j.fingerprint)) {
+        j.from_journal = true;
+        j.state = e->status == "done"        ? JobState::kDone
+                  : e->status == "cancelled" ? JobState::kCancelled
+                  : e->status == "abandoned" ? JobState::kAbandoned
+                                             : JobState::kFailed;
+        j.converged = e->completed();
+        j.attempts = e->attempts;
+        j.duration_ms = e->duration_ms;
+        j.degraded = e->degraded;
+        j.rows = e->rows;
+        ++report.journal_skips;
+        obs::bump(g_journal_skips);
+        continue;
+      }
+    }
+    ready.emplace_back(i, 1);
+  }
+
+  auto sync = std::make_shared<Sync>();
+  std::vector<std::shared_ptr<Job>> active;
+  std::vector<std::pair<steady::time_point, std::pair<std::size_t, int>>> delayed;
+  int running_count = 0;
+  bool interrupted = false;
+  const int pool_width = std::max(1, options_.parallel_jobs);
+  const int max_attempts = 1 + std::max(0, options_.max_retries);
+
+  const auto log_line = [&](const std::string& text) {
+    if (log != nullptr) *log << "[batch] " << text << '\n' << std::flush;
+  };
+
+  const auto journal_terminal = [&](const JobResult& j) {
+    if (!journal_enabled) return;
+    JournalEntry e;
+    e.config_path = j.path;
+    e.fingerprint = j.fingerprint;
+    e.status = to_string(j.state);
+    e.attempts = j.attempts;
+    e.duration_ms = j.duration_ms;
+    e.degraded = j.degraded;
+    e.rows = j.rows;
+    journal.add(std::move(e));
+  };
+
+  // Monitor-thread watchdog: soft-cancels a job at its wall-clock budget
+  // and hard-abandons it (detaching the worker) when the grace period
+  // passes without the cancel taking effect.
+  std::thread watchdog;
+  bool stop_watchdog = false;  // guarded by sync->mx
+  if (options_.job_budget_ms > 0) {
+    watchdog = std::thread([&, sync] {
+      std::unique_lock<std::mutex> lk(sync->mx);
+      while (!stop_watchdog) {
+        sync->cv.wait_for(lk, std::chrono::milliseconds(25));
+        const auto now = steady::now();
+        for (const std::shared_ptr<Job>& job : active) {
+          if (job->phase != Job::kRunning) continue;
+          if (!job->soft_cancelled &&
+              now - job->started >= std::chrono::milliseconds(options_.job_budget_ms)) {
+            job->token.cancel(CancelReason::kWatchdog);
+            job->soft_cancelled = true;
+            job->soft_cancel_at = now;
+            ++report.watchdog_cancels;
+            obs::bump(g_watchdog_cancels);
+            log_line("watchdog: soft-cancelled " + configs_[job->index] + " after " +
+                     std::to_string(options_.job_budget_ms) + " ms");
+          } else if (job->soft_cancelled && job->phase == Job::kRunning &&
+                     now - job->soft_cancel_at >= std::chrono::milliseconds(options_.grace_ms)) {
+            job->phase = Job::kAbandoned;
+            log_line("watchdog: abandoning unresponsive " + configs_[job->index] + " after " +
+                     std::to_string(options_.grace_ms) + " ms grace");
+            sync->cv.notify_all();
+          }
+        }
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lk(sync->mx);
+  while (true) {
+    // Shutdown request: freeze the queue, cancel what is running, drain.
+    if (!interrupted && shutdown_flag != nullptr && *shutdown_flag != 0) {
+      interrupted = true;
+      ready.clear();
+      delayed.clear();
+      for (const std::shared_ptr<Job>& job : active)
+        if (job->phase == Job::kRunning) job->token.cancel(CancelReason::kShutdown);
+      log_line("shutdown requested: draining " + std::to_string(running_count) +
+               " in-flight job(s)");
+    }
+
+    // Promote retries whose backoff elapsed.
+    const auto now = steady::now();
+    for (auto it = delayed.begin(); it != delayed.end();) {
+      if (it->first <= now) {
+        ready.push_back(it->second);
+        it = delayed.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Dispatch up to the pool width.
+    while (!interrupted && running_count < pool_width && !ready.empty()) {
+      const auto [index, attempt] = ready.front();
+      ready.pop_front();
+      auto job = std::make_shared<Job>();
+      job->index = index;
+      job->attempt = attempt;
+      job->started = steady::now();
+      report.jobs[index].state = JobState::kRunning;
+      obs::bump(g_jobs_run);
+      // The worker owns copies/shared handles of everything it touches, so
+      // a hard-abandoned worker can outlive this function safely.
+      const std::string path = configs_[index];
+      const BatchOptions opt = options_;
+      job->worker = std::thread([sync, job, path, opt, attempt] {
+        Outcome out = attempt_config(path, opt, attempt, &job->token);
+        std::lock_guard<std::mutex> guard(sync->mx);
+        if (job->phase == Job::kRunning) {
+          job->outcome = std::move(out);
+          job->phase = Job::kFinished;
+        }
+        sync->cv.notify_all();
+      });
+      active.push_back(std::move(job));
+      ++running_count;
+    }
+
+    // Reap finished and abandoned jobs.
+    for (auto it = active.begin(); it != active.end();) {
+      const std::shared_ptr<Job>& job = *it;
+      if (job->phase == Job::kRunning) {
+        ++it;
+        continue;
+      }
+      const std::size_t index = job->index;
+      JobResult& j = report.jobs[index];
+      if (job->phase == Job::kAbandoned) {
+        job->worker.detach();
+        j.state = JobState::kAbandoned;
+        j.attempts = job->attempt;
+        j.duration_ms = static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                              steady::now() - job->started)
+                                              .count());
+        j.message = "watchdog abandoned the job (cancel not honoured within grace period)";
+        ++report.abandoned;
+        obs::bump(g_jobs_abandoned);
+        journal_terminal(j);
+        log_line(configs_[index] + ": abandoned");
+      } else {
+        job->worker.join();
+        Outcome& out = job->outcome;
+        j.attempts = job->attempt;
+        j.duration_ms = out.duration_ms;
+        j.converged = out.converged;
+        j.degraded = out.degraded;
+        j.transient = out.transient;
+        j.message = out.message;
+        obs::observe(g_job_ms, out.duration_ms);
+        if (out.cancelled && out.cancel_reason == CancelReason::kShutdown) {
+          // Discarded, not journaled: --resume re-runs it from scratch so
+          // the merged report stays byte-identical to an uninterrupted run.
+          j.state = JobState::kQueued;
+          j.attempts = 0;
+          j.message = "interrupted before completion";
+          log_line(configs_[index] + ": interrupted, will re-run on --resume");
+        } else if (out.cancelled) {
+          j.state = JobState::kCancelled;
+          j.message = out.message + " [" + to_string(out.cancel_reason) + "]";
+          obs::bump(g_jobs_cancelled);
+          journal_terminal(j);
+          log_line(configs_[index] + ": cancelled (" +
+                   std::string(to_string(out.cancel_reason)) + ")");
+        } else if (out.ok) {
+          j.state = JobState::kDone;
+          j.rows = std::move(out.rows);
+          obs::bump(g_jobs_done);
+          journal_terminal(j);
+          log_line(configs_[index] + ": done in " + std::to_string(out.duration_ms) + " ms" +
+                   (out.degraded ? " (degraded)" : ""));
+        } else if (out.transient && job->attempt < max_attempts && !interrupted) {
+          const long backoff = options_.retry_backoff_ms * job->attempt;
+          delayed.emplace_back(steady::now() + std::chrono::milliseconds(backoff),
+                               std::make_pair(index, job->attempt + 1));
+          j.state = JobState::kQueued;
+          ++report.retries;
+          obs::bump(g_retries);
+          log_line(configs_[index] + ": transient failure (" + out.message + "), retry " +
+                   std::to_string(job->attempt + 1) + "/" + std::to_string(max_attempts) +
+                   " in " + std::to_string(backoff) + " ms");
+        } else if (out.transient && interrupted) {
+          // Would have been retried: leave it queued and unjournaled so a
+          // resumed batch repeats the full deterministic attempt sequence.
+          j.state = JobState::kQueued;
+          j.attempts = 0;
+          j.message = "interrupted before completion";
+          log_line(configs_[index] + ": interrupted during retry window, will re-run");
+        } else {
+          j.state = JobState::kFailed;
+          obs::bump(g_jobs_failed);
+          journal_terminal(j);
+          log_line(configs_[index] + ": failed (" + out.message + ")");
+        }
+      }
+      --running_count;
+      it = active.erase(it);
+    }
+
+    if (active.empty() && ready.empty() && delayed.empty()) break;
+    sync->cv.wait_for(lk, std::chrono::milliseconds(10));
+  }
+  stop_watchdog = true;
+  lk.unlock();
+  sync->cv.notify_all();
+  if (watchdog.joinable()) watchdog.join();
+
+  report.interrupted = interrupted;
+  return report;
+}
+
+}  // namespace hem::exec

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file cancel.hpp
+/// Cooperative cancellation for long-running analyses.
+///
+/// A `CancelToken` is a tiny thread-safe flag shared between a controller
+/// (watchdog thread, signal handler driver, interactive UI) and an analysis
+/// running elsewhere.  The analysis polls the token at its iteration
+/// checkpoints — the global CPA loop once per iteration, every busy-window
+/// fixpoint every few thousand steps (see sched::FixpointLimits::cancel) —
+/// and aborts with `AnalysisError(ErrorCode::kCancelled)` when it fires.
+/// Cancellation is deliberately an *exception*, not a degraded report:
+/// a cancelled run was asked to stop producing results, so graceful-mode
+/// fallback substitution does not apply (CpaEngine rethrows kCancelled even
+/// in non-strict mode).
+///
+/// The header is dependency-free so the low-level scheduling layer can poll
+/// a token without pulling in the batch-execution subsystem that usually
+/// owns it.
+
+#include <atomic>
+
+namespace hem::exec {
+
+/// Who fired the token.  First cancel wins; later calls keep the original
+/// reason so escalation paths (watchdog soft-cancel followed by shutdown)
+/// stay attributable.
+enum class CancelReason {
+  kNone = 0,
+  kUser,      ///< explicit caller request
+  kWatchdog,  ///< per-job wall-clock budget enforced by a monitor thread
+  kShutdown,  ///< process is draining for SIGINT/SIGTERM
+};
+
+[[nodiscard]] constexpr const char* to_string(CancelReason r) noexcept {
+  switch (r) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kUser:
+      return "user";
+    case CancelReason::kWatchdog:
+      return "watchdog";
+    case CancelReason::kShutdown:
+      return "shutdown";
+  }
+  return "none";
+}
+
+/// Thread-safe one-shot cancellation flag (resettable between job attempts
+/// by the single scheduling thread, never while a worker still polls it).
+class CancelToken {
+ public:
+  /// Fire the token.  Idempotent; the first reason sticks.
+  void cancel(CancelReason reason = CancelReason::kUser) noexcept {
+    int expected = static_cast<int>(CancelReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// Hot-path poll: one relaxed atomic load.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// Re-arm for a fresh attempt.  Only safe once no worker polls the token
+  /// any more (the batch scheduler resets between joined attempts).
+  void reset() noexcept {
+    reason_.store(static_cast<int>(CancelReason::kNone), std::memory_order_relaxed);
+    cancelled_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+};
+
+}  // namespace hem::exec

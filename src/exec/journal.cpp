@@ -1,0 +1,183 @@
+#include "exec/journal.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hem::exec {
+
+namespace {
+
+constexpr const char* kHeader = "hemcpa-journal v1";
+
+[[noreturn]] void corrupt(const std::string& path, int line_no, const std::string& why) {
+  throw std::runtime_error("corrupt journal" + (path.empty() ? "" : " '" + path + "'") +
+                           " (line " + std::to_string(line_no) + "): " + why +
+                           " - delete the journal or rerun without --resume");
+}
+
+/// Consume `key=` at the current position and return the value up to the
+/// next space.  The journal is machine-written, so any deviation is
+/// corruption, not user error.
+std::string take_field(const std::string& line, std::size_t& pos, const char* key,
+                       const std::string& path, int line_no) {
+  const std::string prefix = std::string(key) + "=";
+  if (line.compare(pos, prefix.size(), prefix) != 0)
+    corrupt(path, line_no, "expected '" + prefix + "'");
+  pos += prefix.size();
+  const std::size_t end = line.find(' ', pos);
+  std::string value = line.substr(pos, end == std::string::npos ? end : end - pos);
+  pos = end == std::string::npos ? line.size() : end + 1;
+  return value;
+}
+
+long parse_long(const std::string& value, const std::string& path, int line_no, const char* what) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(value, &used);
+    if (used != value.size() || v < 0) throw std::invalid_argument(what);
+    return v;
+  } catch (const std::exception&) {
+    corrupt(path, line_no, std::string("bad ") + what + " '" + value + "'");
+  }
+}
+
+bool valid_status(const std::string& s) {
+  return s == "done" || s == "failed" || s == "cancelled" || s == "abandoned";
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_bytes(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t fingerprint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read config file '" + path + "' for fingerprinting");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  return fingerprint_bytes(bytes.data(), bytes.size());
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(fp));
+  return std::string(buf, 16);
+}
+
+bool Journal::load() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  entries_ = parse(buf.str());
+  return true;
+}
+
+void Journal::add(JournalEntry entry) {
+  entries_.push_back(std::move(entry));
+  save();
+}
+
+void Journal::clear() {
+  entries_.clear();
+  save();
+}
+
+const JournalEntry* Journal::find(const std::string& config_path,
+                                  std::uint64_t fingerprint) const {
+  for (const JournalEntry& e : entries_)
+    if (e.config_path == config_path && e.fingerprint == fingerprint) return &e;
+  return nullptr;
+}
+
+std::string Journal::render() const {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const JournalEntry& e : entries_) {
+    out << "job fp=" << fingerprint_hex(e.fingerprint) << " status=" << e.status
+        << " attempts=" << e.attempts << " duration_ms=" << e.duration_ms
+        << " degraded=" << (e.degraded ? 1 : 0) << " rows=" << e.rows.size()
+        << " path=" << e.config_path << '\n';
+    for (const std::string& row : e.rows) out << "row " << row << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::vector<JournalEntry> Journal::parse(const std::string& text) {
+  std::vector<JournalEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  if (!std::getline(in, line) || line != kHeader)
+    corrupt("", 1, std::string("missing header '") + kHeader + "'");
+  ++line_no;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line == "end") {
+      ended = true;
+      break;
+    }
+    if (line.rfind("job ", 0) != 0) corrupt("", line_no, "expected 'job' or 'end'");
+    JournalEntry e;
+    std::size_t pos = 4;
+    const std::string fp = take_field(line, pos, "fp", "", line_no);
+    if (fp.size() != 16 || fp.find_first_not_of("0123456789abcdef") != std::string::npos)
+      corrupt("", line_no, "bad fingerprint '" + fp + "'");
+    e.fingerprint = std::stoull(fp, nullptr, 16);
+    e.status = take_field(line, pos, "status", "", line_no);
+    if (!valid_status(e.status)) corrupt("", line_no, "bad status '" + e.status + "'");
+    e.attempts =
+        static_cast<int>(parse_long(take_field(line, pos, "attempts", "", line_no), "", line_no,
+                                    "attempts"));
+    e.duration_ms =
+        parse_long(take_field(line, pos, "duration_ms", "", line_no), "", line_no, "duration_ms");
+    e.degraded =
+        parse_long(take_field(line, pos, "degraded", "", line_no), "", line_no, "degraded") != 0;
+    const long rows =
+        parse_long(take_field(line, pos, "rows", "", line_no), "", line_no, "row count");
+    // `path=` last: everything to end of line, spaces and '=' included.
+    if (line.compare(pos, 5, "path=") != 0) corrupt("", line_no, "expected 'path='");
+    e.config_path = line.substr(pos + 5);
+    if (e.config_path.empty()) corrupt("", line_no, "empty config path");
+    for (long i = 0; i < rows; ++i) {
+      if (!std::getline(in, line)) corrupt("", line_no, "truncated row block");
+      ++line_no;
+      if (line.rfind("row ", 0) != 0) corrupt("", line_no, "expected 'row'");
+      e.rows.push_back(line.substr(4));
+    }
+    entries.push_back(std::move(e));
+  }
+  if (!ended) corrupt("", line_no, "missing 'end' trailer (interrupted write?)");
+  return entries;
+}
+
+void Journal::save() const {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write journal temp file '" + tmp + "'");
+    out << render();
+    out.flush();
+    if (!out) throw std::runtime_error("failed writing journal temp file '" + tmp + "'");
+  }
+  // POSIX rename() atomically replaces the destination: readers see either
+  // the old complete journal or the new one, never a torn file.
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot atomically replace journal '" + path_ + "'");
+  }
+}
+
+}  // namespace hem::exec

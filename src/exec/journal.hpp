@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file journal.hpp
+/// Crash-safe batch checkpoint journal.
+///
+/// After every job that reaches a terminal state, the batch runner appends
+/// a record to `<out>.journal` and atomically replaces the file on disk
+/// (temp file + rename), so a crash or SIGKILL can never leave a torn
+/// journal: either the previous complete journal or the new complete
+/// journal is on disk.  `--resume` loads the journal, fingerprints every
+/// config, and skips jobs whose (path, fingerprint) pair is already
+/// terminal — reusing the stored CSV rows so the merged report is
+/// byte-identical to an uninterrupted run.
+///
+/// Format (line-oriented, one file per batch output):
+///
+/// ```
+/// hemcpa-journal v1
+/// job fp=<16-hex> status=done|failed|cancelled|abandoned attempts=<n> \
+///     duration_ms=<n> degraded=<0|1> rows=<k> path=<rest of line>
+/// row <one merged-CSV data row>          # exactly k of these
+/// ...
+/// end
+/// ```
+///
+/// `path=` is always the LAST key so config paths may contain spaces or
+/// '='; `end` is the completeness trailer — a journal without it (or with
+/// any malformed record) is rejected as corrupt rather than silently
+/// truncated.  See docs/robustness.md.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hem::exec {
+
+/// FNV-1a 64-bit over raw bytes — stable, dependency-free content stamp
+/// for config files (collision resistance is ample for fleet-size sets).
+[[nodiscard]] std::uint64_t fingerprint_bytes(const void* data, std::size_t size) noexcept;
+
+/// Fingerprint a file's exact bytes (no newline normalisation: a config
+/// edited in ANY way re-runs on resume).
+/// \throws std::runtime_error when the file cannot be read.
+[[nodiscard]] std::uint64_t fingerprint_file(const std::string& path);
+
+/// Fixed-width 16-digit lowercase hex rendering used in the journal.
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fp);
+
+/// One terminal job record.
+struct JournalEntry {
+  std::string config_path;        ///< as given in the manifest / directory scan
+  std::uint64_t fingerprint = 0;  ///< fingerprint_file() of the config at run time
+  std::string status;             ///< done | failed | cancelled | abandoned
+  int attempts = 1;               ///< total attempts incl. the terminal one
+  long duration_ms = 0;           ///< wall clock of the terminal attempt
+  bool degraded = false;          ///< report carried fallback bounds
+  std::vector<std::string> rows;  ///< merged-CSV data rows (config column included)
+
+  /// Terminal-and-successful: resume reuses the stored rows.
+  [[nodiscard]] bool completed() const { return status == "done"; }
+};
+
+/// The journal file: an in-memory entry list mirrored to disk with an
+/// atomic whole-file rewrite after every append.
+class Journal {
+ public:
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  /// Load an existing journal from disk.  Returns false when the file does
+  /// not exist (fresh batch).
+  /// \throws std::runtime_error on a corrupt or incomplete journal.
+  bool load();
+
+  /// Record a terminal job and atomically persist the whole journal.
+  /// \throws std::runtime_error when the journal cannot be written.
+  void add(JournalEntry entry);
+
+  /// Drop all entries and persist an empty journal — a fresh (non-resume)
+  /// batch calls this up front, which also verifies writability before any
+  /// work is spent.
+  void clear();
+
+  [[nodiscard]] const std::vector<JournalEntry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Find the terminal record for a config (path AND content fingerprint
+  /// must match; a touched config re-runs).  Returns nullptr when absent.
+  [[nodiscard]] const JournalEntry* find(const std::string& config_path,
+                                         std::uint64_t fingerprint) const;
+
+  /// Render the full journal text (exposed for tests).
+  [[nodiscard]] std::string render() const;
+
+  /// Parse a journal text into entries (exposed for tests).
+  /// \throws std::runtime_error on malformed input.
+  [[nodiscard]] static std::vector<JournalEntry> parse(const std::string& text);
+
+ private:
+  void save() const;
+
+  std::string path_;
+  std::vector<JournalEntry> entries_;
+};
+
+}  // namespace hem::exec

@@ -350,6 +350,8 @@ void CpaEngine::analyze_one_resource(ResourceId r, const std::vector<TaskId>& id
   try {
     run_local();
   } catch (const AnalysisError& e) {
+    // Cancellation is a request to stop, not a failure to degrade around.
+    if (e.code() == ErrorCode::kCancelled) throw;
     apply_resource_fallback(r, ids, status_for(e.code()), diag_for(e.code()), e.what());
   }
   mark_analyzed();
@@ -494,6 +496,7 @@ void CpaEngine::compute_outputs() {
     try {
       st.out_hem = st.act_hem->after_response(st.bcrt, st.wcrt);
     } catch (const AnalysisError& e) {
+      if (e.code() == ErrorCode::kCancelled) throw;
       const Time spacing = std::max<Time>(st.bcrt, 0);
       st.out_hem = degraded_hem_output(st.out_flat, st.act_hem->inner_count(), spacing);
       st.hem_degraded = true;
@@ -674,6 +677,7 @@ AnalysisReport CpaEngine::assemble_report(int iterations, bool converged) {
 AnalysisReport CpaEngine::run() {
   using clock = std::chrono::steady_clock;
   limits_ = options_.fixpoint_limits;
+  if (options_.cancel != nullptr) limits_.cancel = options_.cancel;
   if (options_.wall_clock_budget_ms > 0) {
     const auto deadline = clock::now() + std::chrono::milliseconds(options_.wall_clock_budget_ms);
     limits_.deadline = std::min(limits_.deadline, deadline);
@@ -694,6 +698,11 @@ AnalysisReport CpaEngine::run() {
 
     for (iter = 1; iter <= options_.max_iterations; ++iter) {
       current_iteration_ = iter;
+      if (limits_.cancel != nullptr && limits_.cancel->cancelled())
+        throw AnalysisError("CpaEngine: cancelled (" +
+                                std::string(exec::to_string(limits_.cancel->reason())) +
+                                ") before iteration " + std::to_string(iter),
+                            ErrorCode::kCancelled);
       if (budgeted && clock::now() >= limits_.deadline) {
         budget_hit = true;
         break;

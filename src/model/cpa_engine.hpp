@@ -81,6 +81,12 @@ struct EngineOptions {
   /// memoisation caches) across iterations.  Disable to force the classic
   /// full re-evaluation every round (benchmark baseline).
   bool incremental = true;
+  /// Optional cooperative cancellation token (not owned).  Polled once per
+  /// global iteration and, via FixpointLimits, every few thousand
+  /// busy-window fixpoint steps.  When it fires, run() throws
+  /// AnalysisError(ErrorCode::kCancelled) in BOTH graceful and strict mode:
+  /// a cancelled run must not masquerade as a degraded-but-valid report.
+  const exec::CancelToken* cancel = nullptr;
 };
 
 class CpaEngine {

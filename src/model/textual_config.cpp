@@ -247,6 +247,7 @@ struct ParserState {
   std::string trace_out;
   bool metrics = false;
   bool strict = false;
+  bool check_overload = true;
   double sim_drop = 0.0;
   Time sim_jitter = 0;
   Count sim_burst = 1;
@@ -495,9 +496,10 @@ void parse_unpack(ParserState& st, const Stmt& s) {
 void parse_option(ParserState& st, const Stmt& s) {
   const int line = s.line;
   const Args args(s, 1);
-  args.allow({"jobs", "trace", "metrics", "strict", "sim_drop", "sim_jitter", "sim_burst"});
-  for (const char* key : {"jobs", "trace", "metrics", "strict", "sim_drop", "sim_jitter",
-                          "sim_burst"})
+  args.allow({"jobs", "trace", "metrics", "strict", "overload_check", "sim_drop", "sim_jitter",
+              "sim_burst"});
+  for (const char* key : {"jobs", "trace", "metrics", "strict", "overload_check", "sim_drop",
+                          "sim_jitter", "sim_burst"})
     if (args.has(key)) st.index.options[key] = {line, args.col(key)};
   if (args.has("jobs")) {
     const Time jobs = args.time("jobs", /*allow_negative=*/true);
@@ -526,6 +528,16 @@ void parse_option(ParserState& st, const Stmt& s) {
       st.strict = false;
     else
       fail_at(line, args.col("strict"), "strict must be on|off, got '" + v + "'");
+  }
+  if (args.has("overload_check")) {
+    const std::string v = args.str("overload_check");
+    if (v == "on" || v == "1" || v == "true")
+      st.check_overload = true;
+    else if (v == "off" || v == "0" || v == "false")
+      st.check_overload = false;
+    else
+      fail_at(line, args.col("overload_check"),
+              "overload_check must be on|off, got '" + v + "'");
   }
   if (args.has("sim_drop")) {
     const double rate = to_double_at(args.str("sim_drop"), line, args.col("sim_drop"));
@@ -584,6 +596,12 @@ ParsedSystem parse_system_config(std::istream& in, std::vector<verify::Diagnosti
     int line_no = 0;
     while (std::getline(in, line)) {
       ++line_no;
+      // Robust input handling: CRLF files leave a trailing '\r' on every
+      // line, and editors on some platforms prepend a UTF-8 byte-order
+      // mark.  Strip both BEFORE tokenising so columns stay correct
+      // (column 1 = first character after the BOM).
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line_no == 1 && line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
       const Stmt s = tokenize(line, line_no);
       if (s.tokens.empty()) continue;
       const std::string& keyword = s.tokens[0];
@@ -630,6 +648,7 @@ ParsedSystem parse_system_config(std::istream& in, std::vector<verify::Diagnosti
   parsed.trace_out = std::move(st.trace_out);
   parsed.metrics = st.metrics;
   parsed.strict = st.strict;
+  parsed.check_overload = st.check_overload;
   parsed.sim_drop = st.sim_drop;
   parsed.sim_jitter = st.sim_jitter;
   parsed.sim_burst = st.sim_burst;

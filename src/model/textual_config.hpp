@@ -36,10 +36,15 @@
 /// option trace=run.json            # Chrome trace_event output file
 /// option metrics=on                # print the plain-text metrics dump
 /// option strict=on                 # fail fast instead of degrading
+/// option overload_check=off        # skip the load>1 pre-check (expert)
 /// option sim_drop=0.1              # --sim fault injection defaults
 /// option sim_jitter=30
 /// option sim_burst=2
 /// ```
+///
+/// Input robustness: a UTF-8 byte-order mark on the first line and CRLF
+/// line endings are accepted; positions stay 1-based with column 1 being
+/// the first character after the BOM.
 ///
 /// The parser also emits *warnings* (suspicious-but-valid constructs, e.g.
 /// jitter > period) as positioned verify::Diagnostic records; `hemlint`
@@ -83,6 +88,7 @@ struct ParsedSystem {
   std::string trace_out;  ///< `option trace=<file>`; empty = no tracing
   bool metrics = false;   ///< `option metrics=on`
   bool strict = false;    ///< `option strict=on`
+  bool check_overload = true;  ///< `option overload_check=off` clears this
   double sim_drop = 0.0;  ///< `option sim_drop=<rate>`; --sim fault default
   Time sim_jitter = 0;    ///< `option sim_jitter=<time>`
   Count sim_burst = 1;    ///< `option sim_burst=<count>`

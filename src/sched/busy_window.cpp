@@ -25,11 +25,17 @@ Time least_fixpoint(const std::function<Time(Time)>& f, Time start, const Fixpoi
       limits.deadline != std::chrono::steady_clock::time_point::max();
   Time w = start;
   for (long it = 0; it < limits.max_iterations; ++it) {
-    if (bounded_clock && (it & 4095) == 0 &&
-        std::chrono::steady_clock::now() >= limits.deadline)
-      throw AnalysisError(what + ": wall-clock budget exhausted after " + std::to_string(it) +
-                              " fixpoint steps",
-                          ErrorCode::kTimeBudget);
+    if ((it & 4095) == 0) {
+      if (limits.cancel != nullptr && limits.cancel->cancelled())
+        throw AnalysisError(what + ": cancelled (" +
+                                std::string(exec::to_string(limits.cancel->reason())) +
+                                ") after " + std::to_string(it) + " fixpoint steps",
+                            ErrorCode::kCancelled);
+      if (bounded_clock && std::chrono::steady_clock::now() >= limits.deadline)
+        throw AnalysisError(what + ": wall-clock budget exhausted after " + std::to_string(it) +
+                                " fixpoint steps",
+                            ErrorCode::kTimeBudget);
+    }
     const Time next = f(w);
     if (next < w)
       throw AnalysisError(what + ": demand function is not monotone (internal error)");

@@ -22,6 +22,7 @@
 
 #include "core/event_model.hpp"
 #include "core/errors.hpp"
+#include "exec/cancel.hpp"
 
 namespace hem::sched {
 
@@ -79,6 +80,11 @@ struct FixpointLimits {
   /// AnalysisError with ErrorCode::kTimeBudget.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Optional cooperative cancellation token, polled at the same coarse
+  /// checkpoints as the deadline.  When it fires, the fixpoint throws
+  /// AnalysisError with ErrorCode::kCancelled — which graceful mode does
+  /// NOT degrade away (the engine rethrows it).  Not owned.
+  const exec::CancelToken* cancel = nullptr;
 };
 
 /// Least fixpoint of the monotone demand function `f`, starting from

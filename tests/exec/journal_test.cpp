@@ -1,0 +1,180 @@
+#include "exec/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace hem::exec {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  void write(const std::string& text) const {
+    std::ofstream out(path_, std::ios::binary);
+    out << text;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+JournalEntry entry(const std::string& path, std::uint64_t fp, const std::string& status) {
+  JournalEntry e;
+  e.config_path = path;
+  e.fingerprint = fp;
+  e.status = status;
+  e.attempts = 2;
+  e.duration_ms = 17;
+  e.degraded = (status == "done");
+  if (status == "done") {
+    e.rows.push_back(path + ",T1,CPU,1,2,3,4,0.5,converged");
+    e.rows.push_back(path + ",T2,CPU,2,4,3,4,0.5,converged");
+  }
+  return e;
+}
+
+TEST(JournalTest, FingerprintIsDeterministicAndContentSensitive) {
+  const std::string a = "resource R spp\n";
+  const std::string b = "resource R spp \n";  // one extra byte
+  EXPECT_EQ(fingerprint_bytes(a.data(), a.size()), fingerprint_bytes(a.data(), a.size()));
+  EXPECT_NE(fingerprint_bytes(a.data(), a.size()), fingerprint_bytes(b.data(), b.size()));
+  EXPECT_NE(fingerprint_bytes(a.data(), a.size()), fingerprint_bytes(a.data(), a.size() - 1));
+}
+
+TEST(JournalTest, FingerprintFileMatchesBytesAndRejectsMissing) {
+  TempFile f("journal_fp_config.hemcpa");
+  const std::string text = "resource R spp\r\nsource s periodic period=5\r\n";
+  f.write(text);
+  EXPECT_EQ(fingerprint_file(f.path()), fingerprint_bytes(text.data(), text.size()));
+  EXPECT_THROW((void)fingerprint_file(f.path() + ".missing"), std::runtime_error);
+}
+
+TEST(JournalTest, FingerprintHexIsFixedWidthLowercase) {
+  EXPECT_EQ(fingerprint_hex(0), "0000000000000000");
+  EXPECT_EQ(fingerprint_hex(0xDEADBEEFCAFEF00DULL), "deadbeefcafef00d");
+}
+
+TEST(JournalTest, RenderParseRoundTrip) {
+  std::vector<JournalEntry> in;
+  in.push_back(entry("a.hemcpa", 0x1111, "done"));
+  in.push_back(entry("dir with spaces/b v=2.hemcpa", 0x2222, "cancelled"));
+  in.push_back(entry("c.hemcpa", 0x3333, "failed"));
+
+  TempFile f("journal_roundtrip.journal");
+  Journal real(f.path());
+  for (const auto& e : in) real.add(e);
+  const std::string text = real.render();
+
+  const auto out = Journal::parse(text);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].config_path, in[i].config_path);
+    EXPECT_EQ(out[i].fingerprint, in[i].fingerprint);
+    EXPECT_EQ(out[i].status, in[i].status);
+    EXPECT_EQ(out[i].attempts, in[i].attempts);
+    EXPECT_EQ(out[i].duration_ms, in[i].duration_ms);
+    EXPECT_EQ(out[i].degraded, in[i].degraded);
+    EXPECT_EQ(out[i].rows, in[i].rows);
+  }
+}
+
+TEST(JournalTest, PathMayContainSpacesAndEquals) {
+  TempFile f("journal_pathy.journal");
+  Journal j(f.path());
+  j.add(entry("configs/run=3 final copy.hemcpa", 0xABC, "done"));
+  const auto out = Journal::parse(j.render());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].config_path, "configs/run=3 final copy.hemcpa");
+}
+
+TEST(JournalTest, LoadReturnsFalseWhenAbsent) {
+  Journal j(std::string(::testing::TempDir()) + "definitely_missing_journal_file.journal");
+  EXPECT_FALSE(j.load());
+  EXPECT_TRUE(j.entries().empty());
+}
+
+TEST(JournalTest, AddPersistsAndLoadRestores) {
+  TempFile f("journal_persist.journal");
+  {
+    Journal j(f.path());
+    j.add(entry("a.hemcpa", 0x1, "done"));
+    j.add(entry("b.hemcpa", 0x2, "failed"));
+  }
+  Journal j2(f.path());
+  ASSERT_TRUE(j2.load());
+  ASSERT_EQ(j2.entries().size(), 2u);
+  EXPECT_EQ(j2.entries()[0].config_path, "a.hemcpa");
+  EXPECT_EQ(j2.entries()[1].status, "failed");
+}
+
+TEST(JournalTest, ClearEmptiesDiskAndMemory) {
+  TempFile f("journal_clear.journal");
+  Journal j(f.path());
+  j.add(entry("a.hemcpa", 0x1, "done"));
+  j.clear();
+  EXPECT_TRUE(j.entries().empty());
+  Journal j2(f.path());
+  ASSERT_TRUE(j2.load());  // file exists (clear persists an empty journal)
+  EXPECT_TRUE(j2.entries().empty());
+}
+
+TEST(JournalTest, FindMatchesPathAndFingerprint) {
+  TempFile f("journal_find.journal");
+  Journal j(f.path());
+  j.add(entry("a.hemcpa", 0x10, "done"));
+  ASSERT_NE(j.find("a.hemcpa", 0x10), nullptr);
+  EXPECT_TRUE(j.find("a.hemcpa", 0x10)->completed());
+  EXPECT_EQ(j.find("a.hemcpa", 0x11), nullptr);  // edited config re-runs
+  EXPECT_EQ(j.find("b.hemcpa", 0x10), nullptr);
+}
+
+TEST(JournalTest, CompletedOnlyForDone) {
+  EXPECT_TRUE(entry("a", 1, "done").completed());
+  EXPECT_FALSE(entry("a", 1, "failed").completed());
+  EXPECT_FALSE(entry("a", 1, "cancelled").completed());
+  EXPECT_FALSE(entry("a", 1, "abandoned").completed());
+}
+
+TEST(JournalTest, ParseRejectsCorruptInput) {
+  // Wrong header.
+  EXPECT_THROW((void)Journal::parse("not-a-journal v1\nend\n"), std::runtime_error);
+  // Missing the `end` completeness trailer (torn write).
+  EXPECT_THROW((void)Journal::parse("hemcpa-journal v1\n"), std::runtime_error);
+  // Unknown status.
+  EXPECT_THROW((void)Journal::parse("hemcpa-journal v1\n"
+                                    "job fp=0000000000000001 status=exploded attempts=1 "
+                                    "duration_ms=1 degraded=0 rows=0 path=a\n"
+                                    "end\n"),
+               std::runtime_error);
+  // Fewer row lines than announced.
+  EXPECT_THROW((void)Journal::parse("hemcpa-journal v1\n"
+                                    "job fp=0000000000000001 status=done attempts=1 "
+                                    "duration_ms=1 degraded=0 rows=2 path=a\n"
+                                    "row a,T,R,1,1,1,1,0.1,converged\n"
+                                    "end\n"),
+               std::runtime_error);
+  // Garbage between records.
+  EXPECT_THROW((void)Journal::parse("hemcpa-journal v1\nwat\nend\n"), std::runtime_error);
+}
+
+TEST(JournalTest, LoadThrowsOnTornFile) {
+  TempFile f("journal_torn.journal");
+  f.write("hemcpa-journal v1\n"
+          "job fp=0000000000000001 status=done attempts=1 duration_ms=1 "
+          "degraded=0 rows=1 path=a.hemcpa\n"
+          "row a.hemcpa,T,R,1,1,1,1,0.1,converged\n");  // no `end`
+  Journal j(f.path());
+  EXPECT_THROW((void)j.load(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hem::exec

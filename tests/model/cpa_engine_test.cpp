@@ -4,6 +4,7 @@
 
 #include "core/errors.hpp"
 #include "core/standard_event_model.hpp"
+#include "exec/cancel.hpp"
 #include "sched/spp.hpp"
 
 namespace hem::cpa {
@@ -162,6 +163,39 @@ TEST(CpaEngineTest, BacklogReported) {
   const auto report = CpaEngine(sys).run();
   EXPECT_EQ(report.task("t").backlog, 3);
   EXPECT_NE(report.format().find("queue"), std::string::npos);
+}
+
+TEST(CpaEngineTest, CancelRethrowsEvenInGracefulMode) {
+  // Cancellation is an operator decision, not an analysis hazard: graceful
+  // degradation must never swallow it into fallback bounds.
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  const auto t = sys.add_task({"t", cpu, 1, sched::ExecutionTime(5)});
+  sys.activate_external(t, periodic(100));
+  exec::CancelToken token;
+  token.cancel(exec::CancelReason::kUser);
+  EngineOptions graceful;  // strict = false: would degrade any other error
+  graceful.cancel = &token;
+  try {
+    (void)CpaEngine(sys, graceful).run();
+    FAIL() << "expected AnalysisError(kCancelled)";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CpaEngineTest, UncancelledTokenDoesNotPerturbResults) {
+  System sys;
+  const auto cpu = sys.add_resource({"cpu", Policy::kSppPreemptive});
+  const auto t = sys.add_task({"t", cpu, 1, sched::ExecutionTime(5)});
+  sys.activate_external(t, periodic(100));
+  exec::CancelToken token;
+  EngineOptions opts;
+  opts.cancel = &token;
+  const auto report = CpaEngine(sys, opts).run();
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.task("t").wcrt, 5);
 }
 
 TEST(CpaEngineTest, FormatProducesTable) {

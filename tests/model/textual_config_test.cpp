@@ -398,5 +398,79 @@ TEST(TextualConfigTest, MissingFileRejected) {
                std::invalid_argument);
 }
 
+TEST(TextualConfigTest, Utf8BomIsAccepted) {
+  const auto parsed = parse(
+      "\xEF\xBB\xBF"
+      "resource CPU1 spp\n"
+      "source s1 periodic period=10\n"
+      "task A resource=CPU1 priority=1 cet=2\n"
+      "activate A from=s1\n");
+  const auto report = CpaEngine(parsed.system).run();
+  EXPECT_EQ(report.task("A").wcrt, 2);
+}
+
+TEST(TextualConfigTest, BomDiagnosticsUseVisibleColumns) {
+  // Column 1 is the first character AFTER the BOM, matching what editors show.
+  try {
+    parse("\xEF\xBB\xBFwibble CPU1 spp\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1, col 1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TextualConfigTest, CrlfLineEndingsAreAccepted) {
+  const auto parsed = parse(
+      "resource CPU1 spp\r\n"
+      "source s1 periodic period=10\r\n"
+      "task A resource=CPU1 priority=1 cet=2\r\n"
+      "activate A from=s1\r\n");
+  const auto report = CpaEngine(parsed.system).run();
+  EXPECT_EQ(report.task("A").wcrt, 2);
+}
+
+TEST(TextualConfigTest, CrlfDiagnosticsKeepColumns) {
+  // The stripped '\r' must not shift (or suppress) error positions.
+  try {
+    parse("resource CPU1 spp\r\ntask A resource=CPU1 priority=1 cet=oops\r\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_EQ(std::string(e.what()).find('\r'), std::string::npos) << "CR leaked into message";
+  }
+}
+
+TEST(TextualConfigTest, OverloadCheckOptionParsed) {
+  const auto parsed = parse(
+      "resource CPU1 spp\n"
+      "source s1 periodic period=10\n"
+      "task A resource=CPU1 priority=1 cet=2\n"
+      "activate A from=s1\n"
+      "option overload_check=off\n");
+  EXPECT_FALSE(parsed.check_overload);
+  const auto on = parse(
+      "resource CPU1 spp\n"
+      "source s1 periodic period=10\n"
+      "task A resource=CPU1 priority=1 cet=2\n"
+      "activate A from=s1\n"
+      "option overload_check=on\n");
+  EXPECT_TRUE(on.check_overload);
+}
+
+TEST(TextualConfigTest, OverloadCheckDefaultsOnAndRejectsBadValue) {
+  EXPECT_TRUE(parse("resource CPU1 spp\n"
+                    "source s1 periodic period=10\n"
+                    "task A resource=CPU1 priority=1 cet=2\n"
+                    "activate A from=s1\n")
+                  .check_overload);
+  try {
+    parse("option overload_check=maybe\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("overload_check must be on|off"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace hem::cpa

@@ -2,6 +2,7 @@
 //
 // Usage:
 //   hemcpa <config> [options]
+//   hemcpa --batch <dir|manifest> [batch options]
 //
 // Options:
 //   --eta <task> <dt_max> <step>   print the eta+ table of a task's activation
@@ -37,20 +38,55 @@
 //                                  fixpoint steps, engine work counters)
 //                                  after the report
 //
+// Batch options (fleet execution; see docs/robustness.md):
+//   --out <file>                   merged CSV output (default batch_report.csv);
+//                                  the checkpoint journal is <out>.journal
+//   --batch-jobs <n>               configs analysed concurrently (default 1)
+//   --jobs <n>                     CpaEngine worker threads per job
+//   --job-budget-ms <ms>           watchdog wall-clock budget per job
+//                                  (soft-cancel; 0 = none)
+//   --grace-ms <ms>                soft-cancel -> hard-abandon escalation
+//                                  delay (default 2000)
+//   --retries <n>                  extra attempts for transient failures
+//                                  (default 1)
+//   --retry-backoff-ms <ms>        base retry backoff (default 100)
+//   --max-iterations <n>           global engine iterations per attempt
+//                                  (default 64; raised x4 per retry)
+//   --engine-budget-ms <ms>        per-attempt engine wall-clock budget
+//   --fixpoint-steps <n>           busy-window fixpoint step limit override
+//   --fixpoint-window <ticks>      busy-window length limit override
+//   --resume                       skip configs already terminal in the
+//                                  journal (byte-identical merged CSV)
+//   --strict                       force strict mode on every job
+//   --trace-out <file> / --metrics observability, as in single-run mode
+//
 // Reads a system description (see src/model/textual_config.hpp for the
 // format), runs the global analysis, prints the report, and evaluates any
-// `deadline` constraints from the file.
+// `deadline` constraints from the file.  `deadline` statements are only
+// evaluated in single-run mode; batch mode reports per-task statuses in
+// the merged CSV instead.
 //
-// Exit status:
-//   0  analysis converged, all deadlines met
+// Exit status — ONE precedence order, shared with hemlint (which uses the
+// 0/1/3 subset) and asserted by tests/integration/batch_shutdown_test.cpp.
+// Single run, strongest first: 3 > 2 > 1 > 4 > 0.  Batch run: 3 > 6 > 5 >
+// 4 > 0.
+//   0  analysis converged, all deadlines met (batch: every job done, exact)
 //   1  deadline missed (or unverifiable because its task's bound degraded)
-//   2  analysis failed (strict-mode divergence, unsupported model, ...)
+//   2  analysis failed (strict-mode divergence, simulation violation, ...)
 //   3  usage or configuration error (including an unwritable --trace-out
-//      file)
+//      file or a corrupt --resume journal)
 //   4  degraded-but-bounded: no deadline violated, but at least one task
 //      carries conservative fallback bounds (see --diagnostics), or
-//      --verify found a model-algebra axiom violation
+//      --verify found a model-algebra axiom violation; batch: every job
+//      done but some carry fallback bounds
+//   5  batch only: at least one job failed, was watchdog-cancelled, or was
+//      abandoned (the merged CSV carries a placeholder row for each)
+//   6  batch only: interrupted by SIGINT/SIGTERM after draining in-flight
+//      jobs; the journal is flushed and `--resume` continues the batch
 
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -59,6 +95,7 @@
 
 #include "core/errors.hpp"
 #include "core/model_io.hpp"
+#include "exec/batch_runner.hpp"
 #include "io/csv.hpp"
 #include "model/cpa_engine.hpp"
 #include "model/textual_config.hpp"
@@ -75,7 +112,8 @@ int usage() {
                "              [--sim <horizon> <seed>] [--sim-drop <rate>] "
                "[--sim-jitter <time>] [--sim-burst <count>]\n"
                "              [--strict] [--diagnostics] [--verify] [--jobs <n>] "
-               "[--trace-out <file>] [--metrics]\n";
+               "[--trace-out <file>] [--metrics]\n"
+               "       hemcpa --batch <dir|manifest> [batch options]\n";
   return 3;
 }
 
@@ -117,12 +155,174 @@ struct DeltaRequest {
   hem::Count n_max = 0;
 };
 
+// ---- batch mode -----------------------------------------------------------
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+extern "C" void handle_shutdown(int /*signum*/) { g_shutdown = 1; }
+
+int batch_usage() {
+  std::cerr << "usage: hemcpa --batch <dir|manifest> [--out <file>] [--batch-jobs <n>] "
+               "[--jobs <n>]\n"
+               "              [--job-budget-ms <ms>] [--grace-ms <ms>] [--retries <n>] "
+               "[--retry-backoff-ms <ms>]\n"
+               "              [--max-iterations <n>] [--engine-budget-ms <ms>] "
+               "[--fixpoint-steps <n>] [--fixpoint-window <ticks>]\n"
+               "              [--resume] [--strict] [--trace-out <file>] [--metrics]\n";
+  return 3;
+}
+
+int run_batch(int argc, char** argv) {
+  using namespace hem;
+  if (argc < 3 || argv[2][0] == '\0') return batch_usage();
+  const std::string operand = argv[2];
+
+  exec::BatchOptions bopts;
+  std::string out_csv = "batch_report.csv";
+  std::string trace_out;
+  bool want_metrics = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    long long v = 0;
+    const auto take_count = [&](long long min_value, long long& slot) {
+      if (i + 1 >= argc) return false;
+      if (!parse_ll(argv[i + 1], v) || v < min_value) return false;
+      slot = v;
+      i += 1;
+      return true;
+    };
+    long long slot = 0;
+    if (flag == "--out" && i + 1 < argc && argv[i + 1][0] != '\0') {
+      out_csv = argv[++i];
+    } else if (flag == "--batch-jobs") {
+      if (!take_count(1, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.parallel_jobs = static_cast<int>(slot);
+    } else if (flag == "--jobs") {
+      if (!take_count(1, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.engine_jobs = static_cast<int>(slot);
+    } else if (flag == "--job-budget-ms") {
+      if (!take_count(0, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.job_budget_ms = slot;
+    } else if (flag == "--grace-ms") {
+      if (!take_count(0, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.grace_ms = slot;
+    } else if (flag == "--retries") {
+      if (!take_count(0, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.max_retries = static_cast<int>(slot);
+    } else if (flag == "--retry-backoff-ms") {
+      if (!take_count(0, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.retry_backoff_ms = slot;
+    } else if (flag == "--max-iterations") {
+      if (!take_count(1, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.max_iterations = static_cast<int>(slot);
+    } else if (flag == "--engine-budget-ms") {
+      if (!take_count(0, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.engine_budget_ms = slot;
+    } else if (flag == "--fixpoint-steps") {
+      if (!take_count(1, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.fixpoint_max_iterations = slot;
+    } else if (flag == "--fixpoint-window") {
+      if (!take_count(1, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.fixpoint_max_window = slot;
+    } else if (flag == "--resume") {
+      bopts.resume = true;
+    } else if (flag == "--strict") {
+      bopts.strict = true;
+    } else if (flag == "--trace-out" && i + 1 < argc && argv[i + 1][0] != '\0') {
+      trace_out = argv[++i];
+    } else if (flag == "--metrics") {
+      want_metrics = true;
+    } else {
+      std::cerr << "error: unknown or incomplete batch flag '" << flag << "'\n";
+      return batch_usage();
+    }
+  }
+  bopts.journal_path = out_csv + ".journal";
+
+  std::vector<std::string> configs;
+  try {
+    configs = exec::BatchRunner::collect_configs(operand);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "batch error: " << e.what() << "\n";
+    return 3;
+  }
+
+  obs::Tracer tracer;
+  if (!trace_out.empty()) obs::set_tracer(&tracer);
+  if (want_metrics) obs::set_counting(true);
+
+  // Drain gracefully on SIGINT/SIGTERM: the scheduler polls the flag,
+  // cancels in-flight jobs, flushes the journal, and we exit with 6.
+  std::signal(SIGINT, handle_shutdown);
+  std::signal(SIGTERM, handle_shutdown);
+
+  exec::BatchReport report;
+  try {
+    report = exec::BatchRunner(std::move(configs), bopts).run(&g_shutdown, &std::cerr);
+  } catch (const std::exception& e) {
+    // Corrupt --resume journal or unwritable journal location.
+    std::cerr << "batch error: " << e.what() << "\n";
+    return 3;
+  }
+
+  report.write_summary(std::cout);
+
+  if (!report.interrupted) {
+    // The merged CSV is written atomically (temp + rename) so readers and
+    // an interrupting signal can never observe a partial line.
+    const std::string tmp = out_csv + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (out) report.write_csv(out);
+      out.flush();
+      if (!out) {
+        std::cerr << "error: cannot write batch report '" << tmp << "'\n";
+        return 3;
+      }
+    }
+    if (std::rename(tmp.c_str(), out_csv.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      std::cerr << "error: cannot atomically replace batch report '" << out_csv << "'\n";
+      return 3;
+    }
+    std::cout << "merged report: " << out_csv << " (journal: " << bopts.journal_path << ")\n";
+  } else {
+    std::cout << "interrupted: merged report not written; journal " << bopts.journal_path
+              << " is complete - continue with --resume\n";
+  }
+
+  if (want_metrics) {
+    std::cout << "\nmetrics:\n";
+    obs::write_metrics_text(std::cout, obs::registry());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream trace_file(trace_out);
+    if (!trace_file) {
+      std::cerr << "error: cannot open trace output file '" << trace_out << "'\n";
+      return 3;
+    }
+    obs::write_chrome_trace(trace_file, tracer, obs::registry());
+  }
+
+  const int code = report.exit_code();
+  if (report.abandoned > 0) {
+    // Hard-abandoned worker threads are detached and may still be wedged
+    // inside an uncancellable analysis; skip static destruction so they
+    // cannot race the runtime teardown.
+    std::cout.flush();
+    std::cerr.flush();
+    std::_Exit(code);
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hem;
 
   if (argc < 2) return usage();
+  if (std::string(argv[1]) == "--batch") return run_batch(argc, argv);
 
   // ---- phase 1: parse ALL flags up front (usage errors exit 3 before any
   // analysis work happens) -------------------------------------------------
@@ -238,6 +438,9 @@ int main(int argc, char** argv) {
   // `option strict=on` from the configuration file; the CLI can only add
   // strictness, not remove it.
   eopts.strict = strict || parsed.strict;
+  // `option overload_check=off` (expert): skip the load>1 pre-check, so
+  // genuinely divergent systems iterate to their busy-window limits.
+  eopts.check_overload = parsed.check_overload;
   // Fault-injection defaults from `option sim_*=`; CLI flags win per field.
   if (!cli_sim_drop) sim_opts.faults.drop_rate = parsed.sim_drop;
   if (!cli_sim_jitter) sim_opts.faults.extra_jitter = parsed.sim_jitter;

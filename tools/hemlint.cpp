@@ -14,7 +14,9 @@
 // Options:
 //   --werror   treat warnings as errors (any finding rejects the config)
 //
-// Exit status:
+// Exit status — the 0/1/3 subset of the unified code table documented in
+// tools/hemcpa.cpp, README.md, and docs/robustness.md (3 = usage always
+// wins; hemlint never uses the analysis-outcome codes 2/4/5/6):
 //   0  all configurations clean (warnings allowed unless --werror)
 //   1  at least one configuration rejected
 //   3  usage error (no inputs, unknown flag, unreadable file)

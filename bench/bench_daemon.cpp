@@ -1,0 +1,242 @@
+// Warm-model-cache benchmark of the analysis daemon (`hemcpad`).
+//
+// Measures the daemon's central performance claim: keeping the immutable,
+// memoisation-warm model DAG of a finished analysis alive and seeding
+// resubmissions from it beats re-running cold.  The benchmark exercises the
+// exact code path the daemon uses per submission (parse, cache lookup,
+// external-model interning, exec::run_analysis_attempt with a warm
+// snapshot) minus the socket hop, so the numbers isolate the cache effect
+// from transport noise.
+//
+// Scenarios, per workload:
+//   * cold            — fresh run, no snapshot (what plain `hemcpa` does);
+//   * warm_identical  — resubmission of the identical config, seeded via
+//                       WarmModelCache::find_exact (daemon fast path);
+//   * warm_variant    — an edited config warm-started from the closest
+//                       cached snapshot via WarmModelCache::best_base.
+//
+// Results go to BENCH_daemon.json: median wall-clock per scenario, the
+// speedup of each warm mode over cold, how many tasks seeded warm, and
+// whether the warm rows were byte-identical to the cold rows (they must
+// be — warm starting trades work, never results).
+//
+// Usage: bench_daemon [--quick] [--out <path>]
+//   --quick  smaller workloads and fewer repetitions (CI smoke test)
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "daemon/model_cache.hpp"
+#include "exec/analysis_attempt.hpp"
+#include "exec/journal.hpp"
+#include "model/engine_snapshot.hpp"
+#include "model/textual_config.hpp"
+
+namespace {
+
+using namespace hem;
+
+/// Feed-forward chain: one task per resource settles per global iteration,
+/// so cold runs pay `length` iterations of local analyses.
+std::string chain_config(int length) {
+  std::ostringstream os;
+  for (int i = 1; i <= length; ++i) os << "resource R" << i << " spp\n";
+  os << "source s sem period=100 jitter=250\n";
+  for (int i = 1; i <= length; ++i)
+    os << "task T" << i << " resource=R" << i << " priority=1 cet=" << (1 + i % 3) << "\n";
+  os << "activate T1 from=s\n";
+  for (int i = 2; i <= length; ++i) os << "activate T" << i << " from=T" << (i - 1) << "\n";
+  return os.str();
+}
+
+/// High-load burst config: busy-window work grows with `jitter`, giving a
+/// tunable cold analysis cost with a single task.
+std::string burst_config(long jitter) {
+  std::ostringstream os;
+  os << "resource R spp\n"
+     << "source s sem period=1000 jitter=" << jitter << "\n"
+     << "task H resource=R priority=2 cet=900\n"
+     << "activate H from=s\n"
+     << "option overload_check=off\n";
+  return os.str();
+}
+
+struct Measurement {
+  double wall_ms = 0.0;
+  long warm_seeded = 0;
+  std::vector<std::string> rows;
+  std::shared_ptr<const cpa::EngineSnapshot> snapshot;
+  bool ok = false;
+};
+
+Measurement run_once(const std::string& config, const cpa::EngineSnapshot* warm,
+                     bool make_snapshot) {
+  // Parse inside the measured section: the daemon parses every submission
+  // too, so the speedup reported here is the one a daemon client sees.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::istringstream in(config);
+  cpa::ParsedSystem parsed = cpa::parse_system_config(in);
+  if (warm != nullptr) (void)cpa::intern_external_models(parsed.system, *warm);
+  exec::AttemptOptions opt;
+  opt.warm = warm;
+  opt.keep_report = true;
+  opt.make_snapshot = make_snapshot;
+  const exec::AttemptOutcome out = exec::run_analysis_attempt(parsed, "bench", opt, nullptr);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Measurement m;
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  m.ok = out.ok;
+  m.rows = out.rows;
+  m.snapshot = out.snapshot;
+  if (out.report) m.warm_seeded = out.report->stats.warm_seeded;
+  return m;
+}
+
+double median_ms(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct ScenarioResult {
+  double cold_ms = 0.0;
+  double warm_identical_ms = 0.0;
+  double warm_variant_ms = 0.0;
+  long warm_seeded_identical = 0;
+  long warm_seeded_variant = 0;
+  bool identical_rows_equal = false;
+  bool variant_ok = false;
+};
+
+ScenarioResult bench_workload(const std::string& name, const std::string& config,
+                              const std::string& variant, int reps) {
+  ScenarioResult r;
+
+  // Cold baseline + snapshot capture, exactly once per repetition.
+  std::vector<double> cold;
+  Measurement cold_run;
+  for (int i = 0; i < reps; ++i) {
+    cold_run = run_once(config, nullptr, /*make_snapshot=*/true);
+    if (!cold_run.ok) {
+      std::cerr << "workload " << name << ": cold run failed\n";
+      return r;
+    }
+    cold.push_back(cold_run.wall_ms);
+  }
+  r.cold_ms = median_ms(cold);
+
+  // The daemon's cache, fed like handle_submit feeds it.
+  hem::daemon::WarmModelCache cache(4);
+  const std::uint64_t fp = exec::fingerprint_bytes(config.data(), config.size());
+  cache.insert(fp, cold_run.snapshot);
+
+  std::vector<double> warm;
+  Measurement warm_run;
+  for (int i = 0; i < reps; ++i) {
+    const auto snap = cache.find_exact(fp);
+    warm_run = run_once(config, snap.get(), /*make_snapshot=*/false);
+    warm.push_back(warm_run.wall_ms);
+  }
+  r.warm_identical_ms = median_ms(warm);
+  r.warm_seeded_identical = warm_run.warm_seeded;
+  r.identical_rows_equal = warm_run.rows == cold_run.rows;
+
+  if (!variant.empty()) {
+    std::vector<double> var;
+    Measurement var_run;
+    for (int i = 0; i < reps; ++i) {
+      std::istringstream in(variant);
+      cpa::ParsedSystem probe = cpa::parse_system_config(in);
+      const auto base = cache.best_base(probe.system);
+      var_run = run_once(variant, base.get(), /*make_snapshot=*/false);
+      var.push_back(var_run.wall_ms);
+    }
+    r.warm_variant_ms = median_ms(var);
+    r.warm_seeded_variant = var_run.warm_seeded;
+    r.variant_ok = var_run.ok;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_daemon.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else {
+      std::cerr << "usage: bench_daemon [--quick] [--out <path>]\n";
+      return 2;
+    }
+  }
+  const int reps = quick ? 3 : 5;
+
+  struct Workload {
+    const char* name;
+    std::string config;
+    std::string variant;
+  };
+  std::vector<Workload> workloads;
+  {
+    const int chain_len = quick ? 8 : 16;
+    // Variant: same chain with the last task's execution time nudged — the
+    // daemon's "edit one task, resubmit" flow.
+    std::string chain = chain_config(chain_len);
+    std::string chain_variant = chain;
+    const std::string needle = "cet=" + std::to_string(1 + chain_len % 3) + "\n";
+    const auto pos = chain_variant.rfind(needle);
+    if (pos != std::string::npos) chain_variant.replace(pos, needle.size(), "cet=4\n");
+    workloads.push_back({"chain", chain, chain_variant});
+    workloads.push_back({"burst_small", burst_config(quick ? 300'000 : 1'000'000), ""});
+    if (!quick) workloads.push_back({"burst_large", burst_config(4'000'000), ""});
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"daemon_warm_cache\",\n  \"quick\": "
+       << (quick ? "true" : "false") << ",\n  \"reps\": " << reps << ",\n  \"runs\": [\n";
+  bool first = true;
+  bool all_ok = true;
+  for (const Workload& w : workloads) {
+    std::cerr << "workload " << w.name << "...\n";
+    const ScenarioResult r = bench_workload(w.name, w.config, w.variant, reps);
+    if (r.cold_ms == 0.0) {
+      all_ok = false;
+      continue;
+    }
+    const double speedup_identical =
+        r.warm_identical_ms > 0 ? r.cold_ms / r.warm_identical_ms : 0.0;
+    const double speedup_variant =
+        r.warm_variant_ms > 0 ? r.cold_ms / r.warm_variant_ms : 0.0;
+    all_ok = all_ok && r.identical_rows_equal;
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"workload\": \"" << w.name << "\", \"cold_ms\": " << r.cold_ms
+         << ", \"warm_identical_ms\": " << r.warm_identical_ms
+         << ", \"speedup_identical\": " << speedup_identical
+         << ", \"warm_seeded_identical\": " << r.warm_seeded_identical
+         << ", \"identical_rows_equal\": " << (r.identical_rows_equal ? "true" : "false");
+    if (!w.variant.empty()) {
+      json << ", \"warm_variant_ms\": " << r.warm_variant_ms
+           << ", \"speedup_variant\": " << speedup_variant
+           << ", \"warm_seeded_variant\": " << r.warm_seeded_variant;
+    }
+    json << "}";
+    std::cerr << "  cold " << r.cold_ms << " ms, warm " << r.warm_identical_ms
+              << " ms (x" << speedup_identical << ", seeded " << r.warm_seeded_identical
+              << ")\n";
+  }
+  json << "\n  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << json.str();
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+#include "daemon/client.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define HEM_DAEMON_POSIX 1
+#else
+#define HEM_DAEMON_POSIX 0
+#endif
+
+namespace hem::daemon {
+
+#if HEM_DAEMON_POSIX
+
+Client::Client(const std::string& socket_path, long io_timeout_ms)
+    : io_timeout_ms_(io_timeout_ms), reader_(-1) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path))
+    throw std::runtime_error("daemon socket path too long: '" + socket_path + "'");
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("cannot create client socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", socket_path.c_str());
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to daemon at '" + socket_path +
+                             "' (is hemcpad running?)");
+  }
+  reader_ = LineReader(fd_);
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Client::request(const std::string& verb,
+                            const std::vector<std::pair<std::string, std::string>>& kv,
+                            const std::string& payload, bool has_payload) {
+  if (fd_ < 0) throw std::runtime_error("daemon connection is closed");
+  std::string frame = render_request_line(verb, kv);
+  if (has_payload) frame += payload;
+  if (write_all(fd_, frame, io_timeout_ms_) != IoStatus::kOk)
+    throw std::runtime_error("writing to the daemon failed (peer gone or stalled)");
+  std::string line;
+  const IoStatus st = reader_.read_line(line, io_timeout_ms_);
+  if (st != IoStatus::kOk)
+    throw std::runtime_error(std::string("reading the daemon response failed (") +
+                             to_string(st) + ")");
+  return line;
+}
+
+std::string Client::submit(const std::string& config_text,
+                           const std::vector<std::pair<std::string, std::string>>& kv) {
+  std::vector<std::pair<std::string, std::string>> full = kv;
+  full.emplace_back("bytes", std::to_string(config_text.size()));
+  return request("submit", full, config_text, /*has_payload=*/true);
+}
+
+std::string Client::wait_result(std::uint64_t id, long timeout_ms) {
+  // The server-side wait is bounded by timeout_ms; give the socket read a
+  // little slack on top so the response frame always beats the deadline.
+  const long saved = io_timeout_ms_;
+  io_timeout_ms_ = timeout_ms + 2000;
+  std::string out;
+  try {
+    out = request("result", {{"id", std::to_string(id)},
+                             {"wait", "1"},
+                             {"timeout_ms", std::to_string(timeout_ms)}});
+  } catch (...) {
+    io_timeout_ms_ = saved;
+    throw;
+  }
+  io_timeout_ms_ = saved;
+  return out;
+}
+
+std::string Client::cancel(std::uint64_t id) {
+  return request("cancel", {{"id", std::to_string(id)}});
+}
+
+std::string Client::drain(bool force_stop) {
+  if (force_stop) return request("drain", {{"force", "1"}});
+  return request("drain");
+}
+
+#else  // !HEM_DAEMON_POSIX
+
+Client::Client(const std::string&, long io_timeout_ms)
+    : io_timeout_ms_(io_timeout_ms), reader_(-1) {
+  throw std::runtime_error("hemcpad requires a POSIX platform");
+}
+Client::~Client() = default;
+void Client::close() {}
+std::string Client::request(const std::string&,
+                            const std::vector<std::pair<std::string, std::string>>&,
+                            const std::string&, bool) {
+  return "";
+}
+std::string Client::submit(const std::string&,
+                           const std::vector<std::pair<std::string, std::string>>&) {
+  return "";
+}
+std::string Client::wait_result(std::uint64_t, long) { return ""; }
+std::string Client::cancel(std::uint64_t) { return ""; }
+std::string Client::drain(bool) { return ""; }
+
+#endif
+
+}  // namespace hem::daemon

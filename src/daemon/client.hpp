@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file client.hpp
+/// Minimal synchronous client for the analysis daemon, shared by the
+/// `hemcpad` CLI client verbs and the daemon tests.  One connection, one
+/// outstanding request at a time; every call returns the daemon's raw JSON
+/// response line (use protocol.hpp's json_find helpers to pick fields) or
+/// throws std::runtime_error on transport-level failure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+
+namespace hem::daemon {
+
+class Client {
+ public:
+  /// Connect to the daemon socket.  \throws std::runtime_error when the
+  /// socket cannot be reached.
+  explicit Client(const std::string& socket_path, long io_timeout_ms = 10'000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request (optionally with a payload, for `submit`) and read
+  /// the one-line JSON response.  `extra` keys are appended to the line.
+  [[nodiscard]] std::string request(
+      const std::string& verb,
+      const std::vector<std::pair<std::string, std::string>>& kv = {},
+      const std::string& payload = "", bool has_payload = false);
+
+  /// `submit` with a config payload; returns the response JSON.
+  [[nodiscard]] std::string submit(const std::string& config_text,
+                                   const std::vector<std::pair<std::string, std::string>>& kv = {});
+
+  /// `result id=<id> wait=1` — block (server side) until terminal.
+  [[nodiscard]] std::string wait_result(std::uint64_t id, long timeout_ms = 60'000);
+
+  [[nodiscard]] std::string ping() { return request("ping"); }
+  [[nodiscard]] std::string stats() { return request("stats"); }
+  [[nodiscard]] std::string cancel(std::uint64_t id);
+  [[nodiscard]] std::string drain(bool force_stop = false);
+
+  /// Raw socket fd — the fault tests use it to simulate misbehaving peers.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Close the socket early (simulates client disconnect).
+  void close();
+
+ private:
+  int fd_ = -1;
+  long io_timeout_ms_;
+  LineReader reader_;
+};
+
+}  // namespace hem::daemon

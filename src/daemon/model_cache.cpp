@@ -1,0 +1,123 @@
+#include "daemon/model_cache.hpp"
+
+#include <algorithm>
+
+namespace hem::daemon {
+
+WarmModelCache::WarmModelCache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+WarmModelCache::Entry* WarmModelCache::lookup(std::uint64_t fingerprint) {
+  for (Entry& e : entries_)
+    if (e.fingerprint == fingerprint) return &e;
+  return nullptr;
+}
+
+std::shared_ptr<const cpa::EngineSnapshot> WarmModelCache::find_exact(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mx_);
+  if (Entry* e = lookup(fingerprint)) {
+    e->last_used = ++clock_;
+    ++exact_hits_;
+    return e->snapshot;
+  }
+  // Not counted as a miss: the daemon always falls through to best_base(),
+  // which does the counting, so one cold lookup is one miss.
+  return nullptr;
+}
+
+std::shared_ptr<const cpa::EngineSnapshot> WarmModelCache::best_base(const cpa::System& system) {
+  // Signatures of the incoming system, sorted for two-pointer intersection.
+  std::vector<std::string> want;
+  want.reserve(system.tasks().size());
+  for (cpa::TaskId t = 0; t < system.tasks().size(); ++t)
+    want.push_back(cpa::task_signature(system, t));
+  std::sort(want.begin(), want.end());
+
+  std::lock_guard<std::mutex> lock(mx_);
+  Entry* best = nullptr;
+  std::size_t best_overlap = 0;
+  for (Entry& e : entries_) {
+    std::size_t overlap = 0;
+    for (std::size_t i = 0, j = 0; i < want.size() && j < e.signatures.size();) {
+      const int cmp = want[i].compare(e.signatures[j]);
+      if (cmp == 0) {
+        ++overlap;
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (overlap > best_overlap ||
+        (overlap == best_overlap && overlap > 0 && best != nullptr &&
+         e.last_used > best->last_used)) {
+      best = &e;
+      best_overlap = overlap;
+    }
+  }
+  if (best == nullptr || best_overlap == 0) {
+    ++misses_;
+    return nullptr;
+  }
+  best->last_used = ++clock_;
+  ++base_hits_;
+  return best->snapshot;
+}
+
+void WarmModelCache::insert(std::uint64_t fingerprint,
+                            std::shared_ptr<const cpa::EngineSnapshot> snapshot) {
+  if (snapshot == nullptr || !snapshot->valid()) return;
+  std::vector<std::string> signatures;
+  signatures.reserve(snapshot->tasks.size());
+  for (const auto& t : snapshot->tasks) signatures.push_back(t.signature);
+  std::sort(signatures.begin(), signatures.end());
+
+  std::lock_guard<std::mutex> lock(mx_);
+  if (Entry* e = lookup(fingerprint)) {
+    e->snapshot = std::move(snapshot);
+    e->signatures = std::move(signatures);
+    e->last_used = ++clock_;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    auto oldest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    entries_.erase(oldest);
+    ++evictions_;
+  }
+  Entry e;
+  e.fingerprint = fingerprint;
+  e.snapshot = std::move(snapshot);
+  e.signatures = std::move(signatures);
+  e.last_used = ++clock_;
+  entries_.push_back(std::move(e));
+}
+
+std::size_t WarmModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mx_);
+  return entries_.size();
+}
+
+long WarmModelCache::exact_hits() const {
+  std::lock_guard<std::mutex> lock(mx_);
+  return exact_hits_;
+}
+
+long WarmModelCache::base_hits() const {
+  std::lock_guard<std::mutex> lock(mx_);
+  return base_hits_;
+}
+
+long WarmModelCache::misses() const {
+  std::lock_guard<std::mutex> lock(mx_);
+  return misses_;
+}
+
+long WarmModelCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mx_);
+  return evictions_;
+}
+
+}  // namespace hem::daemon

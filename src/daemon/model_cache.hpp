@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file model_cache.hpp
+/// Shared warm model cache of the analysis daemon: converged
+/// cpa::EngineSnapshot objects (immutable, memoisation-warm event-model
+/// DAGs) kept alive across requests, keyed by the submitted configuration's
+/// content fingerprint.
+///
+/// Two lookup modes:
+///   * find_exact(fingerprint) — the resubmission fast path: the identical
+///     config was analysed before, its snapshot seeds every task, and the
+///     engine converges in one verification iteration.
+///   * best_base(system)       — the variant path: pick the cached snapshot
+///     sharing the most task signatures with the incoming system, so an
+///     edited config only pays for the delta around its edit.
+///
+/// Snapshots are immutable and handed out as shared_ptr<const ...>: eviction
+/// never invalidates a snapshot a running job still warms from, and
+/// concurrent jobs may warm from the same snapshot (the engine only reads
+/// it).  All methods are thread-safe.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/engine_snapshot.hpp"
+
+namespace hem::daemon {
+
+class WarmModelCache {
+ public:
+  /// Cache keeping at most `capacity` snapshots (LRU eviction, minimum 1).
+  explicit WarmModelCache(std::size_t capacity);
+
+  /// Snapshot of the byte-identical config, or nullptr.  A null return is
+  /// not counted as a miss (callers fall through to best_base, which
+  /// counts).
+  [[nodiscard]] std::shared_ptr<const cpa::EngineSnapshot> find_exact(std::uint64_t fingerprint);
+
+  /// Cached snapshot sharing the most task signatures with `system`
+  /// (ties: most recently used).  Returns nullptr when no snapshot shares
+  /// at least one signature — warming from an unrelated snapshot would be
+  /// pure overhead.
+  [[nodiscard]] std::shared_ptr<const cpa::EngineSnapshot> best_base(const cpa::System& system);
+
+  /// Insert or replace the snapshot for `fingerprint`.  Invalid (empty)
+  /// snapshots are ignored.
+  void insert(std::uint64_t fingerprint, std::shared_ptr<const cpa::EngineSnapshot> snapshot);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] long exact_hits() const;
+  [[nodiscard]] long base_hits() const;
+  [[nodiscard]] long misses() const;
+  [[nodiscard]] long evictions() const;
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const cpa::EngineSnapshot> snapshot;
+    std::vector<std::string> signatures;  ///< sorted task signatures
+    std::uint64_t last_used = 0;          ///< logical clock for LRU + tie-break
+  };
+
+  [[nodiscard]] Entry* lookup(std::uint64_t fingerprint);
+
+  const std::size_t capacity_;
+  mutable std::mutex mx_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  long exact_hits_ = 0;
+  long base_hits_ = 0;
+  long misses_ = 0;
+  long evictions_ = 0;
+};
+
+}  // namespace hem::daemon

@@ -1,0 +1,367 @@
+#include "daemon/protocol.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define HEM_DAEMON_POSIX 1
+#else
+#define HEM_DAEMON_POSIX 0
+#endif
+
+namespace hem::daemon {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+[[nodiscard]] bool token_ok(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (c == ' ' || static_cast<unsigned char>(c) < 0x20 || c == 0x7f) return false;
+  return true;
+}
+
+/// Remaining milliseconds of a deadline, clamped to [0, timeout].
+[[nodiscard]] int remaining_ms(steady::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - steady::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;  // poll() int argument, re-armed per loop
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
+long Request::get_long(const std::string& key, long fallback) const {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v.size() > 18) return -1;
+  long out = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9') return -1;
+    out = out * 10 + (c - '0');
+  }
+  return out;
+}
+
+bool parse_request_line(const std::string& line, Request& out, std::string& error) {
+  out = Request{};
+  std::size_t pos = 0;
+  const auto next_token = [&](std::string& tok) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) return false;
+    const std::size_t end = line.find(' ', pos);
+    tok = line.substr(pos, end == std::string::npos ? end : end - pos);
+    pos = end == std::string::npos ? line.size() : end;
+    return true;
+  };
+
+  for (const char c : line)
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      error = "control character in request line";
+      return false;
+    }
+
+  std::string tok;
+  if (!next_token(tok) || tok != kProtocolVersion) {
+    error = "expected protocol header '" + std::string(kProtocolVersion) + "'";
+    return false;
+  }
+  if (!next_token(out.verb) || out.verb.find('=') != std::string::npos) {
+    error = "missing verb after protocol header";
+    return false;
+  }
+  while (next_token(tok)) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      error = "malformed key=value token '" + tok + "'";
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (out.kv.count(key) != 0) {
+      error = "duplicate key '" + key + "'";
+      return false;
+    }
+    out.kv.emplace(key, value);
+  }
+  return true;
+}
+
+std::string render_request_line(const std::string& verb,
+                                const std::vector<std::pair<std::string, std::string>>& kv) {
+  if (!token_ok(verb) || verb.find('=') != std::string::npos)
+    throw std::invalid_argument("invalid request verb '" + verb + "'");
+  std::string line = std::string(kProtocolVersion) + " " + verb;
+  for (const auto& [key, value] : kv) {
+    if (!token_ok(key) || key.find('=') != std::string::npos)
+      throw std::invalid_argument("invalid request key '" + key + "'");
+    if (!value.empty() && !token_ok(value))
+      throw std::invalid_argument("request value for '" + key +
+                                  "' contains spaces or control characters");
+    line += " " + key + "=" + value;
+  }
+  return line + "\n";
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::key(const std::string& k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + json_escape(k) + "\":";
+}
+
+JsonWriter& JsonWriter::add(const std::string& k, const std::string& value) {
+  key(k);
+  body_ += '"' + json_escape(value) + '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::add(const std::string& k, const char* value) {
+  return add(k, std::string(value));
+}
+
+JsonWriter& JsonWriter::add(const std::string& k, long value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::add(const std::string& k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::add_raw(const std::string& k, const std::string& raw_json) {
+  key(k);
+  body_ += raw_json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::add_strings(const std::string& k, const std::vector<std::string>& values) {
+  key(k);
+  body_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) body_ += ',';
+    body_ += '"' + json_escape(values[i]) + '"';
+  }
+  body_ += ']';
+  return *this;
+}
+
+namespace {
+
+/// Position just past `"key":` at the top level of `json`, or npos.
+[[nodiscard]] std::size_t find_value(const std::string& json, const std::string& key) {
+  const std::string needle = '"' + key + "\":";
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = json.find(needle, from);
+    if (at == std::string::npos) return std::string::npos;
+    // Reject matches inside string values: count unescaped quotes before.
+    bool in_string = false;
+    for (std::size_t i = 0; i < at; ++i) {
+      if (json[i] == '\\' && in_string) {
+        ++i;
+      } else if (json[i] == '"') {
+        in_string = !in_string;
+      }
+    }
+    if (!in_string) return at + needle.size();
+    from = at + 1;
+  }
+}
+
+[[nodiscard]] std::string unescape_string(const std::string& json, std::size_t& pos) {
+  // pos points at the opening quote.
+  std::string out;
+  for (++pos; pos < json.size(); ++pos) {
+    const char c = json[pos];
+    if (c == '"') {
+      ++pos;
+      break;
+    }
+    if (c == '\\' && pos + 1 < json.size()) {
+      const char e = json[++pos];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (pos + 4 < json.size()) {
+            out += static_cast<char>(std::stoi(json.substr(pos + 1, 4), nullptr, 16));
+            pos += 4;
+          }
+          break;
+        default: out += e;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string json_find(const std::string& json, const std::string& key) {
+  std::size_t pos = find_value(json, key);
+  if (pos == std::string::npos || pos >= json.size()) return "";
+  if (json[pos] == '"') return unescape_string(json, pos);
+  const std::size_t end = json.find_first_of(",}]", pos);
+  return json.substr(pos, end == std::string::npos ? end : end - pos);
+}
+
+std::vector<std::string> json_find_strings(const std::string& json, const std::string& key) {
+  std::vector<std::string> out;
+  std::size_t pos = find_value(json, key);
+  if (pos == std::string::npos || pos >= json.size() || json[pos] != '[') return out;
+  ++pos;
+  while (pos < json.size() && json[pos] != ']') {
+    if (json[pos] == '"')
+      out.push_back(unescape_string(json, pos));
+    else
+      ++pos;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Socket I/O
+// ---------------------------------------------------------------------------
+
+const char* to_string(IoStatus s) noexcept {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kClosed: return "closed";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kError: return "error";
+    case IoStatus::kOversize: return "oversize";
+  }
+  return "?";
+}
+
+#if HEM_DAEMON_POSIX
+
+IoStatus LineReader::fill(long timeout_ms) {
+  struct pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (ready == 0) return IoStatus::kTimeout;
+  if (ready < 0) return errno == EINTR ? IoStatus::kTimeout : IoStatus::kError;
+  char chunk[4096];
+  const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+  if (n == 0) return IoStatus::kClosed;
+  if (n < 0) return errno == EAGAIN || errno == EINTR ? IoStatus::kTimeout : IoStatus::kError;
+  buf_.append(chunk, static_cast<std::size_t>(n));
+  return IoStatus::kOk;
+}
+
+IoStatus LineReader::read_line(std::string& line, long timeout_ms) {
+  const auto deadline = steady::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return IoStatus::kOk;
+    }
+    if (buf_.size() > kMaxLineBytes) return IoStatus::kOversize;
+    const int left = remaining_ms(deadline);
+    if (left == 0) return IoStatus::kTimeout;
+    const IoStatus st = fill(left);
+    // kTimeout from fill() can be an EINTR, not the deadline: loop and let
+    // remaining_ms() decide whether time is actually up.
+    if (st != IoStatus::kOk && st != IoStatus::kTimeout) return st;
+  }
+}
+
+IoStatus LineReader::read_exact(std::string& data, std::size_t n, long timeout_ms) {
+  const auto deadline = steady::now() + std::chrono::milliseconds(timeout_ms);
+  while (buf_.size() < n) {
+    const int left = remaining_ms(deadline);
+    if (left == 0) return IoStatus::kTimeout;
+    const IoStatus st = fill(left);
+    if (st != IoStatus::kOk && st != IoStatus::kTimeout) return st;
+  }
+  data = buf_.substr(0, n);
+  buf_.erase(0, n);
+  return IoStatus::kOk;
+}
+
+IoStatus write_all(int fd, const std::string& data, long timeout_ms) {
+  const auto deadline = steady::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int left = remaining_ms(deadline);
+    if (left == 0) return IoStatus::kTimeout;
+    const int ready = ::poll(&pfd, 1, left);
+    if (ready == 0) return IoStatus::kTimeout;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    // send() + MSG_NOSIGNAL so a vanished peer surfaces as EPIPE instead of
+    // a process-wide SIGPIPE (the daemon runs in-process in the fault tests,
+    // which install no signal handlers).
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+#endif
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EINTR) continue;
+      return IoStatus::kError;  // EPIPE and friends: peer gone
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+#else  // !HEM_DAEMON_POSIX — the daemon is POSIX-only; stubs keep the lib linking.
+
+IoStatus LineReader::fill(long) { return IoStatus::kError; }
+IoStatus LineReader::read_line(std::string&, long) { return IoStatus::kError; }
+IoStatus LineReader::read_exact(std::string&, std::size_t, long) { return IoStatus::kError; }
+IoStatus write_all(int, const std::string&, long) { return IoStatus::kError; }
+
+#endif
+
+}  // namespace hem::daemon

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file protocol.hpp
+/// Wire protocol of the analysis daemon (`hemcpad`), plus the socket I/O
+/// helpers shared by server, client library, and fault tests.
+///
+/// Requests are a single line:
+///
+/// ```
+/// hemcpad1 <verb> [key=value]...\n
+/// ```
+///
+/// followed, when the line carries `bytes=<n>` (only `submit` does), by
+/// exactly n raw payload bytes.  Values must not contain spaces or control
+/// characters — configuration text travels in the payload, never in the
+/// header line.  Responses are exactly one JSON object per request,
+/// newline-terminated, e.g.
+///
+/// ```
+/// {"ok":true,"id":7,"state":"done","rows":[...]}
+/// {"ok":false,"error":"overloaded","message":"queue full (64 jobs)"}
+/// ```
+///
+/// Robustness contract: every accepted request gets exactly one response —
+/// rejections are explicit (`"error":"overloaded"`, `"quota"`,
+/// `"too_large"`, `"draining"`, ...), never silent hangs.  Oversized or
+/// malformed frames terminate the connection after an error response.  All
+/// socket reads and writes go through poll() with caller-set timeouts so a
+/// half-open peer or a reader that stops draining its socket can only
+/// stall its own connection, never a daemon thread forever.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hem::daemon {
+
+/// Protocol magic + version tag, first token of every request line.
+inline constexpr const char* kProtocolVersion = "hemcpad1";
+
+/// Hard cap on the request *line* (not the payload) — a line this long is
+/// a protocol violation, not a big config.
+inline constexpr std::size_t kMaxLineBytes = 4096;
+
+/// One parsed request line.
+struct Request {
+  std::string verb;
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] bool has(const std::string& key) const { return kv.count(key) != 0; }
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  /// Non-negative integer value of `key`; `fallback` when absent, -1 when
+  /// present but malformed (callers reject the request).
+  [[nodiscard]] long get_long(const std::string& key, long fallback = 0) const;
+};
+
+/// Parse one request line.  Returns false (with `error` set to a
+/// human-readable reason) on any violation: missing/wrong version token,
+/// empty verb, malformed key=value tokens, embedded control characters.
+[[nodiscard]] bool parse_request_line(const std::string& line, Request& out, std::string& error);
+
+/// Render a request line (client side).  Values are validated with the
+/// same rules the parser enforces; throws std::invalid_argument on values
+/// that cannot travel in a header line.
+[[nodiscard]] std::string render_request_line(
+    const std::string& verb, const std::vector<std::pair<std::string, std::string>>& kv);
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emission / extraction
+// ---------------------------------------------------------------------------
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Tiny single-object JSON writer — enough for the daemon's flat response
+/// shapes (scalars plus one optional array of strings), avoiding a JSON
+/// dependency.  Keys are emitted in add() order.
+class JsonWriter {
+ public:
+  JsonWriter& add(const std::string& key, const std::string& value);
+  JsonWriter& add(const std::string& key, const char* value);
+  JsonWriter& add(const std::string& key, long value);
+  JsonWriter& add(const std::string& key, int value) { return add(key, static_cast<long>(value)); }
+  JsonWriter& add(const std::string& key, bool value);
+  JsonWriter& add_raw(const std::string& key, const std::string& raw_json);
+  JsonWriter& add_strings(const std::string& key, const std::vector<std::string>& values);
+
+  /// Finished `{...}` object (no trailing newline).
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(const std::string& k);
+  std::string body_;
+};
+
+/// Extract a top-level scalar field from a (daemon-produced) JSON object:
+/// `json_find(text, "id")` -> "7", `json_find(text, "state")` -> "done".
+/// Strings come back unescaped and unquoted; missing keys come back empty.
+/// This is a protocol-shaped extractor for the client/tests, not a general
+/// JSON parser — nested objects are not supported (the daemon emits none).
+[[nodiscard]] std::string json_find(const std::string& json, const std::string& key);
+
+/// Extract a top-level array of strings (`"rows":["a","b"]`).  Missing or
+/// non-array keys yield an empty vector.
+[[nodiscard]] std::vector<std::string> json_find_strings(const std::string& json,
+                                                         const std::string& key);
+
+// ---------------------------------------------------------------------------
+// Socket I/O (POSIX only; every function is poll()-gated)
+// ---------------------------------------------------------------------------
+
+/// Result class of a socket read step.
+enum class IoStatus {
+  kOk,        ///< data delivered
+  kClosed,    ///< orderly EOF from the peer
+  kTimeout,   ///< poll() timeout expired before progress
+  kError,     ///< socket error (errno-level)
+  kOversize,  ///< line exceeded kMaxLineBytes before a newline arrived
+};
+
+[[nodiscard]] const char* to_string(IoStatus s) noexcept;
+
+/// Buffered line/byte reader over a socket fd (not owned).  Each call
+/// enforces `timeout_ms` of total wall-clock budget: a peer trickling one
+/// byte per poll interval cannot stretch a read forever (slow-loris
+/// defence).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Read up to and including the next '\n'; the newline is stripped from
+  /// `line` (a trailing '\r' too, for telnet-style clients).
+  [[nodiscard]] IoStatus read_line(std::string& line, long timeout_ms);
+
+  /// Read exactly `n` payload bytes.
+  [[nodiscard]] IoStatus read_exact(std::string& data, std::size_t n, long timeout_ms);
+
+  /// True when buffered bytes are already available (no syscall).
+  [[nodiscard]] bool buffered() const noexcept { return !buf_.empty(); }
+
+ private:
+  [[nodiscard]] IoStatus fill(long timeout_ms);
+
+  int fd_;
+  std::string buf_;
+};
+
+/// Write all of `data`, poll()-gating each chunk on writability with
+/// `timeout_ms` total budget — a peer that stops draining its socket
+/// (slow reader) times the write out instead of blocking the daemon.
+[[nodiscard]] IoStatus write_all(int fd, const std::string& data, long timeout_ms);
+
+}  // namespace hem::daemon

@@ -1,0 +1,95 @@
+#include "exec/analysis_attempt.hpp"
+
+#include <chrono>
+#include <new>
+#include <sstream>
+
+#include "core/errors.hpp"
+#include "io/csv.hpp"
+#include "model/cpa_engine.hpp"
+#include "model/engine_snapshot.hpp"
+#include "model/textual_config.hpp"
+
+namespace hem::exec {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+/// Split a converged report into merged-CSV rows, reusing the single-run
+/// writer so batch/daemon rows are byte-identical to `hemcpa --csv` output.
+std::vector<std::string> report_rows(const std::string& label, const cpa::AnalysisReport& rep) {
+  std::ostringstream ss;
+  io::write_report_csv(ss, rep);
+  std::istringstream in(ss.str());
+  std::vector<std::string> rows;
+  std::string line;
+  std::getline(in, line);  // drop the per-run header
+  const std::string prefix = io::csv_field(label) + ",";
+  while (std::getline(in, line)) rows.push_back(prefix + line);
+  return rows;
+}
+
+[[nodiscard]] bool transient_code(ErrorCode code) noexcept {
+  return code == ErrorCode::kTimeBudget || code == ErrorCode::kIterationLimit ||
+         code == ErrorCode::kWindowLimit;
+}
+
+}  // namespace
+
+AttemptOutcome run_analysis_attempt(const cpa::ParsedSystem& parsed, const std::string& label,
+                                    const AttemptOptions& options, const CancelToken* cancel) {
+  AttemptOutcome out;
+  const auto t0 = steady::now();
+  try {
+    cpa::EngineOptions eopts;
+    eopts.strict = options.strict || parsed.strict;
+    eopts.check_overload = parsed.check_overload;
+    eopts.jobs =
+        options.engine_jobs != 0 ? options.engine_jobs : (parsed.jobs != 0 ? parsed.jobs : 1);
+    eopts.max_iterations = options.max_iterations;
+    if (options.wall_budget_ms > 0) eopts.wall_clock_budget_ms = options.wall_budget_ms;
+    if (options.fixpoint_max_iterations > 0)
+      eopts.fixpoint_limits.max_iterations = options.fixpoint_max_iterations;
+    if (options.fixpoint_max_window > 0)
+      eopts.fixpoint_limits.max_window = options.fixpoint_max_window;
+    eopts.cancel = cancel;
+    eopts.warm = options.warm;
+
+    cpa::CpaEngine engine(parsed.system, eopts);
+    cpa::AnalysisReport report = engine.run();
+    out.converged = report.converged;
+    out.degraded = report.degraded();
+    if (report.converged) {
+      out.ok = true;
+      out.rows = report_rows(label, report);
+      if (options.make_snapshot)
+        out.snapshot = std::make_shared<cpa::EngineSnapshot>(engine.make_snapshot());
+    } else {
+      // Graceful mode returned fallback bounds without a fixpoint — for a
+      // batch that is a failure, but one more global iterations may fix.
+      out.transient = true;
+      out.message =
+          "no global fixpoint within " + std::to_string(eopts.max_iterations) + " iterations";
+    }
+    if (options.keep_report)
+      out.report = std::make_shared<cpa::AnalysisReport>(std::move(report));
+  } catch (const AnalysisError& e) {
+    if (e.code() == ErrorCode::kCancelled) {
+      out.cancelled = true;
+      out.cancel_reason = cancel != nullptr ? cancel->reason() : CancelReason::kNone;
+    } else {
+      out.transient = transient_code(e.code());
+    }
+    out.message = e.what();
+  } catch (const std::bad_alloc&) {
+    out.message = "out of memory (std::bad_alloc)";
+  } catch (const std::exception& e) {
+    out.message = e.what();  // ContractViolation, ...
+  }
+  out.duration_ms = static_cast<long>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(steady::now() - t0).count());
+  return out;
+}
+
+}  // namespace hem::exec

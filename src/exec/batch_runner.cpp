@@ -2,23 +2,19 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <memory>
-#include <mutex>
-#include <new>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
-#include "core/errors.hpp"
+#include "exec/analysis_attempt.hpp"
 #include "exec/cancel.hpp"
+#include "exec/job_pool.hpp"
 #include "exec/journal.hpp"
 #include "io/csv.hpp"
-#include "model/cpa_engine.hpp"
 #include "model/textual_config.hpp"
 #include "obs/obs.hpp"
 
@@ -39,68 +35,23 @@ obs::Counter& g_watchdog_cancels = obs::registry().counter("batch.watchdog_cance
 obs::Counter& g_journal_skips = obs::registry().counter("batch.journal_skips");
 obs::Histogram& g_job_ms = obs::registry().histogram("batch.job_duration_ms");
 
-/// Everything a worker thread may touch after the scheduler abandons it.
-/// Workers hold shared_ptrs to this and to their Job, so a hard-abandoned
-/// (detached) thread can never reach freed scheduler state.
-struct Sync {
-  std::mutex mx;
-  std::condition_variable cv;
-};
-
-/// What one analysis attempt produced, written by the worker.
-struct Outcome {
-  bool ok = false;         ///< converged report, rows valid
-  bool degraded = false;
-  bool converged = false;
-  bool cancelled = false;
-  bool transient = false;  ///< retry may succeed with raised budgets
-  CancelReason cancel_reason = CancelReason::kNone;
-  long duration_ms = 0;
-  std::string message;
-  std::vector<std::string> rows;
-};
-
-struct Job {
-  enum Phase { kRunning, kFinished, kAbandoned };
-
+/// Per-dispatch payload carried through JobPool::Slot::context.  The
+/// outcome is written by the worker before it flips its slot to kFinished
+/// and read by the scheduler only after joining a finished worker, so no
+/// extra locking is needed; an abandoned worker's outcome is never read.
+struct AttemptCtx {
   std::size_t index = 0;
   int attempt = 1;
-  std::thread worker;
-  CancelToken token;
-  steady::time_point started;
-  bool soft_cancelled = false;
-  steady::time_point soft_cancel_at;
-  // Guarded by Sync::mx from here on.
-  Phase phase = kRunning;
-  Outcome outcome;
+  AttemptOutcome outcome;
 };
 
-/// Split a converged report into merged-CSV rows, reusing the single-run
-/// writer so batch rows are byte-identical to `hemcpa --csv` output.
-std::vector<std::string> report_rows(const std::string& config, const cpa::AnalysisReport& rep) {
-  std::ostringstream ss;
-  io::write_report_csv(ss, rep);
-  std::istringstream in(ss.str());
-  std::vector<std::string> rows;
-  std::string line;
-  std::getline(in, line);  // drop the per-run header
-  const std::string prefix = io::csv_field(config) + ",";
-  while (std::getline(in, line)) rows.push_back(prefix + line);
-  return rows;
-}
-
-[[nodiscard]] bool transient_code(ErrorCode code) noexcept {
-  return code == ErrorCode::kTimeBudget || code == ErrorCode::kIterationLimit ||
-         code == ErrorCode::kWindowLimit;
-}
-
-/// Run one analysis attempt end to end behind the exception firewall:
-/// whatever a config does — parse errors, overload in strict mode,
-/// ContractViolation from the model algebra, std::bad_alloc — comes back
-/// as an Outcome, never as an escaped exception.
-Outcome attempt_config(const std::string& path, const BatchOptions& opt, int attempt,
-                       CancelToken* token) {
-  Outcome out;
+/// Run one batch attempt: parse the config file, then hand the parsed
+/// system to the shared analysis firewall (analysis_attempt.hpp) with the
+/// budgets scaled for this attempt number.  Parse/read errors come back as
+/// non-transient failures, never as escaped exceptions.
+AttemptOutcome attempt_config(const std::string& path, const BatchOptions& opt, int attempt,
+                              const CancelToken* token) {
+  AttemptOutcome out;
   const auto t0 = steady::now();
   obs::Span span("batch", [&] { return "job:" + path; });
   span.arg("attempt", static_cast<long>(attempt));
@@ -110,45 +61,20 @@ Outcome attempt_config(const std::string& path, const BatchOptions& opt, int att
     // transient budget exhaustion is retried with more headroom.
     long scale = 1;
     for (int i = 1; i < attempt; ++i) scale *= opt.retry_budget_factor;
-    cpa::EngineOptions eopts;
-    eopts.strict = opt.strict || parsed.strict;
-    eopts.check_overload = parsed.check_overload;
-    eopts.jobs = opt.engine_jobs != 0 ? opt.engine_jobs : (parsed.jobs != 0 ? parsed.jobs : 1);
-    eopts.max_iterations = static_cast<int>(
+    AttemptOptions aopt;
+    aopt.strict = opt.strict;
+    aopt.engine_jobs = opt.engine_jobs;
+    aopt.max_iterations = static_cast<int>(
         std::min<long>(static_cast<long>(opt.max_iterations) * scale, 1'000'000));
-    if (opt.engine_budget_ms > 0) eopts.wall_clock_budget_ms = opt.engine_budget_ms * scale;
-    if (opt.fixpoint_max_iterations > 0)
-      eopts.fixpoint_limits.max_iterations = opt.fixpoint_max_iterations;
-    if (opt.fixpoint_max_window > 0) eopts.fixpoint_limits.max_window = opt.fixpoint_max_window;
-    eopts.cancel = token;
-
-    cpa::CpaEngine engine(parsed.system, eopts);
-    cpa::AnalysisReport report = engine.run();
-    out.converged = report.converged;
-    out.degraded = report.degraded();
-    if (report.converged) {
-      out.ok = true;
-      out.rows = report_rows(path, report);
-    } else {
-      // Graceful mode returned fallback bounds without a fixpoint — for a
-      // batch that is a failure, but one more global iterations may fix.
-      out.transient = true;
-      out.message = "no global fixpoint within " + std::to_string(eopts.max_iterations) +
-                    " iterations";
-    }
-  } catch (const AnalysisError& e) {
-    if (e.code() == ErrorCode::kCancelled) {
-      out.cancelled = true;
-      out.cancel_reason = token->reason();
-    } else {
-      out.transient = transient_code(e.code());
-    }
-    out.message = e.what();
-  } catch (const std::bad_alloc&) {
-    out.message = "out of memory (std::bad_alloc)";
+    if (opt.engine_budget_ms > 0) aopt.wall_budget_ms = opt.engine_budget_ms * scale;
+    aopt.fixpoint_max_iterations = opt.fixpoint_max_iterations;
+    aopt.fixpoint_max_window = opt.fixpoint_max_window;
+    out = run_analysis_attempt(parsed, path, aopt, token);
   } catch (const std::exception& e) {
-    out.message = e.what();  // parse errors, ContractViolation, ...
+    out.message = e.what();  // parse / read errors: non-transient failure
   }
+  // Wall clock of the full attempt, parse included (the firewall only
+  // times the engine).
   out.duration_ms = static_cast<long>(
       std::chrono::duration_cast<std::chrono::milliseconds>(steady::now() - t0).count());
   span.arg("outcome", out.ok          ? "done"
@@ -258,9 +184,18 @@ std::vector<std::string> BatchRunner::collect_configs(const std::string& dir_or_
     return configs;
   }
   std::ifstream in(dir_or_manifest);
-  if (!in)
-    throw std::invalid_argument("batch operand '" + dir_or_manifest +
-                                "' is neither a directory nor a readable manifest");
+  if (!in) {
+    // Distinguish "you typo'd the path" from "the file is there but cannot
+    // be opened" so the usage error (exit 3) tells the user what to fix.
+    std::error_code exists_ec;
+    if (!fs::exists(dir_or_manifest, exists_ec))
+      throw std::invalid_argument("batch operand '" + dir_or_manifest +
+                                  "' does not exist (expected a directory of .hemcpa configs "
+                                  "or a manifest file listing one config path per line)");
+    throw std::invalid_argument("batch manifest '" + dir_or_manifest +
+                                "' exists but cannot be opened for reading "
+                                "(check file permissions)");
+  }
   const fs::path base = fs::path(dir_or_manifest).parent_path();
   std::vector<std::string> configs;
   std::string line;
@@ -331,10 +266,8 @@ BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, st
     ready.emplace_back(i, 1);
   }
 
-  auto sync = std::make_shared<Sync>();
-  std::vector<std::shared_ptr<Job>> active;
   std::vector<std::pair<steady::time_point, std::pair<std::size_t, int>>> delayed;
-  int running_count = 0;
+  int in_flight = 0;
   bool interrupted = false;
   const int pool_width = std::max(1, options_.parallel_jobs);
   const int max_attempts = 1 + std::max(0, options_.max_retries);
@@ -356,50 +289,27 @@ BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, st
     journal.add(std::move(e));
   };
 
-  // Monitor-thread watchdog: soft-cancels a job at its wall-clock budget
-  // and hard-abandons it (detaching the worker) when the grace period
-  // passes without the cancel taking effect.
-  std::thread watchdog;
-  bool stop_watchdog = false;  // guarded by sync->mx
-  if (options_.job_budget_ms > 0) {
-    watchdog = std::thread([&, sync] {
-      std::unique_lock<std::mutex> lk(sync->mx);
-      while (!stop_watchdog) {
-        sync->cv.wait_for(lk, std::chrono::milliseconds(25));
-        const auto now = steady::now();
-        for (const std::shared_ptr<Job>& job : active) {
-          if (job->phase != Job::kRunning) continue;
-          if (!job->soft_cancelled &&
-              now - job->started >= std::chrono::milliseconds(options_.job_budget_ms)) {
-            job->token.cancel(CancelReason::kWatchdog);
-            job->soft_cancelled = true;
-            job->soft_cancel_at = now;
-            ++report.watchdog_cancels;
-            obs::bump(g_watchdog_cancels);
-            log_line("watchdog: soft-cancelled " + configs_[job->index] + " after " +
-                     std::to_string(options_.job_budget_ms) + " ms");
-          } else if (job->soft_cancelled && job->phase == Job::kRunning &&
-                     now - job->soft_cancel_at >= std::chrono::milliseconds(options_.grace_ms)) {
-            job->phase = Job::kAbandoned;
-            log_line("watchdog: abandoning unresponsive " + configs_[job->index] + " after " +
-                     std::to_string(options_.grace_ms) + " ms grace");
-            sync->cv.notify_all();
-          }
-        }
-      }
-    });
-  }
+  // The pool supplies the worker threads and the monitor-thread watchdog
+  // (soft-cancel at the wall-clock budget, hard-abandon once the grace
+  // period passes without the cancel taking effect); the retry queue, the
+  // journal, and the report stay here.  The pool's log callback counts
+  // watchdog soft-cancels into the obs registry so the counter keeps its
+  // fire-time semantics.
+  JobPool pool(pool_width, options_.grace_ms, [&](const std::string& line) {
+    if (line.rfind("watchdog: soft-cancelled", 0) == 0) obs::bump(g_watchdog_cancels);
+    log_line(line);
+  });
 
-  std::unique_lock<std::mutex> lk(sync->mx);
   while (true) {
     // Shutdown request: freeze the queue, cancel what is running, drain.
+    // No escalation — the drain waits for the cooperative cancel so jobs
+    // stay resumable (only a watchdog that already fired may still abandon).
     if (!interrupted && shutdown_flag != nullptr && *shutdown_flag != 0) {
       interrupted = true;
       ready.clear();
       delayed.clear();
-      for (const std::shared_ptr<Job>& job : active)
-        if (job->phase == Job::kRunning) job->token.cancel(CancelReason::kShutdown);
-      log_line("shutdown requested: draining " + std::to_string(running_count) +
+      pool.cancel_all(CancelReason::kShutdown, /*escalate=*/false);
+      log_line("shutdown requested: draining " + std::to_string(in_flight) +
                " in-flight job(s)");
     }
 
@@ -415,119 +325,101 @@ BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, st
     }
 
     // Dispatch up to the pool width.
-    while (!interrupted && running_count < pool_width && !ready.empty()) {
+    while (!interrupted && in_flight < pool_width && !ready.empty()) {
       const auto [index, attempt] = ready.front();
       ready.pop_front();
-      auto job = std::make_shared<Job>();
-      job->index = index;
-      job->attempt = attempt;
-      job->started = steady::now();
+      auto ctx = std::make_shared<AttemptCtx>();
+      ctx->index = index;
+      ctx->attempt = attempt;
       report.jobs[index].state = JobState::kRunning;
       obs::bump(g_jobs_run);
       // The worker owns copies/shared handles of everything it touches, so
       // a hard-abandoned worker can outlive this function safely.
       const std::string path = configs_[index];
       const BatchOptions opt = options_;
-      job->worker = std::thread([sync, job, path, opt, attempt] {
-        Outcome out = attempt_config(path, opt, attempt, &job->token);
-        std::lock_guard<std::mutex> guard(sync->mx);
-        if (job->phase == Job::kRunning) {
-          job->outcome = std::move(out);
-          job->phase = Job::kFinished;
-        }
-        sync->cv.notify_all();
-      });
-      active.push_back(std::move(job));
-      ++running_count;
+      pool.start(path, options_.job_budget_ms, ctx,
+                 [ctx, path, opt, attempt](const CancelToken& token) {
+                   ctx->outcome = attempt_config(path, opt, attempt, &token);
+                 });
+      ++in_flight;
     }
 
     // Reap finished and abandoned jobs.
-    for (auto it = active.begin(); it != active.end();) {
-      const std::shared_ptr<Job>& job = *it;
-      if (job->phase == Job::kRunning) {
-        ++it;
-        continue;
-      }
-      const std::size_t index = job->index;
+    for (const JobPool::Handle& slot : pool.wait_terminal(std::chrono::milliseconds(10))) {
+      const auto ctx = std::static_pointer_cast<AttemptCtx>(slot->context);
+      const std::size_t index = ctx->index;
       JobResult& j = report.jobs[index];
-      if (job->phase == Job::kAbandoned) {
-        job->worker.detach();
+      --in_flight;
+      if (slot->phase == JobPool::Slot::kAbandoned) {
         j.state = JobState::kAbandoned;
-        j.attempts = job->attempt;
+        j.attempts = ctx->attempt;
         j.duration_ms = static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
-                                              steady::now() - job->started)
+                                              steady::now() - slot->started)
                                               .count());
         j.message = "watchdog abandoned the job (cancel not honoured within grace period)";
         ++report.abandoned;
         obs::bump(g_jobs_abandoned);
         journal_terminal(j);
         log_line(configs_[index] + ": abandoned");
-      } else {
-        job->worker.join();
-        Outcome& out = job->outcome;
-        j.attempts = job->attempt;
-        j.duration_ms = out.duration_ms;
-        j.converged = out.converged;
-        j.degraded = out.degraded;
-        j.transient = out.transient;
-        j.message = out.message;
-        obs::observe(g_job_ms, out.duration_ms);
-        if (out.cancelled && out.cancel_reason == CancelReason::kShutdown) {
-          // Discarded, not journaled: --resume re-runs it from scratch so
-          // the merged report stays byte-identical to an uninterrupted run.
-          j.state = JobState::kQueued;
-          j.attempts = 0;
-          j.message = "interrupted before completion";
-          log_line(configs_[index] + ": interrupted, will re-run on --resume");
-        } else if (out.cancelled) {
-          j.state = JobState::kCancelled;
-          j.message = out.message + " [" + to_string(out.cancel_reason) + "]";
-          obs::bump(g_jobs_cancelled);
-          journal_terminal(j);
-          log_line(configs_[index] + ": cancelled (" +
-                   std::string(to_string(out.cancel_reason)) + ")");
-        } else if (out.ok) {
-          j.state = JobState::kDone;
-          j.rows = std::move(out.rows);
-          obs::bump(g_jobs_done);
-          journal_terminal(j);
-          log_line(configs_[index] + ": done in " + std::to_string(out.duration_ms) + " ms" +
-                   (out.degraded ? " (degraded)" : ""));
-        } else if (out.transient && job->attempt < max_attempts && !interrupted) {
-          const long backoff = options_.retry_backoff_ms * job->attempt;
-          delayed.emplace_back(steady::now() + std::chrono::milliseconds(backoff),
-                               std::make_pair(index, job->attempt + 1));
-          j.state = JobState::kQueued;
-          ++report.retries;
-          obs::bump(g_retries);
-          log_line(configs_[index] + ": transient failure (" + out.message + "), retry " +
-                   std::to_string(job->attempt + 1) + "/" + std::to_string(max_attempts) +
-                   " in " + std::to_string(backoff) + " ms");
-        } else if (out.transient && interrupted) {
-          // Would have been retried: leave it queued and unjournaled so a
-          // resumed batch repeats the full deterministic attempt sequence.
-          j.state = JobState::kQueued;
-          j.attempts = 0;
-          j.message = "interrupted before completion";
-          log_line(configs_[index] + ": interrupted during retry window, will re-run");
-        } else {
-          j.state = JobState::kFailed;
-          obs::bump(g_jobs_failed);
-          journal_terminal(j);
-          log_line(configs_[index] + ": failed (" + out.message + ")");
-        }
+        continue;
       }
-      --running_count;
-      it = active.erase(it);
+      AttemptOutcome& out = ctx->outcome;
+      j.attempts = ctx->attempt;
+      j.duration_ms = out.duration_ms;
+      j.converged = out.converged;
+      j.degraded = out.degraded;
+      j.transient = out.transient;
+      j.message = out.message;
+      obs::observe(g_job_ms, out.duration_ms);
+      if (out.cancelled && out.cancel_reason == CancelReason::kShutdown) {
+        // Discarded, not journaled: --resume re-runs it from scratch so
+        // the merged report stays byte-identical to an uninterrupted run.
+        j.state = JobState::kQueued;
+        j.attempts = 0;
+        j.message = "interrupted before completion";
+        log_line(configs_[index] + ": interrupted, will re-run on --resume");
+      } else if (out.cancelled) {
+        j.state = JobState::kCancelled;
+        j.message = out.message + " [" + to_string(out.cancel_reason) + "]";
+        obs::bump(g_jobs_cancelled);
+        journal_terminal(j);
+        log_line(configs_[index] + ": cancelled (" +
+                 std::string(to_string(out.cancel_reason)) + ")");
+      } else if (out.ok) {
+        j.state = JobState::kDone;
+        j.rows = std::move(out.rows);
+        obs::bump(g_jobs_done);
+        journal_terminal(j);
+        log_line(configs_[index] + ": done in " + std::to_string(out.duration_ms) + " ms" +
+                 (out.degraded ? " (degraded)" : ""));
+      } else if (out.transient && ctx->attempt < max_attempts && !interrupted) {
+        const long backoff = options_.retry_backoff_ms * ctx->attempt;
+        delayed.emplace_back(steady::now() + std::chrono::milliseconds(backoff),
+                             std::make_pair(index, ctx->attempt + 1));
+        j.state = JobState::kQueued;
+        ++report.retries;
+        obs::bump(g_retries);
+        log_line(configs_[index] + ": transient failure (" + out.message + "), retry " +
+                 std::to_string(ctx->attempt + 1) + "/" + std::to_string(max_attempts) +
+                 " in " + std::to_string(backoff) + " ms");
+      } else if (out.transient && interrupted) {
+        // Would have been retried: leave it queued and unjournaled so a
+        // resumed batch repeats the full deterministic attempt sequence.
+        j.state = JobState::kQueued;
+        j.attempts = 0;
+        j.message = "interrupted before completion";
+        log_line(configs_[index] + ": interrupted during retry window, will re-run");
+      } else {
+        j.state = JobState::kFailed;
+        obs::bump(g_jobs_failed);
+        journal_terminal(j);
+        log_line(configs_[index] + ": failed (" + out.message + ")");
+      }
     }
 
-    if (active.empty() && ready.empty() && delayed.empty()) break;
-    sync->cv.wait_for(lk, std::chrono::milliseconds(10));
+    if (in_flight == 0 && ready.empty() && delayed.empty()) break;
   }
-  stop_watchdog = true;
-  lk.unlock();
-  sync->cv.notify_all();
-  if (watchdog.joinable()) watchdog.join();
+  report.watchdog_cancels = pool.watchdog_cancels();
 
   report.interrupted = interrupted;
   return report;

@@ -27,9 +27,10 @@ namespace hem::exec {
 /// stay attributable.
 enum class CancelReason {
   kNone = 0,
-  kUser,      ///< explicit caller request
-  kWatchdog,  ///< per-job wall-clock budget enforced by a monitor thread
-  kShutdown,  ///< process is draining for SIGINT/SIGTERM
+  kUser,        ///< explicit caller request
+  kWatchdog,    ///< per-job wall-clock budget enforced by a monitor thread
+  kShutdown,    ///< process is draining for SIGINT/SIGTERM
+  kDisconnect,  ///< the client that submitted the job went away (daemon)
 };
 
 [[nodiscard]] constexpr const char* to_string(CancelReason r) noexcept {
@@ -42,6 +43,8 @@ enum class CancelReason {
       return "watchdog";
     case CancelReason::kShutdown:
       return "shutdown";
+    case CancelReason::kDisconnect:
+      return "disconnect";
   }
   return "none";
 }
@@ -63,8 +66,14 @@ class CancelToken {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// Reason of the first cancel, or kNone while the token is unfired.
+  /// Reads `cancelled_` (acquire) before `reason_`: the winning CAS on
+  /// `reason_` is sequenced before the release store of `cancelled_`, so any
+  /// thread that observes the token as cancelled also observes a non-kNone
+  /// reason — a reader can never see "cancelled, but for no reason".
   [[nodiscard]] CancelReason reason() const noexcept {
-    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+    if (!cancelled_.load(std::memory_order_acquire)) return CancelReason::kNone;
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
   }
 
   /// Re-arm for a fresh attempt.  Only safe once no worker polls the token

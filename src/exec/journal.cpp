@@ -5,11 +5,41 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace hem::exec {
 
 namespace {
 
 constexpr const char* kHeader = "hemcpa-journal v1";
+
+/// Flush a path's data (or, for a directory, its entries) to stable
+/// storage.  Crash durability only; a failed fsync is reported so callers
+/// can decide, but the write itself already succeeded.
+[[nodiscard]] bool sync_path(const std::string& path, bool directory) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  (void)directory;
+  return true;  // no fsync primitive on this platform; best effort
+#endif
+}
+
+/// Directory part of `path` for fsync-after-rename ("" -> ".").
+[[nodiscard]] std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
 
 [[noreturn]] void corrupt(const std::string& path, int line_no, const std::string& why) {
   throw std::runtime_error("corrupt journal" + (path.empty() ? "" : " '" + path + "'") +
@@ -100,6 +130,12 @@ const JournalEntry* Journal::find(const std::string& config_path,
   return nullptr;
 }
 
+const JournalEntry* Journal::find(std::uint64_t fingerprint) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
+    if (it->fingerprint == fingerprint) return &*it;
+  return nullptr;
+}
+
 std::string Journal::render() const {
   std::ostringstream out;
   out << kHeader << '\n';
@@ -172,12 +208,24 @@ void Journal::save() const {
     out.flush();
     if (!out) throw std::runtime_error("failed writing journal temp file '" + tmp + "'");
   }
+  // Durability before visibility: fsync the temp file so the rename can
+  // never install a journal whose bytes are still only in the page cache —
+  // a crash after rename-before-fsync could otherwise surface an empty or
+  // torn file under the final name.
+  if (!sync_path(tmp, /*directory=*/false)) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot fsync journal temp file '" + tmp + "'");
+  }
   // POSIX rename() atomically replaces the destination: readers see either
   // the old complete journal or the new one, never a torn file.
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("cannot atomically replace journal '" + path_ + "'");
   }
+  // Persist the rename itself: fsync the parent directory so the new
+  // directory entry survives a power failure.  Non-fatal if it fails (the
+  // data is safe; only the entry's durability window is weaker).
+  (void)sync_path(parent_dir(path_), /*directory=*/true);
 }
 
 }  // namespace hem::exec

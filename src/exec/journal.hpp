@@ -88,6 +88,11 @@ class Journal {
   [[nodiscard]] const JournalEntry* find(const std::string& config_path,
                                          std::uint64_t fingerprint) const;
 
+  /// Find by content fingerprint alone — the daemon's idempotency lookup,
+  /// where submissions arrive as socket payloads without a stable path.
+  /// Returns the most recent matching record, nullptr when absent.
+  [[nodiscard]] const JournalEntry* find(std::uint64_t fingerprint) const;
+
   /// Render the full journal text (exposed for tests).
   [[nodiscard]] std::string render() const;
 

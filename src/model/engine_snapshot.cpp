@@ -1,0 +1,95 @@
+#include "model/engine_snapshot.hpp"
+
+#include <sstream>
+#include <typeinfo>
+
+#include "core/leaky_bucket_model.hpp"
+#include "core/standard_event_model.hpp"
+
+namespace hem::cpa {
+
+const EngineSnapshot::TaskSnap* EngineSnapshot::find(const std::string& name) const {
+  for (const TaskSnap& t : tasks)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+std::string task_signature(const System& system, TaskId t) {
+  const TaskSpec& task = system.tasks().at(t);
+  const ResourceSpec& res = system.resources().at(task.resource);
+  std::ostringstream os;
+  os << task.name << '|' << res.name << ':' << static_cast<int>(res.policy) << ':'
+     << res.tdma_cycle << ':' << res.slot_length << "|p" << task.priority << "|c"
+     << task.cet.best << ':' << task.cet.worst << "|s" << task.slot << "|d" << task.deadline
+     << '|';
+  const ActivationSpec& spec = system.activation(t);
+  const auto name_of = [&](TaskId p) { return system.tasks().at(p).name; };
+  if (std::holds_alternative<ExternalActivation>(spec)) {
+    os << "ext";
+  } else if (const auto* by = std::get_if<TaskOutputActivation>(&spec)) {
+    os << "or(";
+    for (TaskId p : by->producers) os << name_of(p) << ',';
+    os << ')';
+  } else if (const auto* andj = std::get_if<AndActivation>(&spec)) {
+    os << "and@" << andj->period << '(';
+    for (TaskId p : andj->producers) os << name_of(p) << ',';
+    os << ')';
+  } else if (const auto* packed = std::get_if<PackedActivation>(&spec)) {
+    os << "pack" << (packed->timer ? "+timer" : "") << '(';
+    for (const PackedActivation::Input& in : packed->inputs) {
+      if (const auto* tid = std::get_if<TaskId>(&in.source))
+        os << name_of(*tid);
+      else
+        os << "<model>";
+      os << ':' << static_cast<int>(in.coupling) << ',';
+    }
+    os << ')';
+  } else if (const auto* up = std::get_if<UnpackedActivation>(&spec)) {
+    os << "unpack(" << name_of(up->frame_task) << ',' << up->index << ')';
+  } else {
+    os << "none";
+  }
+  return os.str();
+}
+
+bool same_external_model(const EventModel& a, const EventModel& b) {
+  if (&a == &b) return true;
+  if (typeid(a) != typeid(b)) return false;
+  // Whitelist of types whose describe() spells out every defining
+  // parameter exactly.  TraceModel's describe is lossy (event count plus
+  // endpoints) and OffsetTransactionModel's omits the offset values, so
+  // those — and anything else — never intern.
+  if (dynamic_cast<const StandardEventModel*>(&a) != nullptr ||
+      dynamic_cast<const LeakyBucketModel*>(&a) != nullptr)
+    return a.describe() == b.describe();
+  return false;
+}
+
+int intern_external_models(System& system, const EngineSnapshot& snapshot) {
+  int interned = 0;
+  const auto& tasks = system.tasks();
+  for (TaskId t = 0; t < tasks.size(); ++t) {
+    const EngineSnapshot::TaskSnap* snap = snapshot.find(tasks[t].name);
+    if (snap == nullptr) continue;
+    // Candidate replacement nodes of this task in the snapshot run.
+    std::vector<ModelPtr> pool;
+    if (snap->external) pool.push_back(snap->external);
+    for (const ModelPtr& m : snap->pack_sources)
+      if (m) pool.push_back(m);
+    if (snap->pack_timer) pool.push_back(snap->pack_timer);
+    if (pool.empty()) continue;
+    system.rewrite_external_models(t, [&](const ModelPtr& current) -> ModelPtr {
+      for (const ModelPtr& candidate : pool) {
+        if (candidate.get() == current.get()) return nullptr;  // already shared
+        if (same_external_model(*current, *candidate)) {
+          ++interned;
+          return candidate;
+        }
+      }
+      return nullptr;
+    });
+  }
+  return interned;
+}
+
+}  // namespace hem::cpa

@@ -75,6 +75,24 @@ void System::activate_unpacked(TaskId task, TaskId frame, std::size_t index) {
   activations_.at(task) = UnpackedActivation{frame, index};
 }
 
+void System::rewrite_external_models(TaskId task,
+                                     const std::function<ModelPtr(const ModelPtr&)>& fn) {
+  ActivationSpec& spec = activations_.at(task);
+  const auto swap_in = [&](ModelPtr& slot) {
+    if (!slot) return;
+    if (ModelPtr replacement = fn(slot)) slot = std::move(replacement);
+  };
+  if (auto* ext = std::get_if<ExternalActivation>(&spec)) {
+    swap_in(ext->model);
+    return;
+  }
+  if (auto* packed = std::get_if<PackedActivation>(&spec)) {
+    for (PackedActivation::Input& in : packed->inputs)
+      if (auto* m = std::get_if<ModelPtr>(&in.source)) swap_in(*m);
+    swap_in(packed->timer);
+  }
+}
+
 TaskId System::task_id(std::string_view name) const {
   for (TaskId i = 0; i < tasks_.size(); ++i)
     if (tasks_[i].name == name) return i;

@@ -12,6 +12,7 @@
 /// a bus task, and unpack edges extract the per-signal inner streams for
 /// the receiving tasks.
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <variant>
@@ -132,6 +133,18 @@ class System {
 
   /// Replace a task's priority (used by priority optimisation).
   void set_task_priority(TaskId task, int priority);
+
+  /// Visit every external event-model slot of `task`'s activation (the
+  /// ExternalActivation model, PackedActivation ModelPtr sources, and the
+  /// pack timer) and let `fn` substitute a replacement node (return nullptr
+  /// to keep the current one).  Used by warm-start interning
+  /// (model/engine_snapshot.hpp) to re-point structurally identical sources
+  /// at the cached run's immutable nodes, so the engine's pointer-based
+  /// dirty tracking recognises them as unchanged.  The replacement must
+  /// describe the same event stream; substituting a different stream is
+  /// undefined behaviour of the analysis, not of the program.
+  void rewrite_external_models(TaskId task,
+                               const std::function<ModelPtr(const ModelPtr&)>& fn);
 
   /// Structural validation: every task has an activation, references are in
   /// range, resources have the parameters their policy needs.

@@ -1,0 +1,128 @@
+#include "daemon/model_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exec/analysis_attempt.hpp"
+#include "model/textual_config.hpp"
+
+namespace hem::daemon {
+namespace {
+
+const char* kConfigA =
+    "resource CPU1 spp\n"
+    "source s1 periodic period=10\n"
+    "task A resource=CPU1 priority=1 cet=2\n"
+    "activate A from=s1\n";
+
+const char* kConfigB =
+    "resource CPU1 spp\n"
+    "source s1 periodic period=20\n"
+    "task B resource=CPU1 priority=1 cet=3\n"
+    "activate B from=s1\n";
+
+// kConfigA plus an independent second resource: shares task A's signature.
+const char* kConfigAPlus =
+    "resource CPU1 spp\n"
+    "resource CPU2 spp\n"
+    "source s1 periodic period=10\n"
+    "source s2 periodic period=50\n"
+    "task A resource=CPU1 priority=1 cet=2\n"
+    "task C resource=CPU2 priority=1 cet=4\n"
+    "activate A from=s1\n"
+    "activate C from=s2\n";
+
+cpa::ParsedSystem parse(const std::string& text) {
+  std::istringstream in(text);
+  return cpa::parse_system_config(in);
+}
+
+std::shared_ptr<const cpa::EngineSnapshot> snapshot_of(const std::string& text) {
+  cpa::ParsedSystem parsed = parse(text);
+  exec::AttemptOptions opt;
+  opt.make_snapshot = true;
+  const exec::AttemptOutcome out = exec::run_analysis_attempt(parsed, "cache-test", opt, nullptr);
+  EXPECT_TRUE(out.ok) << out.message;
+  EXPECT_TRUE(out.snapshot && out.snapshot->valid());
+  return out.snapshot;
+}
+
+TEST(WarmModelCacheTest, FindExactHitsAndMisses) {
+  WarmModelCache cache(4);
+  EXPECT_EQ(cache.find_exact(0x1111), nullptr);
+  cache.insert(0x1111, snapshot_of(kConfigA));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.find_exact(0x1111);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->valid());
+  EXPECT_EQ(cache.exact_hits(), 1);
+  EXPECT_EQ(cache.find_exact(0x2222), nullptr);
+}
+
+TEST(WarmModelCacheTest, InsertReplacesExistingFingerprint) {
+  WarmModelCache cache(4);
+  cache.insert(0x1111, snapshot_of(kConfigA));
+  const auto replacement = snapshot_of(kConfigB);
+  cache.insert(0x1111, replacement);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find_exact(0x1111), replacement);
+}
+
+TEST(WarmModelCacheTest, IgnoresInvalidSnapshots) {
+  WarmModelCache cache(4);
+  cache.insert(0x1111, nullptr);
+  cache.insert(0x2222, std::make_shared<cpa::EngineSnapshot>());  // empty = invalid
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(WarmModelCacheTest, BestBasePicksLargestSignatureOverlap) {
+  WarmModelCache cache(4);
+  const auto snap_a = snapshot_of(kConfigA);
+  const auto snap_b = snapshot_of(kConfigB);
+  cache.insert(0xAAAA, snap_a);
+  cache.insert(0xBBBB, snap_b);
+
+  // kConfigAPlus shares task A with snap_a and nothing with snap_b.
+  cpa::ParsedSystem variant = parse(kConfigAPlus);
+  EXPECT_EQ(cache.best_base(variant.system), snap_a);
+  EXPECT_EQ(cache.base_hits(), 1);
+}
+
+TEST(WarmModelCacheTest, BestBaseReturnsNullOnZeroOverlapAndCountsMiss) {
+  WarmModelCache cache(4);
+  cache.insert(0xAAAA, snapshot_of(kConfigA));
+  cpa::ParsedSystem unrelated = parse(kConfigB);
+  EXPECT_EQ(cache.best_base(unrelated.system), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.base_hits(), 0);
+}
+
+TEST(WarmModelCacheTest, EvictsLeastRecentlyUsed) {
+  WarmModelCache cache(2);
+  const auto snap_a = snapshot_of(kConfigA);
+  cache.insert(0xAAAA, snap_a);
+  cache.insert(0xBBBB, snapshot_of(kConfigB));
+  (void)cache.find_exact(0xAAAA);  // touch A so B is the LRU entry
+  cache.insert(0xCCCC, snapshot_of(kConfigAPlus));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.find_exact(0xAAAA), snap_a);   // survived
+  EXPECT_EQ(cache.find_exact(0xBBBB), nullptr);  // evicted
+}
+
+TEST(WarmModelCacheTest, EvictedSnapshotStaysUsableWhileHeld) {
+  // Eviction must never invalidate a snapshot a running job still reads.
+  WarmModelCache cache(1);
+  const auto held = snapshot_of(kConfigA);
+  cache.insert(0xAAAA, held);
+  cache.insert(0xBBBB, snapshot_of(kConfigB));  // evicts 0xAAAA
+  EXPECT_EQ(cache.find_exact(0xAAAA), nullptr);
+  ASSERT_TRUE(held->valid());
+  EXPECT_FALSE(held->tasks.empty());
+  EXPECT_EQ(held->tasks[0].name, "A");
+}
+
+}  // namespace
+}  // namespace hem::daemon

@@ -1,0 +1,199 @@
+#include "daemon/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#define HEM_TEST_POSIX 1
+#else
+#define HEM_TEST_POSIX 0
+#endif
+
+namespace hem::daemon {
+namespace {
+
+// ---- request line parsing -------------------------------------------------
+
+TEST(ProtocolTest, ParsesVerbAndKeyValues) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(parse_request_line("hemcpad1 submit bytes=42 client=ci budget_ms=500", req, error))
+      << error;
+  EXPECT_EQ(req.verb, "submit");
+  EXPECT_EQ(req.get("client"), "ci");
+  EXPECT_EQ(req.get_long("bytes"), 42);
+  EXPECT_EQ(req.get_long("budget_ms"), 500);
+  EXPECT_EQ(req.get_long("absent", 7), 7);
+  EXPECT_FALSE(req.has("absent"));
+}
+
+TEST(ProtocolTest, MalformedNumberReadsAsMinusOne) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(parse_request_line("hemcpad1 submit bytes=banana", req, error));
+  EXPECT_EQ(req.get_long("bytes"), -1);  // callers reject the request
+}
+
+TEST(ProtocolTest, RejectsWrongVersionToken) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parse_request_line("hemcpad2 ping", req, error));
+  EXPECT_FALSE(parse_request_line("ping", req, error));
+  EXPECT_FALSE(parse_request_line("", req, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ProtocolTest, RejectsMissingVerbAndBadTokens) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parse_request_line("hemcpad1", req, error));
+  EXPECT_FALSE(parse_request_line("hemcpad1 submit =value", req, error));
+  EXPECT_FALSE(parse_request_line("hemcpad1 submit noequals", req, error));
+}
+
+TEST(ProtocolTest, RejectsControlCharacters) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parse_request_line("hemcpad1 submit k=a\tb", req, error));
+  EXPECT_FALSE(parse_request_line(std::string("hemcpad1 ping\x01", 14), req, error));
+}
+
+TEST(ProtocolTest, RenderAndParseRoundTrip) {
+  const std::string line =
+      render_request_line("submit", {{"bytes", "9"}, {"client", "fleet-3"}, {"detach", "1"}});
+  ASSERT_FALSE(line.empty());
+  ASSERT_EQ(line.back(), '\n');
+  Request req;
+  std::string error;
+  ASSERT_TRUE(parse_request_line(line.substr(0, line.size() - 1), req, error)) << error;
+  EXPECT_EQ(req.verb, "submit");
+  EXPECT_EQ(req.get("client"), "fleet-3");
+  EXPECT_EQ(req.get_long("bytes"), 9);
+}
+
+TEST(ProtocolTest, RenderRejectsUntransportableValues) {
+  EXPECT_THROW((void)render_request_line("submit", {{"k", "has space"}}), std::invalid_argument);
+  EXPECT_THROW((void)render_request_line("submit", {{"k", "line\nbreak"}}), std::invalid_argument);
+  EXPECT_THROW((void)render_request_line("bad verb", {}), std::invalid_argument);
+}
+
+// ---- JSON emission / extraction -------------------------------------------
+
+TEST(ProtocolTest, JsonWriterEmitsFlatObject) {
+  JsonWriter w;
+  w.add("ok", true).add("id", 7L).add("state", "done").add_strings("rows", {"a,b", "c\"d"});
+  const std::string json = w.str();
+  EXPECT_EQ(json, "{\"ok\":true,\"id\":7,\"state\":\"done\",\"rows\":[\"a,b\",\"c\\\"d\"]}");
+}
+
+TEST(ProtocolTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(ProtocolTest, JsonFindExtractsScalars) {
+  const std::string json =
+      "{\"ok\":true,\"id\":7,\"state\":\"done\",\"message\":\"queue full (64 jobs)\"}";
+  EXPECT_EQ(json_find(json, "ok"), "true");
+  EXPECT_EQ(json_find(json, "id"), "7");
+  EXPECT_EQ(json_find(json, "state"), "done");
+  EXPECT_EQ(json_find(json, "message"), "queue full (64 jobs)");
+  EXPECT_EQ(json_find(json, "missing"), "");
+}
+
+TEST(ProtocolTest, JsonFindIgnoresKeyLookalikesInsideValues) {
+  // "state" appears inside the message string; the extractor must not bite.
+  const std::string json = "{\"message\":\"\\\"state\\\":bogus\",\"state\":\"queued\"}";
+  EXPECT_EQ(json_find(json, "state"), "queued");
+}
+
+TEST(ProtocolTest, JsonFindUnescapesStrings) {
+  const std::string json = "{\"message\":\"a\\\"b\\\\c\\nd\"}";
+  EXPECT_EQ(json_find(json, "message"), "a\"b\\c\nd");
+}
+
+TEST(ProtocolTest, JsonFindStringsExtractsArrays) {
+  const std::string json = "{\"ok\":true,\"rows\":[\"x,1\",\"y,2\"],\"id\":3}";
+  const auto rows = json_find_strings(json, "rows");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "x,1");
+  EXPECT_EQ(rows[1], "y,2");
+  EXPECT_TRUE(json_find_strings(json, "absent").empty());
+}
+
+// ---- socket I/O helpers ----------------------------------------------------
+
+#if HEM_TEST_POSIX
+
+class SocketPair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  void close_peer() {
+    ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(SocketPair, ReadLineStripsNewlineAndCr) {
+  ASSERT_EQ(write_all(fds_[1], "hello world\r\nnext\n", 1000), IoStatus::kOk);
+  LineReader reader(fds_[0]);
+  std::string line;
+  ASSERT_EQ(reader.read_line(line, 1000), IoStatus::kOk);
+  EXPECT_EQ(line, "hello world");
+  ASSERT_EQ(reader.read_line(line, 1000), IoStatus::kOk);
+  EXPECT_EQ(line, "next");
+  EXPECT_FALSE(reader.buffered());
+}
+
+TEST_F(SocketPair, ReadLineTimesOutOnSilentPeer) {
+  LineReader reader(fds_[0]);
+  std::string line;
+  EXPECT_EQ(reader.read_line(line, 50), IoStatus::kTimeout);
+}
+
+TEST_F(SocketPair, ReadLineReportsEofOnClose) {
+  close_peer();
+  LineReader reader(fds_[0]);
+  std::string line;
+  EXPECT_EQ(reader.read_line(line, 1000), IoStatus::kClosed);
+}
+
+TEST_F(SocketPair, OversizedLineIsAProtocolViolation) {
+  const std::string flood(kMaxLineBytes + 16, 'x');  // no newline anywhere
+  ASSERT_EQ(write_all(fds_[1], flood, 1000), IoStatus::kOk);
+  LineReader reader(fds_[0]);
+  std::string line;
+  EXPECT_EQ(reader.read_line(line, 1000), IoStatus::kOversize);
+}
+
+TEST_F(SocketPair, ReadExactDeliversPayloadAfterLine) {
+  ASSERT_EQ(write_all(fds_[1], "header\npayload!", 1000), IoStatus::kOk);
+  LineReader reader(fds_[0]);
+  std::string line, payload;
+  ASSERT_EQ(reader.read_line(line, 1000), IoStatus::kOk);
+  ASSERT_EQ(reader.read_exact(payload, 8, 1000), IoStatus::kOk);
+  EXPECT_EQ(payload, "payload!");
+}
+
+TEST_F(SocketPair, ReadExactTimesOutOnShortPayload) {
+  ASSERT_EQ(write_all(fds_[1], "only4", 1000), IoStatus::kOk);
+  LineReader reader(fds_[0]);
+  std::string payload;
+  EXPECT_EQ(reader.read_exact(payload, 64, 50), IoStatus::kTimeout);
+}
+
+#endif  // HEM_TEST_POSIX
+
+}  // namespace
+}  // namespace hem::daemon

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -198,6 +200,46 @@ TEST(BatchRunnerTest, TransientFailureExhaustsRetryBudget) {
   EXPECT_EQ(report.exit_code(), 5);
 }
 
+TEST(BatchRunnerTest, RetryBudgetFactorScalesEveryAttempt) {
+  // With factor 2 the iteration budgets run 3, 6, 12: the chain needs ~8
+  // global iterations, so attempt 1 and 2 stay transient and attempt 3
+  // converges.  A broken scaler (constant budget) would exhaust retries.
+  TempDir dir("batch_retry_scaling");
+  const auto chain = dir.write("chain.hemcpa", chain_config());
+  BatchOptions opt;
+  opt.max_iterations = 3;
+  opt.retry_budget_factor = 2;
+  opt.max_retries = 2;
+  opt.retry_backoff_ms = 1;
+  BatchRunner runner({chain}, opt);
+  const BatchReport report = runner.run();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].state, JobState::kDone);
+  EXPECT_EQ(report.jobs[0].attempts, 3);
+  EXPECT_TRUE(report.jobs[0].converged);
+  EXPECT_EQ(report.retries, 2);
+}
+
+TEST(BatchRunnerTest, CancelledJobIsNeverRetried) {
+  // Watchdog cancellation is terminal: the job was told to stop, so retry
+  // budget must not resurrect it even when retries remain.
+  TempDir dir("batch_cancel_no_retry");
+  const auto divergent = dir.write("divergent.hemcpa", kDivergentConfig);
+  BatchOptions opt;
+  opt.job_budget_ms = 300;
+  opt.max_retries = 3;  // plenty of retry budget that must stay unused
+  opt.retry_backoff_ms = 1;
+  opt.fixpoint_max_iterations = 8000000000LL;
+  opt.fixpoint_max_window = static_cast<Time>(8000000000000000000LL);
+  BatchRunner runner({divergent}, opt);
+  const BatchReport report = runner.run();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].state, JobState::kCancelled);
+  EXPECT_EQ(report.jobs[0].attempts, 1);
+  EXPECT_EQ(report.retries, 0);
+  EXPECT_EQ(report.exit_code(), 5);
+}
+
 TEST(BatchRunnerTest, ResumeSkipsJournaledJobs) {
   TempDir dir("batch_resume");
   const auto a = dir.write("a.hemcpa", kTinyConfig);
@@ -335,6 +377,38 @@ TEST(BatchRunnerTest, CollectConfigsRejectsBadOperands) {
   EXPECT_THROW((void)BatchRunner::collect_configs(dir.file("nope")), std::invalid_argument);
   EXPECT_THROW((void)BatchRunner::collect_configs(dir.path().string()),  // empty dir
                std::invalid_argument);
+}
+
+TEST(BatchRunnerTest, MissingOperandErrorNamesThePathAndExpectation) {
+  // `hemcpa --batch nope` exits 3 with this message: it must say what was
+  // expected, not just that an open failed.
+  TempDir dir("batch_collect_missing_msg");
+  try {
+    (void)BatchRunner::collect_configs(dir.file("nope"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(dir.file("nope")), std::string::npos) << msg;
+    EXPECT_NE(msg.find("does not exist"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("manifest"), std::string::npos) << msg;
+  }
+}
+
+TEST(BatchRunnerTest, UnreadableManifestErrorMentionsPermissions) {
+  TempDir dir("batch_collect_unreadable_msg");
+  const auto manifest = dir.write("jobs.txt", "a.hemcpa\n");
+  if (::geteuid() == 0) GTEST_SKIP() << "root ignores file permission bits";
+  fs::permissions(manifest, fs::perms::none);
+  try {
+    (void)BatchRunner::collect_configs(manifest);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(manifest), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cannot be opened"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("permissions"), std::string::npos) << msg;
+  }
+  fs::permissions(manifest, fs::perms::owner_all);
 }
 
 }  // namespace

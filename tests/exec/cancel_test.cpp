@@ -1,0 +1,112 @@
+#include "exec/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hem::exec {
+namespace {
+
+TEST(CancelTokenTest, StartsUnfired) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, CancelSetsFlagAndReason) {
+  CancelToken token;
+  token.cancel(CancelReason::kWatchdog);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kWatchdog);
+}
+
+TEST(CancelTokenTest, DoubleCancelKeepsFirstReason) {
+  // Escalation paths fire the same token twice (watchdog soft-cancel, then
+  // shutdown); attribution must stay with the original cause.
+  CancelToken token;
+  token.cancel(CancelReason::kWatchdog);
+  token.cancel(CancelReason::kShutdown);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kWatchdog);
+
+  token.cancel(CancelReason::kUser);
+  EXPECT_EQ(token.reason(), CancelReason::kWatchdog);
+}
+
+TEST(CancelTokenTest, ResetReArmsForAFreshAttempt) {
+  CancelToken token;
+  token.cancel(CancelReason::kUser);
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+
+  // A later cancel is again a first cancel.
+  token.cancel(CancelReason::kShutdown);
+  EXPECT_EQ(token.reason(), CancelReason::kShutdown);
+}
+
+TEST(CancelTokenTest, ReasonNeverNoneOnceCancelObserved) {
+  // Cross-thread ordering contract of reason(): any thread that observes
+  // cancelled() == true must also observe a non-kNone reason.  Hammer the
+  // window between the reason CAS and the cancelled store from a second
+  // thread; a single kNone observation after cancelled() fails the test.
+  constexpr int kRounds = 2000;
+  for (int round = 0; round < kRounds; ++round) {
+    CancelToken token;
+    std::atomic<bool> go{false};
+    std::atomic<bool> violated{false};
+
+    std::thread observer([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      while (!token.cancelled()) {
+      }
+      if (token.reason() == CancelReason::kNone) violated.store(true);
+    });
+
+    go.store(true, std::memory_order_release);
+    token.cancel(CancelReason::kDisconnect);
+    observer.join();
+    ASSERT_FALSE(violated.load()) << "observed cancelled with reason kNone in round " << round;
+    EXPECT_EQ(token.reason(), CancelReason::kDisconnect);
+  }
+}
+
+TEST(CancelTokenTest, ConcurrentCancelsAgreeOnOneReason) {
+  // Many racing cancels: exactly one reason wins and every reader agrees.
+  constexpr int kRounds = 500;
+  const std::vector<CancelReason> reasons = {
+      CancelReason::kUser, CancelReason::kWatchdog, CancelReason::kShutdown,
+      CancelReason::kDisconnect};
+  for (int round = 0; round < kRounds; ++round) {
+    CancelToken token;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(reasons.size());
+    for (CancelReason r : reasons) {
+      threads.emplace_back([&, r] {
+        ready.fetch_add(1);
+        while (ready.load() < static_cast<int>(reasons.size())) {
+        }
+        token.cancel(r);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const CancelReason winner = token.reason();
+    EXPECT_NE(winner, CancelReason::kNone);
+    EXPECT_EQ(token.reason(), winner);  // stable across reads
+  }
+}
+
+TEST(CancelTokenTest, ToStringCoversAllReasons) {
+  EXPECT_STREQ(to_string(CancelReason::kNone), "none");
+  EXPECT_STREQ(to_string(CancelReason::kUser), "user");
+  EXPECT_STREQ(to_string(CancelReason::kWatchdog), "watchdog");
+  EXPECT_STREQ(to_string(CancelReason::kShutdown), "shutdown");
+  EXPECT_STREQ(to_string(CancelReason::kDisconnect), "disconnect");
+}
+
+}  // namespace
+}  // namespace hem::exec

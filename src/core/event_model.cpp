@@ -8,59 +8,56 @@ namespace hem {
 
 namespace {
 
-constexpr Time kUnset = -1;
-
-/// Upper bound on the dense delta caches; very large n (from galloping
-/// searches) are computed without being stored.
-constexpr std::size_t kMaxCache = std::size_t{1} << 20;
-
 // Observability probes for the per-node delta caches (aggregated across all
-// nodes; recorded only while obs::counting() is on).
-obs::Counter& g_cache_hit = obs::registry().counter("model.delta_cache.hit");
-obs::Counter& g_cache_miss = obs::registry().counter("model.delta_cache.miss");
-obs::Counter& g_cache_contention = obs::registry().counter("model.delta_cache.lock_contention");
+// nodes; recorded only while obs::counting() is on).  publish_race counts a
+// store that lost to a concurrent identical computation — the lock-free
+// analogue of the old lock_contention probe; segment_alloc counts memo
+// arena (segment) materialisations.
+obs::Counter& g_cache_hit = obs::registry().counter("engine.cache.hit");
+obs::Counter& g_cache_miss = obs::registry().counter("engine.cache.miss");
+obs::Counter& g_cache_race = obs::registry().counter("engine.cache.publish_race");
+obs::Counter& g_cache_alloc = obs::registry().counter("engine.cache.segment_alloc");
+
+/// Publish a computed sample, tracking duplicate-computation races and
+/// fresh segment allocations.
+void publish(AtomicCurveCache& cache, std::size_t idx, Time v) {
+  if (!obs::counting()) {
+    (void)cache.store(idx, v);
+    return;
+  }
+  const long allocs_before = cache.allocations();
+  if (cache.store(idx, v) == AtomicCurveCache::StoreResult::kDuplicate) g_cache_race.add(1);
+  const long fresh = cache.allocations() - allocs_before;
+  if (fresh > 0) g_cache_alloc.add(fresh);
+}
 
 }  // namespace
 
 Time EventModel::delta_min(Count n) const {
   if (n < 2) return 0;
   const auto idx = static_cast<std::size_t>(n - 2);
-  {
-    std::unique_lock<std::mutex> lock(cache_mu_, std::defer_lock);
-    obs::lock_counted(lock, g_cache_contention);
-    if (idx < dmin_cache_.size() && dmin_cache_[idx] != kUnset) {
-      obs::bump(g_cache_hit);
-      return dmin_cache_[idx];
-    }
+  const Time cached = dmin_cache_.load(idx);
+  if (cached != AtomicCurveCache::kUnset) {
+    obs::bump(g_cache_hit);
+    return cached;
   }
   obs::bump(g_cache_miss);
-  const Time v = delta_min_raw(n);  // evaluated unlocked; see cache_mu_ note
-  std::unique_lock<std::mutex> lock(cache_mu_, std::defer_lock);
-  obs::lock_counted(lock, g_cache_contention);
-  if (idx >= dmin_cache_.size() && idx < kMaxCache)
-    dmin_cache_.resize(std::max(dmin_cache_.size() * 2, idx + 1), kUnset);
-  if (idx < dmin_cache_.size()) dmin_cache_[idx] = v;
+  const Time v = delta_min_raw(n);  // evaluated before publication; models are pure
+  publish(dmin_cache_, idx, v);
   return v;
 }
 
 Time EventModel::delta_plus(Count n) const {
   if (n < 2) return 0;
   const auto idx = static_cast<std::size_t>(n - 2);
-  {
-    std::unique_lock<std::mutex> lock(cache_mu_, std::defer_lock);
-    obs::lock_counted(lock, g_cache_contention);
-    if (idx < dplus_cache_.size() && dplus_cache_[idx] != kUnset) {
-      obs::bump(g_cache_hit);
-      return dplus_cache_[idx];
-    }
+  const Time cached = dplus_cache_.load(idx);
+  if (cached != AtomicCurveCache::kUnset) {
+    obs::bump(g_cache_hit);
+    return cached;
   }
   obs::bump(g_cache_miss);
-  const Time v = delta_plus_raw(n);  // evaluated unlocked; see cache_mu_ note
-  std::unique_lock<std::mutex> lock(cache_mu_, std::defer_lock);
-  obs::lock_counted(lock, g_cache_contention);
-  if (idx >= dplus_cache_.size() && idx < kMaxCache)
-    dplus_cache_.resize(std::max(dplus_cache_.size() * 2, idx + 1), kUnset);
-  if (idx < dplus_cache_.size()) dplus_cache_[idx] = v;
+  const Time v = delta_plus_raw(n);  // evaluated before publication; models are pure
+  publish(dplus_cache_, idx, v);
   return v;
 }
 

@@ -30,10 +30,10 @@
 /// memoised per node, so deeply composed models remain cheap to query.
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/curve_cache.hpp"
 #include "core/time.hpp"
 
 namespace hem {
@@ -100,16 +100,14 @@ class EventModel {
 
  private:
   // Dense memoisation of delta values, indexed by n - 2.  Activation DAGs
-  // are shared between resources that the CPA engine may analyse on
-  // concurrent worker threads, so cache lookup and growth are guarded by a
-  // per-node mutex.  The raw evaluation itself runs outside the lock:
-  // models are pure, so two threads racing on the same uncached n compute
-  // the same value and the duplicated work is benign, while holding the
-  // lock across the (recursive) evaluation would serialise whole sub-DAGs
-  // and risk self-deadlock on models that re-query themselves.
-  mutable std::mutex cache_mu_;
-  mutable std::vector<Time> dmin_cache_;
-  mutable std::vector<Time> dplus_cache_;
+  // are shared between resources that the CPA engine analyses on concurrent
+  // worker threads; the memo tables are lock-free (see curve_cache.hpp) so
+  // concurrent queries of one shared node never serialise behind each
+  // other.  Raw evaluation happens before publication: models are pure, so
+  // two threads racing on the same uncached n compute the same value and
+  // the duplicated work is benign.
+  mutable AtomicCurveCache dmin_cache_;
+  mutable AtomicCurveCache dplus_cache_;
 };
 
 /// Search ceiling for the generic eta+ inversion.  A well-formed stream's

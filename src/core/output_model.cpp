@@ -11,9 +11,12 @@ namespace hem {
 namespace {
 
 // Probes for the materialised delta'- recursion shared across threads.
-obs::Counter& g_rec_hit = obs::registry().counter("model.output_rec.hit");
-obs::Counter& g_rec_extend = obs::registry().counter("model.output_rec.extend");
-obs::Counter& g_rec_contention = obs::registry().counter("model.output_rec.lock_contention");
+// publish_race counts prefix extensions another thread (redundantly,
+// identically) computed first — the lock-free analogue of the old
+// lock_contention probe.
+obs::Counter& g_rec_hit = obs::registry().counter("engine.cache.rec_hit");
+obs::Counter& g_rec_extend = obs::registry().counter("engine.cache.rec_extend");
+obs::Counter& g_rec_race = obs::registry().counter("engine.cache.rec_publish_race");
 
 }  // namespace
 
@@ -27,21 +30,40 @@ OutputModel::OutputModel(ModelPtr input, Time r_minus, Time r_plus)
 }
 
 Time OutputModel::delta_min_raw(Count n) const {
-  std::unique_lock<std::mutex> lock(rec_mu_, std::defer_lock);
-  obs::lock_counted(lock, g_rec_contention);
-  if (static_cast<Count>(rec_dmin_.size()) + 1 >= n)
+  const auto need = static_cast<std::size_t>(n - 2);  // base class guarantees n >= 2
+  const std::size_t have = rec_len_.load(std::memory_order_acquire);
+  if (have > need) {
+    // Slots below the published prefix length are complete: the release
+    // CAS below pairs with this acquire load.
     obs::bump(g_rec_hit);
-  else
-    obs::bump(g_rec_extend);
-  const Time spread = r_plus_ - r_minus_;
-  // Extend the materialised recursion up to n.
-  while (static_cast<Count>(rec_dmin_.size()) + 1 < n) {
-    const Count m = static_cast<Count>(rec_dmin_.size()) + 2;  // next n to compute
-    const Time prev = rec_dmin_.empty() ? 0 : rec_dmin_.back();  // delta'-(m - 1)
-    const Time shifted = std::max<Time>(0, sat_sub(input_->delta_min(m), spread));
-    rec_dmin_.push_back(std::max(shifted, sat_add(prev, r_minus_)));
+    return rec_.load(need);
   }
-  return rec_dmin_[static_cast<std::size_t>(n - 2)];
+  obs::bump(g_rec_extend);
+
+  // Extend the recursion in a private arena: `prev` rides in a register,
+  // the input sub-DAG is queried with no lock held, and concurrent
+  // extensions of the same range compute identical values (the model is
+  // pure), so the racing slot stores are benign.
+  const Time spread = r_plus_ - r_minus_;
+  Time prev = have == 0 ? 0 : rec_.load(have - 1);  // delta'-(have + 1)
+  for (std::size_t i = have; i <= need; ++i) {
+    const auto m = static_cast<Count>(i) + 2;  // the n this slot holds
+    const Time shifted = std::max<Time>(0, sat_sub(input_->delta_min(m), spread));
+    prev = std::max(shifted, sat_add(prev, r_minus_));
+    (void)rec_.store(i, prev);
+  }
+
+  // Publish the extended prefix with a CAS-max, capped at the table's
+  // capacity (an unstored slot must never fall below the published length).
+  const std::size_t len = std::min(need + 1, AtomicCurveCache::kCapacity);
+  std::size_t cur = rec_len_.load(std::memory_order_relaxed);
+  while (cur < len) {
+    if (rec_len_.compare_exchange_weak(cur, len, std::memory_order_release,
+                                       std::memory_order_relaxed))
+      break;
+    obs::bump(g_rec_race);
+  }
+  return prev;
 }
 
 Time OutputModel::delta_plus_raw(Count n) const {

@@ -15,10 +15,10 @@
 /// that consecutive completions of one task on one resource are separated by
 /// at least the minimum response time.
 
-#include <mutex>
+#include <atomic>
 #include <string>
-#include <vector>
 
+#include "core/curve_cache.hpp"
 #include "core/event_model.hpp"
 
 namespace hem {
@@ -46,14 +46,19 @@ class OutputModel final : public EventModel {
   Time r_minus_;
   Time r_plus_;
 
-  // The recursive delta'- is materialised incrementally: rec_dmin_[i] holds
-  // delta'-(i + 2) for every prefix value computed so far.  Output nodes are
-  // shared across concurrently analysed resources, so extension of the
-  // prefix is serialised by a mutex (the input sub-DAG is queried while the
-  // lock is held; the activation graph is acyclic, so the per-node locks
-  // are acquired in topological order and cannot deadlock).
-  mutable std::mutex rec_mu_;
-  mutable std::vector<Time> rec_dmin_;
+  // The recursive delta'- is materialised incrementally: rec_[i] holds
+  // delta'-(i + 2) for every prefix value computed so far, and rec_len_ is
+  // the length of the published contiguous prefix.  Output nodes are shared
+  // across concurrently analysed resources; instead of serialising prefix
+  // extension behind a mutex (which would also serialise the input sub-DAG
+  // queries it performs), each thread extends the recursion in a private
+  // evaluation arena — the running `prev` value lives in its registers and
+  // the input sub-DAG is queried with no lock held — and then publishes the
+  // extension: slot stores into the lock-free table (races write identical
+  // values; models are pure) followed by a CAS-max of rec_len_.  Readers
+  // below rec_len_ (acquire) are guaranteed a complete prefix.
+  mutable AtomicCurveCache rec_;
+  mutable std::atomic<std::size_t> rec_len_{0};
 };
 
 }  // namespace hem

@@ -1,0 +1,73 @@
+#include "exec/work_pool.hpp"
+
+#include <algorithm>
+
+namespace hem::exec {
+
+WorkPool::WorkPool(int threads) {
+  const int helpers = std::max(0, threads - 1);
+  helpers_.reserve(static_cast<std::size_t>(helpers));
+  for (int h = 0; h < helpers; ++h)
+    helpers_.emplace_back([this, h] { helper_loop(static_cast<std::size_t>(h)); });
+}
+
+WorkPool::~WorkPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+void WorkPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Auto-cap: engage at most n - 1 helpers, so a batch never pays wake-up
+  // and hand-shake costs for workers that could not possibly get an item.
+  const std::size_t engaged = std::min(helpers_.size(), n - 1);
+  if (engaged == 0) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    n_ = n;
+    engaged_ = engaged;
+    active_ = engaged;
+    next_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  // The caller steals alongside the helpers.
+  for (std::size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;) fn(i);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkPool::helper_loop(std::size_t rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    bool engaged = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      engaged = rank < engaged_;
+      fn = fn_;
+      n = n_;
+    }
+    if (!engaged) continue;  // surplus worker for this batch; wait for the next
+    for (std::size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;) (*fn)(i);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hem::exec

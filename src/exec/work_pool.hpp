@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file work_pool.hpp
+/// Persistent barrier-style worker pool for data-parallel index loops.
+///
+/// The CPA engine fans the independent work items of one global iteration
+/// (per-task local analyses across all dirty resources) onto worker
+/// threads.  Spawning threads per iteration is exactly what made `--jobs`
+/// a pessimisation on small systems (thread creation costs more than the
+/// work); this pool spawns its helpers ONCE and parks them on a condition
+/// variable between batches, so dispatching a batch costs two
+/// notify/wait cycles instead of N thread spawns.
+///
+/// Scheduling is work-stealing over a shared atomic index: items are
+/// claimed in ascending order, whichever thread is free takes the next
+/// one.  The caller's thread participates in every batch (a pool of
+/// `threads` serves batches with `threads - 1` helpers plus the caller),
+/// and each batch engages at most `n - 1` helpers so surplus workers never
+/// contend for tiny batches.
+///
+/// Determinism contract: the pool guarantees nothing about WHICH thread
+/// runs an item, only that every index in [0, n) runs exactly once and
+/// that all items completed when run() returns.  Callers that need
+/// deterministic output must write results to disjoint per-index slots and
+/// reduce after run() returns — exactly what the engine does.
+///
+/// `fn` must not throw: an exception would unwind a helper thread and
+/// terminate the process.  Wrap fallible work in an exception firewall
+/// (capture into a per-index std::exception_ptr slot and rethrow after the
+/// batch, in index order, for deterministic error reporting).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hem::exec {
+
+class WorkPool {
+ public:
+  /// A pool serving batches with up to `threads` concurrent workers
+  /// (`threads - 1` spawned helpers plus the calling thread).  `threads`
+  /// values below 2 create no helpers; run() then degrades to a plain
+  /// serial loop.
+  explicit WorkPool(int threads);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  /// Invoke `fn(i)` for every i in [0, n), distributing the items over the
+  /// caller plus the pool's helpers; returns when all n items completed.
+  /// Not reentrant and not thread-safe: one batch at a time, dispatched
+  /// from one thread.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Workers a batch can use at most (helpers + the calling thread).
+  [[nodiscard]] int threads() const noexcept { return static_cast<int>(helpers_.size()) + 1; }
+
+ private:
+  void helper_loop(std::size_t rank);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // Batch state, guarded by mu_ (helpers read it after observing a new
+  // epoch under the lock).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t engaged_ = 0;  ///< helpers participating in the current batch
+  std::size_t active_ = 0;   ///< engaged helpers that have not finished yet
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::atomic<std::size_t> next_{0};  ///< shared steal index of the current batch
+  std::vector<std::thread> helpers_;
+};
+
+}  // namespace hem::exec

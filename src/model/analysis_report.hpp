@@ -47,8 +47,12 @@ struct TaskResult {
 /// analyses whose inputs are unchanged and reuses event-model DAG nodes
 /// (keeping their memoisation caches warm) across global iterations; these
 /// counters quantify how much work that saved (see docs/performance.md).
-/// The counters are deterministic: they depend only on the system and the
-/// engine options, never on the number of worker threads.
+/// The work counters are deterministic: they depend only on the system and
+/// the engine options, never on the number of worker threads.  The
+/// `cache_*`/`rec_extends` block is the exception — it mirrors the
+/// process-wide lock-free model-cache probes (`engine.cache.*`), which are
+/// only collected while obs counting is enabled and whose race counters
+/// legitimately vary with thread interleaving.
 struct EngineStats {
   long local_analyses_run = 0;      ///< resource-level local analyses executed
   long local_analyses_skipped = 0;  ///< clean resources that reused prior results
@@ -56,6 +60,14 @@ struct EngineStats {
   long models_rebuilt = 0;          ///< activation/output nodes newly constructed
   long warm_seeded = 0;             ///< tasks pre-seeded from an EngineSnapshot
   int jobs = 1;                     ///< worker threads used by the run
+
+  // engine.cache.* deltas over this run (zero unless obs::counting() was on
+  // for the duration; best-effort when other engines run in-process).
+  long cache_hits = 0;            ///< delta-curve samples served from a memo slot
+  long cache_misses = 0;          ///< samples computed fresh (and then published)
+  long cache_publish_races = 0;   ///< two workers computed the same sample
+  long cache_segment_allocs = 0;  ///< lazy memo-segment allocations
+  long rec_extends = 0;           ///< OutputModel recursion-prefix extensions
 
   /// Fraction of resource-iteration slots served from the previous
   /// iteration's results instead of a fresh local analysis.
@@ -68,6 +80,13 @@ struct EngineStats {
   [[nodiscard]] double node_reuse_rate() const noexcept {
     const long total = models_reused + models_rebuilt;
     return total == 0 ? 0.0 : static_cast<double>(models_reused) / total;
+  }
+
+  /// Fraction of delta-curve queries served from the lock-free memo
+  /// (0 when obs counting was disabled and nothing was recorded).
+  [[nodiscard]] double curve_cache_hit_rate() const noexcept {
+    const long total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
   }
 };
 

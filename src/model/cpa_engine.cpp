@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <exception>
+#include <memory>
 #include <thread>
+#include <utility>
 
 #include "core/combinators.hpp"
 #include "core/errors.hpp"
 #include "core/output_model.hpp"
 #include "core/sem_fit.hpp"
+#include "exec/work_pool.hpp"
 #include "model/engine_snapshot.hpp"
 #include "hierarchical/inner_update.hpp"
 #include "obs/obs.hpp"
@@ -70,6 +74,17 @@ obs::Counter& g_eng_rate_hit = obs::registry().counter("engine.rate_memo.hit");
 obs::Counter& g_eng_rate_miss = obs::registry().counter("engine.rate_memo.miss");
 obs::Counter& g_eng_warm_seeded = obs::registry().counter("engine.warm_seeded");
 
+// The lock-free model caches publish into these process-wide probes (see
+// core/event_model.cpp and core/output_model.cpp); run() snapshot-diffs
+// them into EngineStats.  Best-effort: only populated while obs counting is
+// enabled, and polluted by other engines running concurrently in-process.
+obs::Counter& g_cache_hit = obs::registry().counter("engine.cache.hit");
+obs::Counter& g_cache_miss = obs::registry().counter("engine.cache.miss");
+obs::Counter& g_cache_race = obs::registry().counter("engine.cache.publish_race");
+obs::Counter& g_cache_alloc = obs::registry().counter("engine.cache.segment_alloc");
+obs::Counter& g_cache_rec_race = obs::registry().counter("engine.cache.rec_publish_race");
+obs::Counter& g_cache_rec_extend = obs::registry().counter("engine.cache.rec_extend");
+
 }  // namespace
 
 CpaEngine::CpaEngine(const System& system, EngineOptions options)
@@ -80,6 +95,8 @@ CpaEngine::CpaEngine(const System& system, EngineOptions options)
   changed_.assign(system_.tasks().size(), 1);
   if (options_.warm != nullptr && options_.incremental) seed_from_warm();
 }
+
+CpaEngine::~CpaEngine() = default;
 
 void CpaEngine::seed_from_warm() {
   const EngineSnapshot& snap = *options_.warm;
@@ -399,99 +416,63 @@ void CpaEngine::apply_resource_fallback(ResourceId r, const std::vector<TaskId>&
   }
 }
 
-void CpaEngine::analyze_one_resource(ResourceId r, const std::vector<TaskId>& ids) {
+CpaEngine::LocalAnalyzeFn CpaEngine::make_local_analysis(ResourceId r,
+                                                         const std::vector<TaskId>& ids) const {
   const auto& tasks = system_.tasks();
   const ResourceSpec& res = system_.resources()[r];
-
-  // Stamp the activation versions this analysis consumed: the resource
-  // stays clean until one of them is replaced.
-  const auto mark_analyzed = [&] {
-    for (TaskId t : ids) state_[t].analyzed_act = state_[t].act_flat.get();
-  };
-
-  if (!options_.strict && resource_overloaded_[r]) {
-    apply_resource_fallback(r, ids, TaskStatus::kOverloaded, DiagCode::kResourceOverload,
-                            "resource '" + res.name +
-                                "' overloaded; unbounded fallback WCRT substituted");
-    mark_analyzed();
-    return;
-  }
-
-  const auto record = [&](const std::vector<sched::ResponseResult>& results) {
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      TaskState& st = state_[ids[i]];
-      st.analyzed = true;
-      st.bcrt = results[i].bcrt;
-      st.wcrt = results[i].wcrt;
-      st.q_max = results[i].activations;
-      st.backlog = results[i].backlog;
-      st.busy = results[i].busy_period;
-    }
-  };
 
   const auto params_for = [&](TaskId t) {
     return sched::TaskParams{tasks[t].name, tasks[t].priority, tasks[t].cet,
                              state_[t].act_flat};
   };
 
-  const auto run_local = [&] {
-    switch (res.policy) {
-      case Policy::kSppPreemptive: {
-        std::vector<sched::TaskParams> params;
-        for (TaskId t : ids) params.push_back(params_for(t));
-        record(sched::SppAnalysis(std::move(params), limits_).analyze_all());
-        break;
-      }
-      case Policy::kSpnpCan: {
-        std::vector<sched::TaskParams> params;
-        for (TaskId t : ids) params.push_back(params_for(t));
-        record(sched::CanBusAnalysis(std::move(params), limits_).analyze_all());
-        break;
-      }
-      case Policy::kRoundRobin: {
-        std::vector<sched::RoundRobinTask> params;
-        for (TaskId t : ids)
-          params.push_back(sched::RoundRobinTask{params_for(t), tasks[t].slot});
-        record(sched::RoundRobinAnalysis(std::move(params), limits_).analyze_all());
-        break;
-      }
-      case Policy::kTdma: {
-        std::vector<sched::TdmaTask> params;
-        for (TaskId t : ids) params.push_back(sched::TdmaTask{params_for(t), tasks[t].slot});
-        record(sched::TdmaAnalysis(std::move(params), res.tdma_cycle, limits_).analyze_all());
-        break;
-      }
-      case Policy::kFlexRayStatic: {
-        std::vector<sched::FlexRayFrame> params;
-        for (TaskId t : ids) params.push_back(sched::FlexRayFrame{params_for(t)});
-        record(sched::FlexRayStaticAnalysis(std::move(params), res.tdma_cycle,
-                                            res.slot_length, limits_)
-                   .analyze_all());
-        break;
-      }
-      case Policy::kEdf: {
-        std::vector<sched::EdfTask> params;
-        for (TaskId t : ids)
-          params.push_back(sched::EdfTask{params_for(t), tasks[t].deadline});
-        record(sched::EdfAnalysis(std::move(params), limits_).analyze_all());
-        break;
-      }
+  // The analysis object owns copies of the task parameters (shared_ptr
+  // activation nodes included) and is immutable after construction, so the
+  // returned closure can be invoked for different slots from different
+  // threads.
+  switch (res.policy) {
+    case Policy::kSppPreemptive: {
+      std::vector<sched::TaskParams> params;
+      for (TaskId t : ids) params.push_back(params_for(t));
+      auto a = std::make_shared<const sched::SppAnalysis>(std::move(params), limits_);
+      return [a](std::size_t i) { return a->analyze(i); };
     }
-  };
-
-  if (options_.strict) {
-    run_local();
-    mark_analyzed();
-    return;
+    case Policy::kSpnpCan: {
+      std::vector<sched::TaskParams> params;
+      for (TaskId t : ids) params.push_back(params_for(t));
+      auto a = std::make_shared<const sched::CanBusAnalysis>(std::move(params), limits_);
+      return [a](std::size_t i) { return a->analyze(i); };
+    }
+    case Policy::kRoundRobin: {
+      std::vector<sched::RoundRobinTask> params;
+      for (TaskId t : ids)
+        params.push_back(sched::RoundRobinTask{params_for(t), tasks[t].slot});
+      auto a = std::make_shared<const sched::RoundRobinAnalysis>(std::move(params), limits_);
+      return [a](std::size_t i) { return a->analyze(i); };
+    }
+    case Policy::kTdma: {
+      std::vector<sched::TdmaTask> params;
+      for (TaskId t : ids) params.push_back(sched::TdmaTask{params_for(t), tasks[t].slot});
+      auto a =
+          std::make_shared<const sched::TdmaAnalysis>(std::move(params), res.tdma_cycle, limits_);
+      return [a](std::size_t i) { return a->analyze(i); };
+    }
+    case Policy::kFlexRayStatic: {
+      std::vector<sched::FlexRayFrame> params;
+      for (TaskId t : ids) params.push_back(sched::FlexRayFrame{params_for(t)});
+      auto a = std::make_shared<const sched::FlexRayStaticAnalysis>(
+          std::move(params), res.tdma_cycle, res.slot_length, limits_);
+      return [a](std::size_t i) { return a->analyze(i); };
+    }
+    case Policy::kEdf: {
+      std::vector<sched::EdfTask> params;
+      for (TaskId t : ids)
+        params.push_back(sched::EdfTask{params_for(t), tasks[t].deadline});
+      auto a = std::make_shared<const sched::EdfAnalysis>(std::move(params), limits_);
+      return [a](std::size_t i) { return a->analyze(i); };
+    }
   }
-  try {
-    run_local();
-  } catch (const AnalysisError& e) {
-    // Cancellation is a request to stop, not a failure to degrade around.
-    if (e.code() == ErrorCode::kCancelled) throw;
-    apply_resource_fallback(r, ids, status_for(e.code()), diag_for(e.code()), e.what());
-  }
-  mark_analyzed();
+  return {};
 }
 
 void CpaEngine::analyze_resources() {
@@ -545,43 +526,138 @@ void CpaEngine::analyze_resources() {
     }
   }
 
-  // Run the dirty analyses, serially or on a small worker pool.  Each
-  // analysis writes only to its own resource's task slots; shared upstream
-  // event-model nodes are safe to query concurrently (their memoisation is
-  // mutex-guarded).  Failures are captured per resource and, in strict
-  // mode, rethrown for the lowest-numbered resource - exactly the failure
-  // the serial engine would have thrown first.
-  std::vector<std::exception_ptr> errors(dirty.size());
-  const auto work = [&](std::size_t i) {
-    obs::Span span("engine", [&] { return "local:" + system_.resources()[dirty[i]].name; });
-    span.arg("cause", causes[i]);
+  // Flatten the dirty resources into per-TASK work units (one busy-window
+  // fixpoint each) so a single wide resource parallelises just as well as
+  // many narrow ones.  Each unit writes only its own disjoint result/error
+  // slot; shared upstream event-model nodes are safe to query concurrently
+  // (lock-free memoisation, see core/curve_cache.hpp).  The reduction below
+  // runs serially in resource/task order, so recorded results, diagnostics,
+  // and which error wins are bit-identical for every job count.
+  struct ResourceWork {
+    ResourceId r = 0;
+    const std::vector<TaskId>* ids = nullptr;
+    const char* cause = "";
+    LocalAnalyzeFn analyze_one;  ///< empty: overload pre-check fallback, no units
+    std::vector<sched::ResponseResult> results;
+    std::vector<std::exception_ptr> errors;
+    /// Lowest task slot that failed so far (racy CAS-min).  A unit only
+    /// skips when a LOWER slot of its own resource already failed — the
+    /// same units the serial early-stop path would skip — so the winning
+    /// (lowest-index) error is identical for every job count.
+    std::atomic<std::size_t> first_fail{static_cast<std::size_t>(-1)};
+  };
+  std::deque<ResourceWork> work;
+  std::vector<std::pair<ResourceWork*, std::size_t>> units;  ///< (resource, task slot)
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const ResourceId r = dirty[i];
+    work.emplace_back();
+    ResourceWork& w = work.back();
+    w.r = r;
+    w.ids = &ids[r];
+    w.cause = causes[i];
+    if (!options_.strict && resource_overloaded_[r]) continue;  // handled in the reduction
+    w.analyze_one = make_local_analysis(r, ids[r]);
+    w.results.resize(ids[r].size());
+    w.errors.resize(ids[r].size());
+    for (std::size_t q = 0; q < ids[r].size(); ++q) units.emplace_back(&w, q);
+  }
+
+  const auto run_unit = [&](std::size_t u) {
+    ResourceWork& w = *units[u].first;
+    const std::size_t q = units[u].second;
+    if (q > w.first_fail.load(std::memory_order_relaxed)) return;
+    obs::Span span("engine", [&] { return "local:" + system_.resources()[w.r].name; });
+    span.arg("cause", w.cause);
     span.arg("iteration", static_cast<long>(current_iteration_));
-    span.arg("tasks", static_cast<long>(ids[dirty[i]].size()));
+    span.arg("task", system_.tasks()[(*w.ids)[q]].name);
     try {
-      analyze_one_resource(dirty[i], ids[dirty[i]]);
+      w.results[q] = w.analyze_one(q);
     } catch (...) {
-      errors[i] = std::current_exception();
+      w.errors[q] = std::current_exception();
+      std::size_t cur = w.first_fail.load(std::memory_order_relaxed);
+      while (q < cur &&
+             !w.first_fail.compare_exchange_weak(cur, q, std::memory_order_relaxed)) {
+      }
     }
   };
 
   const int jobs = effective_jobs();
-  if (jobs <= 1 || dirty.size() <= 1) {
-    for (std::size_t i = 0; i < dirty.size(); ++i) work(i);
+  if (jobs <= 1 || units.size() <= 1) {
+    // Serial early-stop: once a resource fails, its remaining (higher-slot)
+    // units are skipped by the first_fail guard inside run_unit.
+    for (std::size_t u = 0; u < units.size(); ++u) run_unit(u);
   } else {
-    std::atomic<std::size_t> next{0};
-    const std::size_t workers = std::min(static_cast<std::size_t>(jobs), dirty.size());
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i; (i = next.fetch_add(1)) < dirty.size();) work(i);
-      });
+    if (!pool_) {
+      // Worker auto-cap: more threads than work units can never help, and
+      // more threads than hardware cores only adds contention for this
+      // pure-CPU workload — `--jobs 8` on a small system or a small machine
+      // must never run slower than `--jobs 1`.  (stats_.jobs still reports
+      // the requested value.)
+      auto cap = std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                                       std::max<std::size_t>(system_.tasks().size(), 1));
+      const unsigned hw = std::thread::hardware_concurrency();
+      if (hw > 0) cap = std::min<std::size_t>(cap, hw);
+      pool_ = std::make_unique<exec::WorkPool>(static_cast<int>(cap));
     }
-    for (std::thread& th : pool) th.join();
+    pool_->run(units.size(), run_unit);
   }
 
-  for (std::exception_ptr& e : errors)
-    if (e) std::rethrow_exception(e);
+  // Deterministic reduction in resource order.  State mutation (recording
+  // results, fallback bounds, analyzed-stamps) is all serial from here on.
+  const auto mark_analyzed = [&](const std::vector<TaskId>& rids) {
+    for (TaskId t : rids) state_[t].analyzed_act = state_[t].act_flat.get();
+  };
+  std::exception_ptr first_strict_error;
+  for (ResourceWork& w : work) {
+    if (!w.analyze_one) {
+      // Overload pre-check tripped (graceful mode): no local analysis ran.
+      obs::Span span("engine", [&] { return "local:" + system_.resources()[w.r].name; });
+      span.arg("cause", w.cause);
+      span.arg("iteration", static_cast<long>(current_iteration_));
+      apply_resource_fallback(w.r, *w.ids, TaskStatus::kOverloaded, DiagCode::kResourceOverload,
+                              "resource '" + system_.resources()[w.r].name +
+                                  "' overloaded; unbounded fallback WCRT substituted");
+      mark_analyzed(*w.ids);
+      continue;
+    }
+    std::exception_ptr err;
+    for (const std::exception_ptr& e : w.errors) {
+      if (e) {
+        err = e;
+        break;
+      }
+    }
+    if (!err) {
+      for (std::size_t q = 0; q < w.ids->size(); ++q) {
+        TaskState& st = state_[(*w.ids)[q]];
+        st.analyzed = true;
+        st.bcrt = w.results[q].bcrt;
+        st.wcrt = w.results[q].wcrt;
+        st.q_max = w.results[q].activations;
+        st.backlog = w.results[q].backlog;
+        st.busy = w.results[q].busy_period;
+      }
+      mark_analyzed(*w.ids);
+      continue;
+    }
+    if (options_.strict) {
+      // Keep only the lowest-numbered resource's failure - exactly the one
+      // the serial engine would have thrown first.
+      if (!first_strict_error) first_strict_error = err;
+      continue;
+    }
+    try {
+      std::rethrow_exception(err);
+    } catch (const AnalysisError& e) {
+      // Cancellation is a request to stop, not a failure to degrade around.
+      if (e.code() == ErrorCode::kCancelled) throw;
+      apply_resource_fallback(w.r, *w.ids, status_for(e.code()), diag_for(e.code()), e.what());
+      mark_analyzed(*w.ids);
+    }
+    // Non-AnalysisError exceptions (e.g. invalid parameter sets) escape the
+    // catch above and propagate, as they always did.
+  }
+  if (first_strict_error) std::rethrow_exception(first_strict_error);
 }
 
 void CpaEngine::compute_outputs() {
@@ -825,6 +901,14 @@ AnalysisReport CpaEngine::run() {
   stats_.warm_seeded = warm_seeded_;
   last_converged_ = false;  // until this run proves otherwise
 
+  // Baselines for the engine.cache.* snapshot-diff published at the end of
+  // the run (all zero deltas when obs counting is off).
+  const long cache_hit0 = g_cache_hit.value();
+  const long cache_miss0 = g_cache_miss.value();
+  const long cache_race0 = g_cache_race.value() + g_cache_rec_race.value();
+  const long cache_alloc0 = g_cache_alloc.value();
+  const long rec_extend0 = g_cache_rec_extend.value();
+
   int iter = 0;
   bool converged = false;
   bool budget_hit = false;
@@ -908,6 +992,13 @@ AnalysisReport CpaEngine::run() {
   // Publish the run's work counters into the shared registry (see the
   // g_eng_* declarations above); EngineStats stays the authoritative,
   // per-run view inside the report.
+  stats_.cache_hits = g_cache_hit.value() - cache_hit0;
+  stats_.cache_misses = g_cache_miss.value() - cache_miss0;
+  stats_.cache_publish_races = g_cache_race.value() + g_cache_rec_race.value() - cache_race0;
+  stats_.cache_segment_allocs = g_cache_alloc.value() - cache_alloc0;
+  stats_.rec_extends = g_cache_rec_extend.value() - rec_extend0;
+  report.stats = stats_;
+
   g_eng_analyses_run.add(stats_.local_analyses_run);
   g_eng_analyses_skipped.add(stats_.local_analyses_skipped);
   g_eng_models_reused.add(stats_.models_reused);

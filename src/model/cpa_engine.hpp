@@ -25,12 +25,14 @@
 ///     (keeping its warm delta-curve memoisation) when all inputs are
 ///     pointer-identical, instead of reconstructing OrModel/OutputModel/
 ///     pack nodes every round.
-///   * Worker pool - the local analyses of the dirty resources of one
-///     iteration are independent and run on `EngineOptions::jobs` threads.
-///     Results, diagnostics, and their order are bit-identical for every
-///     job count (the dirty set is computed serially, analysis results are
-///     written to disjoint per-resource slots, and diagnostics are emitted
-///     in task/resource order after the pool joins).
+///   * Worker pool - each iteration flattens the dirty resources into
+///     per-TASK work units (one busy-window analysis each) and fans them
+///     onto a persistent work-stealing pool of `EngineOptions::jobs`
+///     threads, so even a single wide resource parallelises.  Results,
+///     diagnostics, and their order are bit-identical for every job count:
+///     units write disjoint per-index slots, and the reduction (recording
+///     results, emitting diagnostics, picking which error wins) happens
+///     serially in resource/task order after the batch completes.
 ///
 /// Failure handling comes in two modes:
 ///   * graceful (default): a failing local analysis (overload, busy-window
@@ -45,12 +47,18 @@
 ///     resource is rethrown, matching the serial engine.
 
 #include <chrono>
+#include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "model/analysis_report.hpp"
 #include "model/diagnostics.hpp"
 #include "model/system.hpp"
+
+namespace hem::exec {
+class WorkPool;
+}
 
 namespace hem::cpa {
 
@@ -102,6 +110,7 @@ struct EngineOptions {
 class CpaEngine {
  public:
   explicit CpaEngine(const System& system, EngineOptions options = {});
+  ~CpaEngine();  // out-of-line: WorkPool is incomplete here
 
   /// Run the global iteration.  In graceful mode (default) always returns a
   /// report; per-task statuses and `report.diagnostics` describe any
@@ -157,7 +166,15 @@ class CpaEngine {
   void resolve_activations();
   void check_resource_load();
   void analyze_resources();
-  void analyze_one_resource(ResourceId r, const std::vector<TaskId>& ids);
+
+  /// Analyse-one-task closure for a resource's local analysis: calling it
+  /// with task slot i (index into `ids`) returns that task's
+  /// ResponseResult.  The underlying policy analysis object is shared and
+  /// immutable after construction, so different slots may be evaluated
+  /// concurrently from different threads.
+  using LocalAnalyzeFn = std::function<sched::ResponseResult(std::size_t)>;
+  [[nodiscard]] LocalAnalyzeFn make_local_analysis(ResourceId r,
+                                                   const std::vector<TaskId>& ids) const;
   void compute_outputs();
 
   /// Compare this iteration's per-task state (analysed flag, response
@@ -187,6 +204,12 @@ class CpaEngine {
   std::vector<char> changed_;  ///< per-task: iteration N differs from N-1
   bool have_prev_ = false;     ///< at least one full iteration completed
   EngineStats stats_;
+  /// Persistent worker pool for the per-task local-analysis units; created
+  /// lazily on the first parallel batch (effective_jobs() > 1) and reused
+  /// across global iterations so `--jobs` never pays per-iteration thread
+  /// spawns.  Thread count is auto-capped to the system's task count — the
+  /// maximum number of work units any batch can carry.
+  std::unique_ptr<exec::WorkPool> pool_;
   int current_iteration_ = 0;
   long warm_seeded_ = 0;        ///< tasks seeded from EngineOptions::warm
   bool last_converged_ = false; ///< last run() reached the global fixpoint

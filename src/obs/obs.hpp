@@ -31,7 +31,7 @@
 ///
 /// Instrumented code declares probes like:
 ///
-///   obs::Counter& hits = obs::registry().counter("model.delta_cache.hit");
+///   obs::Counter& hits = obs::registry().counter("engine.cache.hit");
 ///   ...
 ///   obs::bump(hits);                                   // hot path
 ///   obs::Span span("engine", [&] { return "local:" + name; });

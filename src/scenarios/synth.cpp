@@ -1,0 +1,149 @@
+#include "scenarios/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/standard_event_model.hpp"
+
+namespace hem::scenarios {
+
+namespace {
+
+/// Integer draw in [0, n) from the exactly-specified mt19937_64 stream.
+/// Modulo bias is irrelevant here (n is tiny against 2^64) and the result
+/// is identical on every platform.
+std::uint64_t draw(std::mt19937_64& rng, std::uint64_t n) { return rng() % n; }
+
+/// Uniform double in [0, 1) with 53 significant bits.
+double draw01(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Classic UUniFast: split total utilisation `u` uniformly over `m` tasks.
+std::vector<double> uunifast(std::mt19937_64& rng, std::size_t m, double u) {
+  std::vector<double> shares(m, u);
+  double sum = u;
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    const double next =
+        sum * std::pow(draw01(rng), 1.0 / static_cast<double>(m - 1 - i));
+    shares[i] = sum - next;
+    sum = next;
+  }
+  if (m > 0) shares[m - 1] = sum;
+  return shares;
+}
+
+/// Log-ish-uniform period from an all-integer decade ladder:
+/// min_period * 10^d * f with f in [1, 9], clamped to [min, max].
+Time draw_period(std::mt19937_64& rng, Time min_period, Time max_period) {
+  int decades = 0;
+  for (Time p = min_period; p * 10 <= max_period; p *= 10) ++decades;
+  Time scale = min_period;
+  for (std::uint64_t d = draw(rng, static_cast<std::uint64_t>(decades) + 1); d > 0; --d)
+    scale *= 10;
+  const Time factor = 1 + static_cast<Time>(draw(rng, 9));
+  return std::clamp(sat_mul(scale, factor), min_period, max_period);
+}
+
+}  // namespace
+
+cpa::System build_synth_system(const SynthParams& params) {
+  if (params.resources < 1) throw std::invalid_argument("synth: resources must be >= 1");
+  if (params.tasks < params.resources)
+    throw std::invalid_argument("synth: tasks must be >= resources");
+  if (!(params.utilization > 0.0) || !(params.utilization < 1.0))
+    throw std::invalid_argument("synth: utilization must be in (0, 1)");
+  if (params.min_period < 1 || params.max_period < params.min_period)
+    throw std::invalid_argument("synth: need 1 <= min_period <= max_period");
+
+  const auto n_res = static_cast<std::size_t>(params.resources);
+  const auto n_tasks = static_cast<std::size_t>(params.tasks);
+  const auto layers = static_cast<std::size_t>(
+      std::clamp(params.layers, 1, params.resources));
+  std::mt19937_64 rng(params.seed);
+  cpa::System sys;
+
+  // Resources: contiguous layer blocks, every fourth one a CAN bus.
+  std::vector<std::size_t> layer_of(n_res);
+  for (std::size_t r = 0; r < n_res; ++r) {
+    layer_of[r] = r * layers / n_res;
+    cpa::ResourceSpec spec;
+    spec.policy = r % 4 == 3 ? cpa::Policy::kSpnpCan : cpa::Policy::kSppPreemptive;
+    spec.name = (spec.policy == cpa::Policy::kSpnpCan ? "bus" : "cpu") + std::to_string(r) +
+                "_l" + std::to_string(layer_of[r]);
+    sys.add_resource(std::move(spec));
+  }
+
+  // Tasks: near-even split, remainder to the lowest-numbered resources, so
+  // every resource carries at least one task.
+  std::vector<std::vector<cpa::TaskId>> on_resource(n_res);
+  std::vector<std::vector<cpa::TaskId>> on_layer(layers);
+  std::vector<Time> eff_period(n_tasks, 0);  ///< period the CET is sized against
+  for (std::size_t r = 0; r < n_res; ++r) {
+    const std::size_t count = n_tasks / n_res + (r < n_tasks % n_res ? 1 : 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      cpa::TaskSpec spec;
+      spec.resource = r;
+      spec.priority = static_cast<int>(i);  // unique within the resource
+      spec.name = "t" + std::to_string(r) + "_" + std::to_string(i);
+      const cpa::TaskId t = sys.add_task(std::move(spec));
+      on_resource[r].push_back(t);
+      on_layer[layer_of[r]].push_back(t);
+    }
+  }
+
+  // Activations: externals on layer 0 (and as the fallback everywhere);
+  // deeper layers chain onto previous-layer outputs with ~50% probability.
+  const auto activate_external = [&](cpa::TaskId t) {
+    const Time period = draw_period(rng, params.min_period, params.max_period);
+    const Time jitter = static_cast<Time>(draw(rng, static_cast<std::uint64_t>(period / 2) + 1));
+    eff_period[t] = period;
+    sys.activate_external(t, StandardEventModel::periodic_with_jitter(period, jitter));
+  };
+  for (std::size_t r = 0; r < n_res; ++r) {
+    const std::size_t layer = layer_of[r];
+    for (cpa::TaskId t : on_resource[r]) {
+      const std::vector<cpa::TaskId>* pool = layer > 0 ? &on_layer[layer - 1] : nullptr;
+      if (pool == nullptr || pool->empty() || draw(rng, 2) == 0) {
+        activate_external(t);
+        continue;
+      }
+      const cpa::TaskId p1 = (*pool)[draw(rng, pool->size())];
+      // Occasionally OR-combine two upstream streams (event-rate adds up).
+      if (pool->size() > 1 && draw(rng, 4) == 0) {
+        cpa::TaskId p2 = (*pool)[draw(rng, pool->size())];
+        if (p2 != p1) {
+          const Time pa = eff_period[p1];
+          const Time pb = eff_period[p2];
+          eff_period[t] = std::max<Time>(1, pa * pb / (pa + pb));
+          sys.activate_by(t, {p1, p2});
+          continue;
+        }
+      }
+      eff_period[t] = eff_period[p1];
+      sys.activate_by(t, {p1});
+    }
+  }
+
+  // Execution times: UUniFast utilisation shares within each resource,
+  // scaled by the task's effective activation period.
+  for (std::size_t r = 0; r < n_res; ++r) {
+    const std::vector<double> shares =
+        uunifast(rng, on_resource[r].size(), params.utilization);
+    for (std::size_t i = 0; i < on_resource[r].size(); ++i) {
+      const cpa::TaskId t = on_resource[r][i];
+      const Time wcet = std::max<Time>(
+          1, static_cast<Time>(shares[i] * static_cast<double>(eff_period[t])));
+      const Time bcet = std::max<Time>(1, wcet / 2);
+      sys.set_task_cet(t, sched::ExecutionTime{bcet, wcet});
+    }
+  }
+
+  return sys;
+}
+
+}  // namespace hem::scenarios

@@ -11,6 +11,7 @@
 #include "io/csv.hpp"
 #include "model/cpa_engine.hpp"
 #include "scenarios/paper_system.hpp"
+#include "scenarios/synth.hpp"
 
 namespace hem::cpa {
 namespace {
@@ -148,6 +149,48 @@ TEST(EngineParallelTest, StrictModeThrowsIdenticallyAcrossJobCounts) {
     }
   }
   EXPECT_EQ(serial_what, parallel_what);
+}
+
+// A single resource with many tasks used to be a worst case for the
+// per-RESOURCE worker pool (exactly one work item, zero parallelism and
+// pure thread-spawn overhead).  With per-task units it must both
+// parallelise and stay bit-identical.
+TEST(EngineParallelTest, SingleResourceManyTasksIdenticalAcrossJobCounts) {
+  System sys;
+  const ResourceId cpu = sys.add_resource({"CPU", Policy::kSppPreemptive});
+  for (int i = 0; i < 48; ++i) {
+    TaskSpec spec;
+    spec.name = "T" + std::to_string(i);
+    spec.resource = cpu;
+    spec.priority = i;
+    spec.cet = sched::ExecutionTime(1 + i % 2, 3 + i % 5);
+    const TaskId t = sys.add_task(std::move(spec));
+    sys.activate_external(t, StandardEventModel::periodic_with_jitter(400 + 13 * i, 7 * (i % 4)));
+  }
+  const auto serial = run_with(sys, 1);
+  ASSERT_TRUE(serial.converged);
+  for (const int jobs : {2, 8}) {
+    const auto parallel = run_with(sys, jobs);
+    EXPECT_EQ(fingerprint(serial), fingerprint(parallel)) << "jobs=" << jobs;
+  }
+}
+
+// Wide synthesised system (gateway chains, CAN buses, UUniFast load):
+// reports must be bit-identical for every job count, including job counts
+// far above the hardware's core count.
+TEST(EngineParallelTest, WideSynthSystemIdenticalAcrossJobCounts) {
+  scenarios::SynthParams params;
+  params.resources = 40;
+  params.tasks = 240;
+  params.seed = 7;
+  const auto sys = scenarios::build_synth_system(params);
+  const auto serial = run_with(sys, 1);
+  ASSERT_TRUE(serial.converged);
+  for (const int jobs : {3, 16}) {
+    const auto parallel = run_with(sys, jobs);
+    EXPECT_EQ(fingerprint(serial), fingerprint(parallel)) << "jobs=" << jobs;
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+  }
 }
 
 }  // namespace

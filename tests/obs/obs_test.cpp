@@ -413,8 +413,8 @@ TEST_F(ObsTest, EngineEmitsResourceSpansAndCacheCounters) {
   EXPECT_TRUE(saw_converged);
   EXPECT_FALSE(local_cause.empty()) << "local-analysis spans must carry their dirty cause";
 
-  EXPECT_GT(registry().counter("model.delta_cache.hit").value() +
-                registry().counter("model.delta_cache.miss").value(),
+  EXPECT_GT(registry().counter("engine.cache.hit").value() +
+                registry().counter("engine.cache.miss").value(),
             0)
       << "delta-cache probes should fire during the analysis";
   EXPECT_GT(registry().counter("sched.busy_window.fixpoint_steps").value(), 0);

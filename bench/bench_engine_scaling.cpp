@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/standard_event_model.hpp"
 #include "model/cpa_engine.hpp"
 #include "model/system.hpp"
@@ -173,9 +174,11 @@ bool parse_int_list(const std::string& text, std::vector<long>& out) {
   return !out.empty();
 }
 
+/// Render this bench's section of the results file (merged into the shared
+/// BENCH_engine.json under "engine_scaling" — see bench_json.hpp).
 void write_json(std::ostream& os, const std::vector<Run>& runs, bool quick) {
   const unsigned hw = std::thread::hardware_concurrency();
-  os << "{\n  \"benchmark\": \"engine_scaling\",\n  \"quick\": " << (quick ? "true" : "false")
+  os << "{\n  \"quick\": " << (quick ? "true" : "false")
      << ",\n  \"hardware_threads\": " << hw << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& r = runs[i];
@@ -192,7 +195,7 @@ void write_json(std::ostream& os, const std::vector<Run>& runs, bool quick) {
        << ",\n     \"speedup_vs_jobs1\": " << r.speedup_vs_jobs1 << "}"
        << (i + 1 < runs.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]\n}";
 }
 
 }  // namespace
@@ -305,13 +308,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ofstream out(out_path);
-  if (!out) {
+  std::ostringstream body;
+  write_json(body, runs, quick);
+  if (!hem::bench::merge_json_section(out_path, "engine_scaling", body.str())) {
     std::cerr << "error: cannot write '" << out_path << "'\n";
     return 2;
   }
-  write_json(out, runs, quick);
-  std::cout << "wrote " << out_path << " (" << runs.size() << " runs)\n";
+  std::cout << "wrote " << out_path << " (section engine_scaling, " << runs.size()
+            << " runs)\n";
 
   if (!trace_path.empty()) {
     std::ofstream trace_file(trace_path);

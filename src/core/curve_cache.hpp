@@ -81,9 +81,19 @@ class AtomicCurveCache {
   /// index (the memoised function is pure); kDuplicate reports that another
   /// thread won the race with the same value.
   StoreResult store(std::size_t idx, Time value) noexcept {
+    bool allocated = false;
+    return store(idx, value, allocated);
+  }
+
+  /// As above, and set `allocated` iff THIS call materialised the backing
+  /// segment.  Per-call precise — unlike diffing `allocations()` around the
+  /// call, which can observe (and misattribute) a concurrent caller's
+  /// allocation on the same shared cache.
+  StoreResult store(std::size_t idx, Time value, bool& allocated) noexcept {
+    allocated = false;
     if (idx >= kCapacity) return StoreResult::kOverflow;
     const Pos p = locate(idx);
-    std::atomic<Time>* seg = segment(p.seg);
+    std::atomic<Time>* seg = segment(p.seg, allocated);
     const Time prev = seg[p.off].exchange(value, std::memory_order_relaxed);
     return prev == kUnset ? StoreResult::kStored : StoreResult::kDuplicate;
   }
@@ -110,8 +120,9 @@ class AtomicCurveCache {
     return Pos{s, idx - kSeg0 * ((std::size_t{1} << s) - 1)};
   }
 
-  /// Get segment `s`, allocating and publishing it if absent.
-  [[nodiscard]] std::atomic<Time>* segment(std::size_t s) noexcept {
+  /// Get segment `s`, allocating and publishing it if absent; `allocated`
+  /// is set iff this call's candidate won the publication race.
+  [[nodiscard]] std::atomic<Time>* segment(std::size_t s, bool& allocated) noexcept {
     std::atomic<Time>* seg = segs_[s].load(std::memory_order_acquire);
     if (seg != nullptr) return seg;
     const std::size_t size = kSeg0 << s;
@@ -123,6 +134,7 @@ class AtomicCurveCache {
     if (segs_[s].compare_exchange_strong(expected, fresh, std::memory_order_release,
                                          std::memory_order_acquire)) {
       allocations_.fetch_add(1, std::memory_order_relaxed);
+      allocated = true;
       return fresh;
     }
     delete[] fresh;  // another thread published first

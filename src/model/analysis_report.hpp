@@ -58,16 +58,23 @@ struct EngineStats {
   long local_analyses_skipped = 0;  ///< clean resources that reused prior results
   long models_reused = 0;           ///< activation/output nodes reused across iterations
   long models_rebuilt = 0;          ///< activation/output nodes newly constructed
+  long models_compiled = 0;         ///< nodes lowered to the flat compiled form
   long warm_seeded = 0;             ///< tasks pre-seeded from an EngineSnapshot
   int jobs = 1;                     ///< worker threads used by the run
 
   // engine.cache.* deltas over this run (zero unless obs::counting() was on
   // for the duration; best-effort when other engines run in-process).
+  // The delta-memo and OutputModel-recursion race counters are reported
+  // separately: they instrument different structures (per-sample slot
+  // exchanges vs prefix-length CAS retries), and lumping the recursion
+  // races into `cache_publish_races` — as earlier revisions did —
+  // attributed OutputModel arena traffic to the curve caches.
   long cache_hits = 0;            ///< delta-curve samples served from a memo slot
   long cache_misses = 0;          ///< samples computed fresh (and then published)
-  long cache_publish_races = 0;   ///< two workers computed the same sample
+  long cache_publish_races = 0;   ///< two workers computed the same delta sample
   long cache_segment_allocs = 0;  ///< lazy memo-segment allocations
   long rec_extends = 0;           ///< OutputModel recursion-prefix extensions
+  long rec_publish_races = 0;     ///< OutputModel prefix-length CAS retries
 
   /// Fraction of resource-iteration slots served from the previous
   /// iteration's results instead of a fresh local analysis.

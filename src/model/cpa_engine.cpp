@@ -16,6 +16,7 @@
 #include "model/engine_snapshot.hpp"
 #include "hierarchical/inner_update.hpp"
 #include "obs/obs.hpp"
+#include "rtc/compile.hpp"
 #include "sched/can_bus.hpp"
 #include "sched/edf.hpp"
 #include "sched/flexray_static.hpp"
@@ -26,6 +27,16 @@
 namespace hem::cpa {
 
 namespace {
+
+/// Compile budget for lowering a model node (rtc/compile.hpp).  The busy
+/// window bounds the time range the local analysis actually queries; 2x
+/// headroom covers growth in later global iterations.  With no finite busy
+/// bound yet the default sample budget alone caps the horizon.
+rtc::CompileOptions compile_options_for(Time busy) {
+  rtc::CompileOptions opt;
+  if (busy > 0 && !is_infinite(busy)) opt.time_horizon = sat_mul(busy, 2);
+  return opt;
+}
 
 /// Degraded-status classification of a local-analysis failure.
 TaskStatus status_for(ErrorCode code) {
@@ -517,6 +528,27 @@ void CpaEngine::analyze_resources() {
   }
   stats_.local_analyses_run += static_cast<long>(dirty.size());
 
+  // Lower stable activation nodes before the parallel fan-out: a node that
+  // survived a previous local analysis unchanged (pointer == analyzed-stamp
+  // of a still-dirty resource) will be queried heavily again by this
+  // iteration's busy-window fixpoints, so its delta samples are frozen once
+  // into the flat compiled form (rtc/compile.hpp) and every query becomes a
+  // binary search with zero virtual dispatch or atomic memo traffic.
+  // Compilation happens serially here and depends only on pointer stamps,
+  // keeping `models_compiled` deterministic across job counts; queries
+  // beyond the compiled horizon fall back to the lazy DAG unchanged.
+  if (options_.compile_curves) {
+    for (ResourceId r : dirty) {
+      for (TaskId t : ids[r]) {
+        const TaskState& st = state_[t];
+        if (!st.act_flat || st.act_flat.get() != st.analyzed_act) continue;
+        if (st.act_flat->compiled() != nullptr) continue;
+        st.act_flat->ensure_compiled(compile_options_for(st.busy));
+        ++stats_.models_compiled;
+      }
+    }
+  }
+
   // Reset the transient analysis outcome only where a fresh analysis will
   // rewrite it; skipped resources keep last iteration's statuses.
   for (ResourceId r : dirty) {
@@ -905,9 +937,10 @@ AnalysisReport CpaEngine::run() {
   // the run (all zero deltas when obs counting is off).
   const long cache_hit0 = g_cache_hit.value();
   const long cache_miss0 = g_cache_miss.value();
-  const long cache_race0 = g_cache_race.value() + g_cache_rec_race.value();
+  const long cache_race0 = g_cache_race.value();
   const long cache_alloc0 = g_cache_alloc.value();
   const long rec_extend0 = g_cache_rec_extend.value();
+  const long rec_race0 = g_cache_rec_race.value();
 
   int iter = 0;
   bool converged = false;
@@ -976,6 +1009,22 @@ AnalysisReport CpaEngine::run() {
   if (!options_.strict) taint_downstream();
   last_converged_ = converged;
 
+  // A converged run's model nodes are final: lower every task's activation
+  // and output stream so report consumers (hemlint rate propagation,
+  // ModelChecker sweeps, downstream what-if queries) hit the compiled fast
+  // path.  Beyond the compiled horizon queries fall back to the lazy DAG,
+  // so this is pure acceleration, never an approximation.
+  if (converged && options_.compile_curves) {
+    for (TaskState& st : state_) {
+      for (const ModelPtr& m : {st.act_flat, st.out_flat}) {
+        if (m && m->compiled() == nullptr) {
+          m->ensure_compiled(compile_options_for(st.busy));
+          ++stats_.models_compiled;
+        }
+      }
+    }
+  }
+
   AnalysisReport report = assemble_report(iter, converged);
   if (!converged) {
     report.diagnostics.report(Diagnostic{
@@ -994,9 +1043,10 @@ AnalysisReport CpaEngine::run() {
   // per-run view inside the report.
   stats_.cache_hits = g_cache_hit.value() - cache_hit0;
   stats_.cache_misses = g_cache_miss.value() - cache_miss0;
-  stats_.cache_publish_races = g_cache_race.value() + g_cache_rec_race.value() - cache_race0;
+  stats_.cache_publish_races = g_cache_race.value() - cache_race0;
   stats_.cache_segment_allocs = g_cache_alloc.value() - cache_alloc0;
   stats_.rec_extends = g_cache_rec_extend.value() - rec_extend0;
+  stats_.rec_publish_races = g_cache_rec_race.value() - rec_race0;
   report.stats = stats_;
 
   g_eng_analyses_run.add(stats_.local_analyses_run);

@@ -1,0 +1,128 @@
+#include "rtc/compile.hpp"
+
+#include <algorithm>
+
+#include "core/event_model.hpp"
+
+namespace hem::rtc {
+
+namespace {
+
+/// Compress integer-grid samples s[n] (n = 0 .. samples.size()-1) into a
+/// breakpoint list.  A point is kept exactly where the per-step difference
+/// changes, so every segment spans a run of constant integer step d: the
+/// interpolation (x - x0) * (d * len) / len is an exact integer for every
+/// integer x, hence `Curve::value` reproduces EVERY dropped sample exactly
+/// under both rounding kinds.
+std::vector<Curve::Point> compress_grid(const std::vector<Time>& samples) {
+  std::vector<Curve::Point> pts;
+  pts.push_back({0, samples.front()});
+  const std::size_t last = samples.size() - 1;
+  for (std::size_t n = 1; n < last; ++n) {
+    const Time before = samples[n] - samples[n - 1];
+    const Time after = samples[n + 1] - samples[n];
+    if (before != after) pts.push_back({static_cast<Time>(n), samples[n]});
+  }
+  if (last > 0) pts.push_back({static_cast<Time>(last), samples[last]});
+  return pts;
+}
+
+/// delta samples on the x = n grid including the fixed n < 2 boundary:
+/// s[0] = s[1] = 0, s[n] = flat[n - 2].  Truncated to the finite prefix
+/// (curves carry finite coordinates; infinite samples stay answerable from
+/// the flat arrays and the DAG fallback).
+std::vector<Time> grid_samples(const std::vector<Time>& flat) {
+  std::vector<Time> s{0, 0};
+  for (const Time v : flat) {
+    if (is_infinite(v)) break;
+    s.push_back(v);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::unique_ptr<const CompiledModel> CompiledModel::lower(const EventModel& source,
+                                                          const CompileOptions& options) {
+  const Count budget = std::max<Count>(1, options.max_horizon);
+
+  // Sample the lazy DAG; these evaluations double as warm-up of the memo
+  // tables the compiled form falls back to beyond the horizon.
+  std::vector<Time> dmin;
+  dmin.reserve(static_cast<std::size_t>(std::min<Count>(budget, 4096)));
+  for (Count i = 0; i < budget; ++i) {
+    const Time v = source.delta_min_lazy(i + 2);
+    dmin.push_back(v);
+    // Past these samples every answer is either infinite (exact via the
+    // fallback) or beyond the requested eta coverage.
+    if (is_infinite(v)) break;
+    if (options.time_horizon > 0 && v >= options.time_horizon) break;
+  }
+
+  std::vector<Time> dplus;
+  dplus.reserve(dmin.capacity());
+  for (Count i = 0; i < budget; ++i) {
+    const Time v = source.delta_plus_lazy(i + 2);
+    dplus.push_back(v);
+    if (is_infinite(v)) break;
+    if (options.time_horizon > 0 && v > options.time_horizon) break;
+  }
+
+  return std::unique_ptr<const CompiledModel>(
+      new CompiledModel(source, std::move(dmin), std::move(dplus)));
+}
+
+CompiledModel::CompiledModel(const EventModel& source, std::vector<Time> dmin,
+                             std::vector<Time> dplus)
+    : source_(&source), dmin_(std::move(dmin)), dplus_(std::move(dplus)) {
+  // Lower curve (delta- on the x = n grid).  Tail slope delta-(2) per
+  // event: superadditivity gives delta-(n + 1) >= delta-(n) + delta-(2),
+  // so extending the last sample at that rate never overestimates.
+  {
+    const std::vector<Time> s = grid_samples(dmin_);
+    Time tail_dy = s.size() > 2 ? s[2] : 0;  // delta-(2), if finite
+    if (is_infinite(tail_dy)) tail_dy = 0;
+    lower_curve_.emplace(CurveKind::kLower, compress_grid(s), tail_dy, 1);
+  }
+
+  // Upper curve (delta+).  Tail slope delta+(2) per event: subadditivity
+  // gives delta+(n + 1) <= delta+(n) + delta+(2), so the tail never
+  // underestimates — but only when every sampled value (and delta+(2)
+  // itself) is finite; otherwise no finite upper curve exists.
+  {
+    const std::vector<Time> s = grid_samples(dplus_);
+    const bool all_finite = s.size() == dplus_.size() + 2;
+    if (all_finite && s.size() > 2) {
+      upper_curve_.emplace(CurveKind::kUpper, compress_grid(s), s[2], 1);
+    }
+  }
+}
+
+bool CompiledModel::try_eta_plus(Time dt, Count& out) const noexcept {
+  if (dt <= 0) {
+    out = 0;
+    return true;
+  }
+  // eq. (1): the largest n >= 2 with delta-(n) < dt, or 1 when delta-(2)
+  // is already >= dt.  `it` is the first sample >= dt; when no sample
+  // reaches dt the answer may lie beyond the horizon — fall back.
+  const auto it = std::lower_bound(dmin_.begin(), dmin_.end(), dt);
+  if (it == dmin_.end()) return false;
+  const auto idx = static_cast<std::size_t>(it - dmin_.begin());
+  out = idx == 0 ? 1 : static_cast<Count>(idx) + 1;  // sample idx holds n = idx + 2
+  return true;
+}
+
+bool CompiledModel::try_eta_minus(Time dt, Count& out) const noexcept {
+  if (dt <= 0) {
+    out = 0;
+    return true;
+  }
+  // eq. (2): the smallest n >= 0 with delta+(n + 2) > dt.
+  const auto it = std::upper_bound(dplus_.begin(), dplus_.end(), dt);
+  if (it == dplus_.end()) return false;
+  out = static_cast<Count>(it - dplus_.begin());
+  return true;
+}
+
+}  // namespace hem::rtc

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file compile.hpp
+/// Lowering pass from the lazy event-model DAG to flat piecewise curves.
+///
+/// A converged `EventModel` node is a *what*: the function tuple
+/// F = (delta-, delta+) defined by recursive equations over its operand
+/// nodes.  Every query walks that DAG — virtual dispatch per node, one
+/// atomic memo probe per sample, galloping inversions for the eta
+/// functions.  HeRTA (see PAPERS.md) observes that these event bound
+/// functions are exactly RTC-style curves, so once a node has converged it
+/// can be *compiled* into the flat representation `src/rtc` already has:
+///
+///   * dense sample arrays dmin[i] = delta-(i+2), dplus[i] = delta+(i+2)
+///     answering delta queries with one bounds check and one array read
+///     (bit-identical to the DAG — the samples ARE DAG evaluations);
+///   * eta+/eta- answered by one binary search over those arrays (the
+///     direct inversion of the paper's eqs. (1)/(2), so again identical
+///     to the generic galloping derivation);
+///   * a compressed `rtc::Curve` pair (lower = delta-, upper = delta+) on
+///     the x = n grid, with *provably conservative* affine tails beyond
+///     the sampled horizon, for interop with the GPC analysis and for the
+///     beyond-horizon conservativeness probes of the model checker.
+///
+/// Queries beyond the compiled horizon fall back to the lazy DAG, which is
+/// trivially exact; inside the horizon the compiled form must be (and is
+/// checked to be, AX12/AX13 in verify/model_checker.hpp) bit-identical.
+///
+/// The compiled form is cached per node alongside the existing
+/// `AtomicCurveCache` memo tables: `EventModel::ensure_compiled()` publishes
+/// a `CompiledModel` with a first-publication-wins CAS and every base-class
+/// query consults it first (see core/event_model.hpp).  See
+/// docs/compilation.md for the horizon policy and the conservativeness
+/// argument.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/time.hpp"
+#include "rtc/curve.hpp"
+
+namespace hem {
+class EventModel;
+}  // namespace hem
+
+namespace hem::rtc {
+
+/// Horizon policy for one lowering.  The sample budget always bounds the
+/// work; the time horizon (when positive) stops sampling as soon as the
+/// curves cover queries up to that interval length, whichever comes first.
+struct CompileOptions {
+  /// Maximum number of delta samples per function (n ranges over
+  /// [2, 2 + max_horizon)).  Bounds both lowering time and memory.
+  Count max_horizon = 1024;
+
+  /// Stop sampling delta- once it reaches this interval length (and delta+
+  /// once it exceeds it): eta queries for dt <= time_horizon are then
+  /// answerable from the arrays.  0 disables the time-based cut
+  /// (budget-only).  Typical choice: the analysis' largest busy window or
+  /// the system hyperperiod.
+  Time time_horizon = 0;
+};
+
+/// Flat compiled form of one event-model node.
+///
+/// Immutable after construction; safe to query from any number of threads
+/// with no atomic traffic.  Holds a non-owning pointer to the source node
+/// for beyond-horizon fallback — the node owns the CompiledModel (never the
+/// other way around), so the pointer outlives `this` by construction.
+class CompiledModel {
+ public:
+  /// Sample `source` up to the horizon and build the flat form.  Queries
+  /// the source's (memoising) lazy path, so lowering also warms the DAG
+  /// caches it falls back to.
+  [[nodiscard]] static std::unique_ptr<const CompiledModel> lower(const EventModel& source,
+                                                                  const CompileOptions& options);
+
+  /// Largest n with a compiled delta-(n) sample (>= 1; n <= 1 is the fixed
+  /// zero boundary).
+  [[nodiscard]] Count delta_min_horizon() const noexcept {
+    return static_cast<Count>(dmin_.size()) + 1;
+  }
+
+  /// Largest n with a compiled delta+(n) sample.  May be smaller than the
+  /// delta- horizon: sampling stops at the first infinite delta+.
+  [[nodiscard]] Count delta_plus_horizon() const noexcept {
+    return static_cast<Count>(dplus_.size()) + 1;
+  }
+
+  /// delta-(n) from the flat samples.  `false` when n is beyond the
+  /// compiled horizon (caller falls back to the lazy DAG).
+  [[nodiscard]] bool try_delta_min(Count n, Time& out) const noexcept {
+    if (n < 2) {
+      out = 0;
+      return true;
+    }
+    const auto idx = static_cast<std::size_t>(n - 2);
+    if (idx >= dmin_.size()) return false;
+    out = dmin_[idx];
+    return true;
+  }
+
+  /// delta+(n) from the flat samples; `false` beyond the horizon.
+  [[nodiscard]] bool try_delta_plus(Count n, Time& out) const noexcept {
+    if (n < 2) {
+      out = 0;
+      return true;
+    }
+    const auto idx = static_cast<std::size_t>(n - 2);
+    if (idx >= dplus_.size()) return false;
+    out = dplus_[idx];
+    return true;
+  }
+
+  /// eta+(dt) by binary search over the delta- samples (paper eq. (1)):
+  /// the largest n >= 2 with delta-(n) < dt, or 1 when none.  `false` when
+  /// the answer may lie beyond the compiled horizon (every sample < dt).
+  [[nodiscard]] bool try_eta_plus(Time dt, Count& out) const noexcept;
+
+  /// eta-(dt) by binary search over the delta+ samples (paper eq. (2)):
+  /// the smallest n >= 0 with delta+(n + 2) > dt.  `false` when the answer
+  /// may lie beyond the compiled horizon.
+  [[nodiscard]] bool try_eta_minus(Time dt, Count& out) const noexcept;
+
+  /// delta- as a compressed lower RTC curve on the x = n grid: exactly the
+  /// samples for integer x <= delta_min_horizon(), and beyond it an affine
+  /// tail of slope delta-(2) per event — conservative (a valid lower
+  /// bound) by superadditivity: delta-(n+1) >= delta-(n) + delta-(2).
+  [[nodiscard]] const Curve& lower_curve() const noexcept { return *lower_curve_; }
+
+  /// delta+ as a compressed upper RTC curve on the x = n grid, affine tail
+  /// of slope delta+(2) per event — conservative (a valid upper bound) by
+  /// subadditivity: delta+(n+1) <= delta+(n) + delta+(2).  Absent when
+  /// delta+(2) is unbounded (no finite upper curve exists).
+  [[nodiscard]] const Curve* upper_curve() const noexcept {
+    return upper_curve_ ? &*upper_curve_ : nullptr;
+  }
+
+  /// The node this form was lowered from (non-owning; the node owns us).
+  [[nodiscard]] const EventModel& source() const noexcept { return *source_; }
+
+ private:
+  CompiledModel(const EventModel& source, std::vector<Time> dmin, std::vector<Time> dplus);
+
+  const EventModel* source_;
+  std::vector<Time> dmin_;   ///< dmin_[i] = delta-(i + 2); non-decreasing
+  std::vector<Time> dplus_;  ///< dplus_[i] = delta+(i + 2); finite, non-decreasing
+  std::optional<Curve> lower_curve_;
+  std::optional<Curve> upper_curve_;
+};
+
+}  // namespace hem::rtc

@@ -1,6 +1,7 @@
 #include "rtc/curve.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
@@ -18,20 +19,56 @@ Time rounded_div(Time num, Time den, CurveKind kind) {
 
 }  // namespace
 
+namespace {
+
+/// Positioned constructor-violation message: names the offending index and
+/// values so a bad call site is identifiable from the exception alone.
+[[noreturn]] void reject(const std::string& what) { throw std::invalid_argument(what); }
+
+}  // namespace
+
 Curve::Curve(CurveKind kind, std::vector<Point> points, Time final_dy, Time final_dx)
     : kind_(kind), points_(std::move(points)), final_dy_(final_dy), final_dx_(final_dx) {
-  if (points_.empty()) throw std::invalid_argument("Curve: needs at least one point");
-  if (points_.front().x != 0) throw std::invalid_argument("Curve: first point must be at x=0");
-  for (std::size_t i = 1; i < points_.size(); ++i) {
-    if (points_[i].x <= points_[i - 1].x)
-      throw std::invalid_argument("Curve: x must be strictly increasing");
-    if (points_[i].y < points_[i - 1].y)
-      throw std::invalid_argument("Curve: y must be non-decreasing");
+  if (points_.empty()) reject("Curve: needs at least one point");
+  if (points_.front().x != 0) {
+    std::ostringstream os;
+    os << "Curve: first point must be at x=0 (points[0].x = " << points_.front().x << ")";
+    reject(os.str());
   }
-  if (final_dx_ <= 0 || final_dy_ < 0)
-    throw std::invalid_argument("Curve: final slope must be dy >= 0 over dx > 0");
-  for (const auto& p : points_)
-    if (p.x < 0 || p.y < 0) throw std::invalid_argument("Curve: negative coordinates");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].x == points_[i - 1].x) {
+      std::ostringstream os;
+      os << "Curve: duplicate x (points[" << i - 1 << "].x = points[" << i
+         << "].x = " << points_[i].x << ")";
+      reject(os.str());
+    }
+    if (points_[i].x < points_[i - 1].x) {
+      std::ostringstream os;
+      os << "Curve: x must be strictly increasing (points[" << i << "].x = " << points_[i].x
+         << " < points[" << i - 1 << "].x = " << points_[i - 1].x << ")";
+      reject(os.str());
+    }
+    if (points_[i].y < points_[i - 1].y) {
+      std::ostringstream os;
+      os << "Curve: y must be non-decreasing (points[" << i << "].y = " << points_[i].y
+         << " < points[" << i - 1 << "].y = " << points_[i - 1].y << ")";
+      reject(os.str());
+    }
+  }
+  if (final_dx_ <= 0 || final_dy_ < 0) {
+    std::ostringstream os;
+    os << "Curve: final slope must be dy >= 0 over dx > 0 (got dy = " << final_dy_
+       << ", dx = " << final_dx_ << ")";
+    reject(os.str());
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].x < 0 || points_[i].y < 0) {
+      std::ostringstream os;
+      os << "Curve: negative coordinates (points[" << i << "] = (" << points_[i].x << ", "
+         << points_[i].y << "))";
+      reject(os.str());
+    }
+  }
 }
 
 Curve Curve::zero(CurveKind kind) { return Curve(kind, {{0, 0}}, 0, 1); }
@@ -232,33 +269,119 @@ Curve Curve::shifted_left(Time shift) const {
   return Curve(kind_, std::move(pts), final_dy_, final_dx_);
 }
 
+namespace {
+
+/// True when `c` interpolates with a fractional slope anywhere strictly
+/// inside the interval starting at grid point `x0` — i.e. its rounded
+/// evaluation there can deviate from the exact linear value.  `x0` is a
+/// merged-grid point, so the interval lies within ONE segment of `c` (or
+/// its affine tail).
+bool rounds_inside(const Curve& c, Time x0) {
+  const auto& pts = c.points();
+  if (x0 >= pts.back().x) return c.final_dy() % c.final_dx() != 0;
+  std::size_t lo = 0, hi = pts.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (pts[mid].x <= x0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const Time dy = pts[lo + 1].y - pts[lo].y;
+  const Time dx = pts[lo + 1].x - pts[lo].x;
+  return dy % dx != 0;
+}
+
+}  // namespace
+
 Time Curve::max_vertical_deviation(const Curve& other) const {
   // Finite only if our long-run rate does not exceed the other's.
   if (final_dy_ * other.final_dx_ > other.final_dy_ * final_dx_)
     throw AnalysisError("Curve: vertical deviation unbounded (rate exceeds service)");
+  const auto xs = merged_grid(other);
   Time best = 0;
-  for (const Time x : merged_grid(other))
-    best = std::max(best, value(x) - other.value(x));
-  return best;
+  for (const Time x : xs) best = std::max(best, value(x) - other.value(x));
+
+  // Rounding sweep.  The grid difference is exact AT every breakpoint, but
+  // between breakpoints (and in the affine tail) the ceiling interpolation
+  // of `this` and the floor interpolation of `other` each deviate from the
+  // exact linear value by strictly less than 1 — so the rounded difference
+  // can exceed the grid maximum by exactly one unit (e.g. two parallel
+  // curves of slope 1/2: grid difference 0, but ceil(x/2) - floor(x/2) = 1
+  // at every odd x).  The old implementation probed only the grid and
+  // UNDERESTIMATED the sup in such cases.  Sweep the interior of every
+  // interval where either operand actually rounds; where a sweep would
+  // exceed the budget, fall back to the provable +1 slack (the exact
+  // linear difference never exceeds the grid maximum — linear per interval
+  // with all breakpoints on the grid, non-increasing in the tail by the
+  // rate check — so sup <= grid max + 1 in integers).
+  constexpr Time kScanLimit = Time{1} << 16;
+  bool guard = false;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const Time x0 = xs[i];
+    const Time x1 = xs[i + 1];
+    if (x1 - x0 <= 1) continue;  // no interior integer, rounding cannot manifest
+    if (!rounds_inside(*this, x0) && !rounds_inside(other, x0)) continue;
+    if (x1 - x0 - 1 > kScanLimit) {
+      guard = true;
+      continue;
+    }
+    for (Time x = x0 + 1; x < x1; ++x) best = std::max(best, value(x) - other.value(x));
+  }
+  const Time xl = xs.back();
+  if (rounds_inside(*this, xl) || rounds_inside(other, xl)) {
+    // Tail: equal long-run rates make the rounded difference periodic in
+    // lcm(final_dx) (a full period scanned = exact); a strictly smaller
+    // rate makes the linear difference decrease, so once the rounded
+    // difference (an upper bound on the linear one) falls 2 below the
+    // running max, nothing later can beat it.
+    const bool equal_rates = final_dy_ * other.final_dx_ == other.final_dy_ * final_dx_;
+    Time period = 0;
+    if (equal_rates) {
+      const Time g = std::gcd(final_dx_, other.final_dx_);
+      period = final_dx_ / g * other.final_dx_;
+    }
+    bool settled = false;
+    for (Time x = xl + 1; x <= sat_add(xl, kScanLimit); ++x) {
+      const Time d = value(x) - other.value(x);
+      best = std::max(best, d);
+      if (equal_rates ? (x - xl >= period) : (d + 2 <= best)) {
+        settled = true;
+        break;
+      }
+    }
+    if (!settled) guard = true;
+  }
+  return guard ? best + 1 : best;
 }
 
 Time Curve::max_horizontal_deviation(const Curve& other) const {
   if (final_dy_ * other.final_dx_ > other.final_dy_ * final_dx_)
     throw AnalysisError("Curve: horizontal deviation unbounded (rate exceeds service)");
   // Candidates: our breakpoints, x-positions where our value crosses the
-  // other's breakpoint ordinates, and one tail point.
+  // other's breakpoint ordinates (and the level just above each — the
+  // other's inverse jumps BETWEEN integer levels, so a plateau's worst
+  // backlog of demand sits one event above its ordinate), and one tail
+  // point.  Each candidate is probed together with both neighbours: the
+  // rounded value() can step between breakpoints, so the widest horizontal
+  // gap may start one step off a breakpoint.
   std::vector<Time> candidates;
   for (const auto& p : points_) candidates.push_back(p.x);
   for (const auto& p : other.points_) {
-    const Time x = inverse(p.y);
-    if (!is_infinite(x)) {
-      candidates.push_back(x);
-      if (x > 0) candidates.push_back(x - 1);
+    for (const Time level : {p.y, sat_add(p.y, 1)}) {
+      const Time x = inverse(level);
+      if (!is_infinite(x)) candidates.push_back(x);
     }
   }
   candidates.push_back(std::max(points_.back().x, other.points_.back().x) * 2 + 1);
+  const std::size_t seeded = candidates.size();
+  for (std::size_t i = 0; i < seeded; ++i) {
+    if (candidates[i] > 0) candidates.push_back(candidates[i] - 1);
+    candidates.push_back(sat_add(candidates[i], 1));
+  }
   Time best = 0;
   for (const Time x : candidates) {
+    if (is_infinite(x)) continue;  // saturated +1 neighbour of the tail probe
     const Time y = value(x);
     const Time x2 = other.inverse(y);
     if (is_infinite(x2))

@@ -34,6 +34,18 @@ class Curve {
     Time y;
   };
 
+  /// Precondition contract (every violation throws std::invalid_argument
+  /// with a POSITIONED message naming the offending index and values):
+  ///
+  ///   * at least one point, and points[0].x == 0;
+  ///   * x strictly increasing — duplicate x is rejected as such (a jump
+  ///     must be expressed by lifting the point's y, not by stacking two
+  ///     points on one x);
+  ///   * y non-decreasing, all coordinates non-negative and finite;
+  ///   * final_dx > 0 and final_dy >= 0 (a curve extends to infinity with
+  ///     a well-defined non-negative rational slope; "no growth" is
+  ///     dy = 0, never dx <= 0).
+  ///
   /// \param points       breakpoints, strictly increasing x, non-decreasing
   ///                     y; implicitly prefixed by (0, y0) = first point
   ///                     (whose x must be 0).
@@ -43,8 +55,12 @@ class Curve {
   /// The zero curve.
   [[nodiscard]] static Curve zero(CurveKind kind);
 
-  /// Affine curve: y = max(0, burst + (dy/dx) * x) for x > 0, 0 at x = 0
-  /// (the leaky-bucket arrival curve when kind == kUpper).
+  /// Affine curve: y = burst + (dy/dx) * x for x >= 0, so value(0) ==
+  /// burst (the leaky-bucket arrival curve when kind == kUpper).  The
+  /// event-model convention eta(0) = 0 lives in the model layer: a Curve
+  /// carries the burst at x = 0 so that evaluation stays monotone and
+  /// breakpoint-exact; callers needing the eta convention query x > 0
+  /// only.
   [[nodiscard]] static Curve affine(CurveKind kind, Time burst, Time dy, Time dx);
 
   /// Rate-latency service curve: y = max(0, (dy/dx) * (x - latency)).
@@ -83,6 +99,10 @@ class Curve {
   /// Requires both long-run rates to make the sup finite
   /// (throws AnalysisError otherwise).  This is the BACKLOG bound when
   /// `this` is an upper arrival and `other` a lower service curve.
+  /// Exact at every breakpoint; between breakpoints the ceiling/floor
+  /// interpolation can lift the true difference by one unit, which the
+  /// bound includes exactly when some interval can round (see the rounding
+  /// guard in the implementation) — always the conservative direction.
   [[nodiscard]] Time max_vertical_deviation(const Curve& other) const;
 
   /// Maximum horizontal distance: sup over y of

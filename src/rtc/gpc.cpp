@@ -20,6 +20,13 @@ Curve upper_arrival_from(const EventModel& model, Count n_max) {
       pts.push_back({x, n});
     }
   }
+  // A model that keeps delta-(n) == 0 all the way to n_max admits an
+  // unbounded simultaneous burst: no piecewise-linear curve with a finite
+  // tail slope can upper-bound its arrivals.  The old behaviour silently
+  // constructed a FLAT curve at y = n_max here — an unsound bound that the
+  // stricter Curve contract audit flushed out.
+  if (pts.size() == 1 && pts.back().y > 1 && pts.back().y >= n_max)
+    throw AnalysisError("upper_arrival_from: unbounded burst (delta-(n) = 0 up to n_max)");
   // Tail slope from the last stretch of the curve (conservatively steep:
   // use the shortest span per event over the trailing window).
   Time dy = 0, dx = 1;

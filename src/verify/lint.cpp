@@ -253,6 +253,13 @@ class Linter {
   }
 
   [[nodiscard]] static double model_rate(const ModelPtr& model) {
+    // Lower the node first: packed frames and unpacked inner streams can
+    // reference one external source several times, and the compiled form
+    // (rtc/compile.hpp) answers each eta query of the rate estimate with a
+    // flat binary search instead of a galloping DAG inversion.  Queries
+    // beyond the compiled horizon fall back to the lazy DAG, so the rate is
+    // bit-identical to the uncompiled evaluation.
+    model->ensure_compiled();
     return cpa::long_run_rate(*model);
   }
 

@@ -138,6 +138,26 @@ TEST(AtomicCurveCacheTest, StoreThenLoadRoundTrips) {
             AtomicCurveCache::StoreResult::kOverflow);
 }
 
+TEST(AtomicCurveCacheTest, StoreReportsOnlyItsOwnSegmentAllocations) {
+  // The allocated out-param must report THIS call's segment publication,
+  // never a cache-wide delta: counter attribution used to diff
+  // `allocations()` around a store, misattributing concurrent work units'
+  // allocations to whichever publish happened to observe them.
+  AtomicCurveCache cache;
+  bool allocated = false;
+  EXPECT_EQ(cache.store(0, 11, allocated), AtomicCurveCache::StoreResult::kStored);
+  EXPECT_TRUE(allocated);  // first touch of segment 0
+  EXPECT_EQ(cache.store(1, 22, allocated), AtomicCurveCache::StoreResult::kStored);
+  EXPECT_FALSE(allocated);  // segment 0 already exists
+  EXPECT_EQ(cache.store(0, 11, allocated), AtomicCurveCache::StoreResult::kDuplicate);
+  EXPECT_FALSE(allocated);
+  // A far index publishes a fresh segment exactly once.
+  EXPECT_EQ(cache.store(100000, 7, allocated), AtomicCurveCache::StoreResult::kStored);
+  EXPECT_TRUE(allocated);
+  EXPECT_EQ(cache.store(100001, 8, allocated), AtomicCurveCache::StoreResult::kStored);
+  EXPECT_FALSE(allocated);
+}
+
 TEST(AtomicCurveCacheTest, ConcurrentFillIsLossless) {
   AtomicCurveCache cache;
   constexpr std::size_t kSlots = 20000;

@@ -30,6 +30,7 @@
 #include "hierarchical/inner_update.hpp"
 #include "hierarchical/pack_constructor.hpp"
 #include "model/diagnostics.hpp"
+#include "rtc/compile.hpp"
 #include "verify/contracts.hpp"
 #include "verify/model_checker.hpp"
 
@@ -59,6 +60,13 @@ class Rand {
 void expect_clean(const EventModel& model, const std::string& path) {
   ModelChecker checker(options());
   checker.check_model(model, path);
+  // The compilation axioms (AX12/AX13) ride the same subclass sweep: lower
+  // the node to a small horizon and verify the flat form agrees with the
+  // lazy DAG inside it and its curve pair stays conservative beyond it.
+  rtc::CompileOptions copts;
+  copts.max_horizon = kHorizon;
+  model.ensure_compiled(copts);
+  checker.check_compiled(model, path);
   EXPECT_TRUE(checker.ok()) << checker.format();
 }
 
@@ -358,6 +366,75 @@ TEST(ModelCheckerNegative, OneReportPerAxiomAndModel) {
   const auto ax3 = std::count_if(checker.violations().begin(), checker.violations().end(),
                                  [](const AxiomViolation& v) { return v.axiom == "AX3"; });
   EXPECT_EQ(ax3, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Compilation axioms AX12/AX13 (rtc/compile.hpp lowering).
+// ---------------------------------------------------------------------------
+
+/// Mock models exercising the ways a lowering can go wrong.  The compiled
+/// form derives its eta inversions and curve tails from delta samples, so
+/// each mode breaks exactly one side of the contract:
+///  * kBrokenLazyEta — correct deltas, lying eta accessors: the compiled
+///    inversion is right, the lazy path is not, AX12 must see the split;
+///  * kSubadditiveDmin — delta- flattens out, violating the
+///    superadditivity the lower-curve tail slope relies on: the affine
+///    tail overtakes the true curve beyond the horizon, AX13 (lower);
+///  * kSuperadditiveDplus — delta+ grows quadratically, violating the
+///    subadditivity behind the upper tail: AX13 (upper).
+class BrokenCompileModel final : public EventModel {
+ public:
+  enum class Mode { kBrokenLazyEta, kSubadditiveDmin, kSuperadditiveDplus };
+
+  explicit BrokenCompileModel(Mode mode) : mode_(mode) {}
+
+  [[nodiscard]] std::string describe() const override { return "BrokenCompile"; }
+
+ protected:
+  [[nodiscard]] Time delta_min_raw(Count n) const override {
+    if (mode_ == Mode::kSubadditiveDmin) return 100;  // flat: delta-(n+1) < delta-(n)+delta-(2)
+    return 10 * (n - 1);
+  }
+
+  [[nodiscard]] Time delta_plus_raw(Count n) const override {
+    if (mode_ == Mode::kSuperadditiveDplus) return sat_mul(n - 1, n - 1);  // quadratic
+    return sat_mul(10, n - 1);
+  }
+
+  [[nodiscard]] Count eta_plus_raw(Time dt) const override {
+    if (mode_ == Mode::kBrokenLazyEta) return 1;  // ignores the delta curves entirely
+    return EventModel::eta_plus_raw(dt);
+  }
+
+ private:
+  Mode mode_;
+};
+
+ModelChecker check_broken_compile(BrokenCompileModel::Mode mode) {
+  const BrokenCompileModel model(mode);
+  // Small horizon so the AX13 tail probes reach past it cheaply.
+  rtc::CompileOptions copts;
+  copts.max_horizon = 8;
+  model.ensure_compiled(copts);
+  ModelChecker checker(options());
+  checker.check_compiled(model, "broken-compile");
+  return checker;
+}
+
+TEST(ModelCheckerNegative, CompiledLazyEtaDisagreementFiresAX12) {
+  const auto checker = check_broken_compile(BrokenCompileModel::Mode::kBrokenLazyEta);
+  EXPECT_TRUE(fired(checker, "AX12")) << checker.format();
+}
+
+TEST(ModelCheckerNegative, NonSuperadditiveDminBreaksLowerTailFiresAX13) {
+  const auto checker = check_broken_compile(BrokenCompileModel::Mode::kSubadditiveDmin);
+  EXPECT_TRUE(fired(checker, "AX13")) << checker.format();
+  EXPECT_FALSE(fired(checker, "AX12")) << checker.format();  // samples still agree
+}
+
+TEST(ModelCheckerNegative, NonSubadditiveDplusBreaksUpperTailFiresAX13) {
+  const auto checker = check_broken_compile(BrokenCompileModel::Mode::kSuperadditiveDplus);
+  EXPECT_TRUE(fired(checker, "AX13")) << checker.format();
 }
 
 }  // namespace

@@ -1,0 +1,52 @@
+// libFuzzer harness for the hemcpad wire protocol (daemon/protocol.hpp).
+//
+// Invariants (violations trap):
+//   1. parse_request_line never crashes and never leaves `out`/`error` in a
+//      state that contradicts its return value;
+//   2. parse -> render -> parse is the identity on accepted request lines
+//      (the client's render must be able to reproduce anything the server
+//      accepted, and the re-parse must agree verb-for-verb, key-for-key);
+//   3. JSON emission round-trips: json_find(JsonWriter.add(k, v), k) == v
+//      for arbitrary byte strings v (json_escape and the extractor's
+//      unescaping are inverses).
+//
+// Build: -DHEM_FUZZ=ON (see fuzz/CMakeLists.txt).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > hem::daemon::kMaxLineBytes) return 0;
+  const std::string line(reinterpret_cast<const char*>(data), size);
+
+  hem::daemon::Request request;
+  std::string error;
+  if (hem::daemon::parse_request_line(line, request, error)) {
+    if (request.verb.empty()) __builtin_trap();  // invariant 1
+    std::vector<std::pair<std::string, std::string>> kv(request.kv.begin(), request.kv.end());
+    std::string rendered;
+    try {
+      rendered = hem::daemon::render_request_line(request.verb, kv);
+    } catch (const std::invalid_argument&) {
+      // The parser accepted a value the renderer refuses to emit — a
+      // protocol asymmetry worth surfacing.
+      __builtin_trap();
+    }
+    hem::daemon::Request again;
+    if (!hem::daemon::parse_request_line(rendered, again, error)) __builtin_trap();
+    if (again.verb != request.verb || again.kv != request.kv) __builtin_trap();  // invariant 2
+  } else if (error.empty()) {
+    __builtin_trap();  // rejection must carry a reason (invariant 1)
+  }
+
+  // Invariant 3: JSON round-trip on the raw bytes.
+  const std::string json = hem::daemon::JsonWriter().add("k", line).str();
+  if (hem::daemon::json_find(json, "k") != line) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// libFuzzer harness for the `.hemcpa` textual pipeline.
+//
+// Invariants (any violation traps via __builtin_trap, which ASan reports):
+//   1. lint_config never crashes, whatever the bytes (it owns all parse
+//      failures and must turn them into HL000/HL004 diagnostics);
+//   2. parsing is deterministic: a text the parser accepted once must be
+//      accepted again;
+//   3. the scenarios::to_config_text serialiser emits only parseable text
+//      for any system the parser itself produced (round-trip closure).
+//      Inexpressible constructs must surface as std::invalid_argument, not
+//      as malformed output.
+//
+// Build: -DHEM_FUZZ=ON (see fuzz/CMakeLists.txt).  With Clang this links
+// against libFuzzer + ASan/UBSan; with other compilers the standalone
+// driver replays corpus files through the same entry point.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "model/textual_config.hpp"
+#include "scenarios/synth.hpp"
+#include "verify/lint.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > 64 * 1024) return 0;  // oversized inputs only slow exploration
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  {
+    std::istringstream in(text);
+    (void)hem::verify::lint_config(in);  // invariant 1: never throws, never crashes
+  }
+
+  hem::cpa::ParsedSystem parsed;
+  try {
+    std::istringstream in(text);
+    parsed = hem::cpa::parse_system_config(in);
+  } catch (const std::invalid_argument&) {
+    return 0;  // rejected input: nothing further to check
+  }
+
+  {
+    // Invariant 2: accept-once implies accept-always.
+    std::istringstream in(text);
+    try {
+      (void)hem::cpa::parse_system_config(in);
+    } catch (const std::exception&) {
+      __builtin_trap();
+    }
+  }
+
+  std::string round_trip;
+  try {
+    round_trip = hem::scenarios::to_config_text(parsed.system, parsed.deadlines);
+  } catch (const std::invalid_argument&) {
+    return 0;  // declared-inexpressible (e.g. entity names with '=' or ':')
+  }
+  // Invariant 3: serialiser output must parse.
+  std::istringstream in(round_trip);
+  try {
+    (void)hem::cpa::parse_system_config(in);
+  } catch (const std::exception&) {
+    __builtin_trap();
+  }
+  return 0;
+}

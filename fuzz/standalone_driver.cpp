@@ -1,0 +1,49 @@
+// Standalone replay driver for the fuzz harnesses on compilers without
+// libFuzzer (the repo's default toolchain is GCC; `-fsanitize=fuzzer` is a
+// Clang feature).  Feeds every argument file — or stdin when none — through
+// LLVMFuzzerTestOneInput exactly once, so corpus regression replay and the
+// CI smoke job work everywhere:
+//
+//   fuzz_textual_config fuzz/corpus/textual_config/*
+//
+// Under Clang this file is not compiled; libFuzzer provides main().
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+int run_one(const std::string& name, const std::string& bytes) {
+  (void)LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                               bytes.size());
+  std::cout << name << ": " << bytes.size() << " bytes ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    const std::string bytes((std::istreambuf_iterator<char>(std::cin)),
+                            std::istreambuf_iterator<char>());
+    return run_one("<stdin>", bytes);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "error: cannot open corpus file '" << argv[i] << "'\n";
+      return 1;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    run_one(argv[i], bytes);
+  }
+  return 0;
+}

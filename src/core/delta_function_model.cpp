@@ -95,8 +95,12 @@ ModelPtr DeltaFunctionModel::periodic_burst(Count burst_size, Time inner_distanc
     if (dplus[i] < dmin[i]) dplus[i] = dmin[i];
     if (i > 0 && dplus[i] < dplus[i - 1]) dplus[i] = dplus[i - 1];
   }
-  return std::make_shared<DeltaFunctionModel>(std::move(dmin), std::move(dplus), burst_size,
-                                              outer_period);
+  auto model = std::make_shared<DeltaFunctionModel>(std::move(dmin), std::move(dplus),
+                                                    burst_size, outer_period);
+  model->burst_size_ = burst_size;
+  model->burst_inner_ = inner_distance;
+  model->burst_outer_ = outer_period;
+  return model;
 }
 
 Time DeltaFunctionModel::eval(const std::vector<Time>& prefix, Count n) const {

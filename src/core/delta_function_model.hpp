@@ -42,6 +42,16 @@ class DeltaFunctionModel final : public EventModel {
   [[nodiscard]] static ModelPtr periodic_burst(Count burst_size, Time inner_distance,
                                                Time outer_period);
 
+  /// True when this node was built by periodic_burst(), i.e. the burst-shape
+  /// accessors below describe it exactly.  The textual `.hemcpa` format can
+  /// only express that factory shape (`source ... burst size= inner=
+  /// period=`), not arbitrary curve prefixes, so the serialiser
+  /// (scenarios::to_config_text) keys off this flag.
+  [[nodiscard]] bool is_periodic_burst() const noexcept { return burst_size_ >= 1; }
+  [[nodiscard]] Count burst_size() const noexcept { return burst_size_; }
+  [[nodiscard]] Time burst_inner() const noexcept { return burst_inner_; }
+  [[nodiscard]] Time burst_outer() const noexcept { return burst_outer_; }
+
   [[nodiscard]] std::string describe() const override;
 
  protected:
@@ -55,6 +65,10 @@ class DeltaFunctionModel final : public EventModel {
   std::vector<Time> dplus_;  // dplus_[i] == delta+(i + 2)
   Count ext_events_;
   Time ext_time_;
+  // Burst-shape record, set only by the periodic_burst() factory.
+  Count burst_size_ = 0;
+  Time burst_inner_ = 0;
+  Time burst_outer_ = 0;
 };
 
 }  // namespace hem

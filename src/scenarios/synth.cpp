@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <random>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "core/delta_function_model.hpp"
+#include "core/leaky_bucket_model.hpp"
+#include "core/offset_transaction_model.hpp"
 #include "core/standard_event_model.hpp"
 
 namespace hem::scenarios {
@@ -98,15 +105,79 @@ cpa::System build_synth_system(const SynthParams& params) {
 
   // Activations: externals on layer 0 (and as the fallback everywhere);
   // deeper layers chain onto previous-layer outputs with ~50% probability.
+  // With packed_permille > 0, some CAN-bus tasks become packed COM frames
+  // and some deeper CPU tasks unpack their inner streams.  All packed-mode
+  // draws are guarded so the default (0) consumes nothing from the RNG and
+  // earlier seeds stay byte-identical.
+  struct Frame {
+    cpa::TaskId task = 0;
+    Time eff = 0;                     ///< effective frame send period
+    std::vector<Time> input_periods;  ///< per inner signal
+    std::vector<bool> triggering;
+  };
+  std::vector<Frame> frames;
   const auto activate_external = [&](cpa::TaskId t) {
     const Time period = draw_period(rng, params.min_period, params.max_period);
     const Time jitter = static_cast<Time>(draw(rng, static_cast<std::uint64_t>(period / 2) + 1));
     eff_period[t] = period;
     sys.activate_external(t, StandardEventModel::periodic_with_jitter(period, jitter));
   };
+  // Integer OR-rate combination: two streams of periods a and b interleave
+  // with an effective period of a*b/(a+b) (rates add up).
+  const auto combine_periods = [](Time a, Time b) {
+    return std::max<Time>(1, a * b / (a + b));
+  };
+  const auto activate_packed = [&](cpa::TaskId t) {
+    Frame frame;
+    frame.task = t;
+    std::vector<cpa::PackedActivation::Input> inputs;
+    Time eff = 0;
+    const std::size_t n_inputs = 2 + draw(rng, 2);  // 2..3 signals per frame
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      const Time period = draw_period(rng, params.min_period, params.max_period);
+      const Time jitter =
+          static_cast<Time>(draw(rng, static_cast<std::uint64_t>(period / 2) + 1));
+      // The first signal always triggers so the frame is sendable without a
+      // timer (hemlint HL008); the rest draw their coupling.
+      const bool trig = i == 0 || draw(rng, 2) == 0;
+      inputs.push_back({StandardEventModel::periodic_with_jitter(period, jitter),
+                        trig ? SignalCoupling::kTriggering : SignalCoupling::kPending});
+      frame.input_periods.push_back(period);
+      frame.triggering.push_back(trig);
+      if (trig) eff = eff == 0 ? period : combine_periods(eff, period);
+    }
+    ModelPtr timer;
+    if (draw(rng, 2) == 0) {
+      const Time period = draw_period(rng, params.min_period, params.max_period);
+      timer = StandardEventModel::periodic(period);
+      eff = eff == 0 ? period : combine_periods(eff, period);
+    }
+    sys.activate_packed(t, std::move(inputs), std::move(timer));
+    frame.eff = eff;
+    eff_period[t] = eff;
+    frames.push_back(std::move(frame));
+  };
   for (std::size_t r = 0; r < n_res; ++r) {
     const std::size_t layer = layer_of[r];
+    const bool is_can = sys.resources()[r].policy == cpa::Policy::kSpnpCan;
     for (cpa::TaskId t : on_resource[r]) {
+      if (params.packed_permille > 0 && is_can &&
+          draw(rng, 1000) < static_cast<std::uint64_t>(params.packed_permille)) {
+        activate_packed(t);
+        continue;
+      }
+      // CPU tasks can consume a previously created frame's inner stream.
+      if (params.packed_permille > 0 && !is_can && !frames.empty() && draw(rng, 4) == 0) {
+        const Frame& frame = frames[draw(rng, frames.size())];
+        const std::size_t index = draw(rng, frame.input_periods.size());
+        sys.activate_unpacked(t, frame.task, index);
+        // A triggering signal's inner stream is the signal itself; a pending
+        // one is carried at most once per frame.
+        eff_period[t] = frame.triggering[index]
+                            ? frame.input_periods[index]
+                            : std::max(frame.input_periods[index], frame.eff);
+        continue;
+      }
       const std::vector<cpa::TaskId>* pool = layer > 0 ? &on_layer[layer - 1] : nullptr;
       if (pool == nullptr || pool->empty() || draw(rng, 2) == 0) {
         activate_external(t);
@@ -144,6 +215,173 @@ cpa::System build_synth_system(const SynthParams& params) {
   }
 
   return sys;
+}
+
+namespace {
+
+/// The textual format tokenises on whitespace and uses '#', '=', ':' and ','
+/// structurally, so entity names must be single clean tokens.
+void check_token(const std::string& name, const char* what) {
+  if (name.empty())
+    throw std::invalid_argument(std::string("to_config_text: empty ") + what + " name");
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '#' || c == '=' || c == ':' ||
+        c == ',')
+      throw std::invalid_argument(std::string("to_config_text: ") + what + " name '" + name +
+                                  "' is not a single clean token");
+  }
+}
+
+/// `source <name> <kind> <params>` tail for one external model node, or
+/// throws std::invalid_argument when the node has no statement form.
+std::string source_stmt_tail(const EventModel& model) {
+  std::ostringstream os;
+  if (const auto* sem = dynamic_cast<const StandardEventModel*>(&model)) {
+    if (sem->jitter() == 0 && sem->d_min() == sem->period())
+      os << "periodic period=" << sem->period();
+    else
+      os << "sem period=" << sem->period() << " jitter=" << sem->jitter()
+         << " dmin=" << sem->d_min();
+  } else if (const auto* burst = dynamic_cast<const DeltaFunctionModel*>(&model)) {
+    if (!burst->is_periodic_burst())
+      throw std::invalid_argument(
+          "to_config_text: arbitrary delta-curve model has no source statement form: " +
+          model.describe());
+    os << "burst size=" << burst->burst_size() << " inner=" << burst->burst_inner()
+       << " period=" << burst->burst_outer();
+  } else if (const auto* leaky = dynamic_cast<const LeakyBucketModel*>(&model)) {
+    os << "leaky burst=" << leaky->burst() << " spacing=" << leaky->spacing();
+  } else if (const auto* ofs = dynamic_cast<const OffsetTransactionModel*>(&model)) {
+    os << "offsets period=" << ofs->period() << " at=";
+    for (std::size_t i = 0; i < ofs->offsets().size(); ++i)
+      os << (i > 0 ? "," : "") << ofs->offsets()[i];
+    if (ofs->jitter() > 0) os << " jitter=" << ofs->jitter();
+  } else {
+    throw std::invalid_argument("to_config_text: external model kind not expressible: " +
+                                model.describe());
+  }
+  return os.str();
+}
+
+/// Pack timers are parsed as `timer=<period>` -> StandardEventModel::periodic,
+/// so only strictly periodic SEM timers round-trip.
+Time timer_period(const ModelPtr& timer) {
+  const auto* sem = dynamic_cast<const StandardEventModel*>(timer.get());
+  if (sem == nullptr || sem->jitter() != 0 || sem->d_min() != sem->period())
+    throw std::invalid_argument(
+        "to_config_text: pack timer is not a strictly periodic SEM: " + timer->describe());
+  return sem->period();
+}
+
+}  // namespace
+
+std::string to_config_text(const cpa::System& system, const cpa::DeadlineMap& deadlines) {
+  const auto& resources = system.resources();
+  const auto& tasks = system.tasks();
+
+  std::set<std::string> task_names;
+  for (const auto& t : tasks) {
+    check_token(t.name, "task");
+    task_names.insert(t.name);
+  }
+  for (const auto& r : resources) check_token(r.name, "resource");
+
+  // Assign stable names to external model nodes (shared nodes emitted once).
+  // `activate from=` and `packed inputs=` resolve task names before source
+  // names, so a source name must not collide with any task name.
+  std::map<const EventModel*, std::string> source_names;
+  std::vector<const EventModel*> source_order;
+  std::size_t next_source = 0;
+  const auto name_source = [&](const ModelPtr& model) -> const std::string& {
+    const auto it = source_names.find(model.get());
+    if (it != source_names.end()) return it->second;
+    std::string name;
+    do {
+      name = "s" + std::to_string(next_source++);
+    } while (task_names.count(name) != 0);
+    source_order.push_back(model.get());
+    return source_names.emplace(model.get(), std::move(name)).first->second;
+  };
+  std::ostringstream sources_out;
+  const auto declare_source = [&](const ModelPtr& model) -> const std::string& {
+    if (model == nullptr)
+      throw std::invalid_argument("to_config_text: null external model");
+    const bool fresh = source_names.count(model.get()) == 0;
+    const std::string& name = name_source(model);
+    if (fresh)
+      sources_out << "source " << name << " " << source_stmt_tail(*model) << "\n";
+    return name;
+  };
+
+  std::ostringstream body;
+  for (cpa::TaskId t = 0; t < tasks.size(); ++t) {
+    const cpa::ActivationSpec& spec = system.activation(t);
+    const std::string& name = tasks[t].name;
+    if (const auto* ext = std::get_if<cpa::ExternalActivation>(&spec)) {
+      body << "activate " << name << " from=" << declare_source(ext->model) << "\n";
+    } else if (const auto* out = std::get_if<cpa::TaskOutputActivation>(&spec)) {
+      if (out->producers.empty())
+        throw std::invalid_argument("to_config_text: task '" + name + "' has no producers");
+      body << "activate " << name << (out->producers.size() == 1 ? " from=" : " or=");
+      for (std::size_t i = 0; i < out->producers.size(); ++i)
+        body << (i > 0 ? "," : "") << tasks[out->producers[i]].name;
+      body << "\n";
+    } else if (const auto* land = std::get_if<cpa::AndActivation>(&spec)) {
+      body << "activate " << name << " and=";
+      for (std::size_t i = 0; i < land->producers.size(); ++i)
+        body << (i > 0 ? "," : "") << tasks[land->producers[i]].name;
+      body << " period=" << land->period << "\n";
+    } else if (const auto* packed = std::get_if<cpa::PackedActivation>(&spec)) {
+      body << "packed " << name << " inputs=";
+      for (std::size_t i = 0; i < packed->inputs.size(); ++i) {
+        const auto& input = packed->inputs[i];
+        body << (i > 0 ? "," : "");
+        if (const auto* producer = std::get_if<cpa::TaskId>(&input.source))
+          body << tasks[*producer].name;
+        else
+          body << declare_source(std::get<ModelPtr>(input.source));
+        body << (input.coupling == SignalCoupling::kTriggering ? ":trig" : ":pend");
+      }
+      if (packed->timer != nullptr) body << " timer=" << timer_period(packed->timer);
+      body << "\n";
+    } else if (const auto* unpacked = std::get_if<cpa::UnpackedActivation>(&spec)) {
+      body << "unpack " << name << " frame=" << tasks[unpacked->frame_task].name
+           << " index=" << unpacked->index << "\n";
+    } else {
+      throw std::invalid_argument("to_config_text: task '" + name + "' has no activation");
+    }
+  }
+
+  std::ostringstream os;
+  for (const auto& r : resources) {
+    os << "resource " << r.name << " ";
+    switch (r.policy) {
+      case cpa::Policy::kSppPreemptive: os << "spp"; break;
+      case cpa::Policy::kSpnpCan: os << "can"; break;
+      case cpa::Policy::kRoundRobin: os << "rr"; break;
+      case cpa::Policy::kTdma: os << "tdma cycle=" << r.tdma_cycle; break;
+      case cpa::Policy::kFlexRayStatic:
+        os << "flexray cycle=" << r.tdma_cycle << " slot=" << r.slot_length;
+        break;
+      case cpa::Policy::kEdf: os << "edf"; break;
+    }
+    os << "\n";
+  }
+  os << sources_out.str();
+  for (const auto& t : tasks) {
+    os << "task " << t.name << " resource=" << resources[t.resource].name
+       << " priority=" << t.priority << " cet=" << t.cet.best << ":" << t.cet.worst;
+    if (t.slot != 0) os << " slot=" << t.slot;
+    if (t.deadline != 0) os << " deadline=" << t.deadline;
+    os << "\n";
+  }
+  os << body.str();
+  for (const auto& [task, ticks] : deadlines) {
+    if (task_names.count(task) == 0)
+      throw std::invalid_argument("to_config_text: deadline for unknown task '" + task + "'");
+    os << "deadline " << task << " " << ticks << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace hem::scenarios

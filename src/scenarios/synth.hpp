@@ -28,7 +28,9 @@
 /// guarantee) bit-identical analysis reports for every job count.
 
 #include <cstdint>
+#include <string>
 
+#include "model/sensitivity.hpp"
 #include "model/system.hpp"
 
 namespace hem::scenarios {
@@ -41,10 +43,30 @@ struct SynthParams {
   int layers = 4;            ///< gateway-chain depth (capped to `resources`)
   Time min_period = 100;     ///< shortest external source period
   Time max_period = 100000;  ///< longest external source period
+  /// Per-mille of CAN-bus tasks turned into packed COM frames (external
+  /// trig/pend signal sources plus an optional periodic send timer), with
+  /// some deeper CPU tasks activated by unpacking their inner streams —
+  /// the paper's hierarchical regime.  0 (the default) draws nothing from
+  /// the RNG, so existing seeds keep producing byte-identical systems.
+  int packed_permille = 0;
 };
 
 /// Build the synthetic system.  Throws std::invalid_argument on degenerate
 /// parameters (resources < 1, tasks < resources, utilisation outside (0,1)).
 [[nodiscard]] cpa::System build_synth_system(const SynthParams& params = {});
+
+/// Serialise a System (plus optional deadline constraints) to the textual
+/// `.hemcpa` format understood by textual_config.hpp.  External event
+/// models become named `source` statements (shared nodes are emitted once
+/// and referenced by name); pack timers become `timer=<period>` arguments.
+/// Parsing the result reconstructs a system whose analysis report is
+/// bit-identical to the original's (tests/integration/synth_roundtrip).
+///
+/// Throws std::invalid_argument when the system cannot be expressed in the
+/// format: external model kinds without a source-statement form (traces,
+/// arbitrary delta curves), non-periodic pack timers, or entity names that
+/// are not single whitespace-free tokens.
+[[nodiscard]] std::string to_config_text(const cpa::System& system,
+                                         const cpa::DeadlineMap& deadlines = {});
 
 }  // namespace hem::scenarios

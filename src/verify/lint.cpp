@@ -7,6 +7,7 @@
 #include <sstream>
 #include <variant>
 
+#include "daemon/protocol.hpp"
 #include "model/analysis_report.hpp"
 #include "model/system.hpp"
 #include "model/textual_config.hpp"
@@ -359,6 +360,31 @@ LintResult lint_config(std::istream& in) {
 
 int lint_exit_code(const LintResult& result, bool werror) {
   return result.fails(werror) ? 1 : 0;
+}
+
+std::string write_lint_json(const LintResult& result, const std::string& file, bool werror) {
+  std::string diags = "[";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    if (i > 0) diags += ',';
+    diags += daemon::JsonWriter()
+                 .add("file", file)
+                 .add("line", static_cast<long>(d.line))
+                 .add("col", static_cast<long>(d.col))
+                 .add("severity", to_string(d.severity))
+                 .add("code", d.code)
+                 .add("message", d.message)
+                 .str();
+  }
+  diags += ']';
+  return daemon::JsonWriter()
+      .add("file", file)
+      .add("parse_ok", result.parse_ok)
+      .add("rejected", result.fails(werror))
+      .add("warnings", static_cast<long>(result.count(LintSeverity::kWarning)))
+      .add("errors", static_cast<long>(result.count(LintSeverity::kError)))
+      .add_raw("diagnostics", diags)
+      .str();
 }
 
 }  // namespace hem::verify

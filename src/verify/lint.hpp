@@ -52,4 +52,21 @@ struct LintResult {
 /// the CLI itself.)
 [[nodiscard]] int lint_exit_code(const LintResult& result, bool werror);
 
+/// Machine-readable rendering of one lint run as a single JSON object:
+///
+/// ```json
+/// {"file": "a.hemcpa", "parse_ok": true, "rejected": false,
+///  "warnings": 1, "errors": 0,
+///  "diagnostics": [{"file": "a.hemcpa", "line": 3, "col": 10,
+///                   "severity": "warning", "code": "HL003",
+///                   "message": "..."}]}
+/// ```
+///
+/// Key order and escaping are stable (the daemon's json_escape), so the
+/// output is fingerprintable; `rejected` matches `fails(werror)` and
+/// therefore the text mode's exit code.  One object per input file —
+/// callers linting several files emit one JSON line each (JSONL).
+[[nodiscard]] std::string write_lint_json(const LintResult& result, const std::string& file,
+                                          bool werror);
+
 }  // namespace hem::verify

@@ -1,0 +1,538 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hem::verify {
+
+namespace {
+
+/// One line of the configuration, tokenised on whitespace with `#` comments
+/// stripped.  Blank/comment lines keep empty token lists and are preserved
+/// verbatim until a structural edit rebuilds `raw` from `tokens`.
+struct Stmt {
+  std::string raw;
+  std::vector<std::string> tokens;
+
+  [[nodiscard]] const std::string& keyword() const {
+    static const std::string kEmpty;
+    return tokens.empty() ? kEmpty : tokens.front();
+  }
+  [[nodiscard]] const std::string& entity() const {
+    static const std::string kEmpty;
+    return tokens.size() < 2 ? kEmpty : tokens[1];
+  }
+
+  void rebuild_raw() {
+    std::string out;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += tokens[i];
+    }
+    raw = std::move(out);
+  }
+};
+
+std::vector<Stmt> parse_lines(const std::string& text) {
+  std::vector<Stmt> stmts;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    Stmt s;
+    s.raw = line;
+    const std::string code = line.substr(0, line.find('#'));
+    std::istringstream ls(code);
+    std::string tok;
+    while (ls >> tok) s.tokens.push_back(tok);
+    stmts.push_back(std::move(s));
+  }
+  return stmts;
+}
+
+std::string render(const std::vector<Stmt>& stmts) {
+  std::string out;
+  for (const Stmt& s : stmts) {
+    out += s.raw;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Value of `key=` in the statement, or empty.
+std::string arg_value(const Stmt& s, const std::string& key) {
+  const std::string prefix = key + '=';
+  for (const std::string& tok : s.tokens)
+    if (tok.rfind(prefix, 0) == 0) return tok.substr(prefix.size());
+  return {};
+}
+
+/// Replace (or append) `key=value`; empty value removes the argument.
+void set_arg(Stmt& s, const std::string& key, const std::string& value) {
+  const std::string prefix = key + '=';
+  for (std::size_t i = 0; i < s.tokens.size(); ++i) {
+    if (s.tokens[i].rfind(prefix, 0) == 0) {
+      if (value.empty())
+        s.tokens.erase(s.tokens.begin() + static_cast<std::ptrdiff_t>(i));
+      else
+        s.tokens[i] = prefix + value;
+      s.rebuild_raw();
+      return;
+    }
+  }
+  if (!value.empty()) {
+    s.tokens.push_back(prefix + value);
+    s.rebuild_raw();
+  }
+}
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : list) {
+    if (c == ',') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+std::string join_list(const std::vector<std::string>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Name before the `:coupling` suffix of one packed input.
+std::string input_name(const std::string& part) { return part.substr(0, part.find(':')); }
+
+struct RemovalSet {
+  std::set<std::string> resources;
+  std::set<std::string> sources;
+  std::set<std::string> tasks;
+
+  [[nodiscard]] bool dead_ref(const std::string& name) const {
+    return tasks.count(name) != 0 || sources.count(name) != 0;
+  }
+};
+
+/// Expand the removal set to its lexical closure and drop every statement
+/// that declares, targets, or depends on a removed entity.
+std::vector<Stmt> apply_removal(const std::vector<Stmt>& in, RemovalSet rm) {
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Stmt& s : in) {
+      const std::string& kw = s.keyword();
+      if (kw == "task") {
+        if (rm.resources.count(arg_value(s, "resource")) != 0 &&
+            rm.tasks.insert(s.entity()).second)
+          grew = true;
+      } else if (kw == "activate") {
+        if (rm.tasks.count(s.entity()) != 0) continue;
+        bool dead = false;
+        if (const std::string from = arg_value(s, "from"); !from.empty())
+          dead = rm.dead_ref(from);
+        for (const char* key : {"or", "and"})
+          for (const std::string& part : split_list(arg_value(s, key)))
+            dead = dead || rm.dead_ref(part);
+        if (dead && rm.tasks.insert(s.entity()).second) grew = true;
+      } else if (kw == "packed") {
+        if (rm.tasks.count(s.entity()) != 0) continue;
+        bool dead = false;
+        for (const std::string& part : split_list(arg_value(s, "inputs")))
+          dead = dead || rm.dead_ref(input_name(part));
+        if (dead && rm.tasks.insert(s.entity()).second) grew = true;
+      } else if (kw == "unpack") {
+        if (rm.tasks.count(s.entity()) != 0) continue;
+        if (rm.tasks.count(arg_value(s, "frame")) != 0 && rm.tasks.insert(s.entity()).second)
+          grew = true;
+      }
+    }
+  }
+
+  std::vector<Stmt> out;
+  for (const Stmt& s : in) {
+    const std::string& kw = s.keyword();
+    if (kw == "resource" && rm.resources.count(s.entity()) != 0) continue;
+    if (kw == "source" && rm.sources.count(s.entity()) != 0) continue;
+    if (kw == "task" && rm.tasks.count(s.entity()) != 0) continue;
+    if ((kw == "activate" || kw == "packed" || kw == "unpack" || kw == "deadline") &&
+        rm.tasks.count(s.entity()) != 0)
+      continue;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> declared(const std::vector<Stmt>& stmts, const std::string& keyword) {
+  std::vector<std::string> names;
+  for (const Stmt& s : stmts)
+    if (s.keyword() == keyword && !s.entity().empty()) names.push_back(s.entity());
+  return names;
+}
+
+/// Drop packed input `index` of frame `frame` and renumber the unpack
+/// statements that extract later inner streams.
+void drop_packed_input(std::vector<Stmt>& stmts, const std::string& frame, std::size_t index) {
+  for (Stmt& s : stmts) {
+    if (s.keyword() == "packed" && s.entity() == frame) {
+      std::vector<std::string> inputs = split_list(arg_value(s, "inputs"));
+      if (index >= inputs.size()) return;
+      inputs.erase(inputs.begin() + static_cast<std::ptrdiff_t>(index));
+      set_arg(s, "inputs", join_list(inputs));
+    }
+  }
+  std::vector<Stmt> kept;
+  for (Stmt& s : stmts) {
+    if (s.keyword() == "unpack" && arg_value(s, "frame") == frame) {
+      const std::size_t i = static_cast<std::size_t>(std::stoul(arg_value(s, "index")));
+      if (i == index) continue;  // the extracted stream is gone with its input
+      if (i > index) set_arg(s, "index", std::to_string(i - 1));
+    }
+    kept.push_back(std::move(s));
+  }
+  stmts = std::move(kept);
+}
+
+/// Driver state for one shrink run: applies a candidate, asks the
+/// predicate, and keeps the candidate on success.
+struct Shrinker {
+  std::vector<Stmt> current;
+  const std::function<bool(const std::string&)>& still_fails;
+  int attempts = 0;
+  int max_attempts;
+  bool changed = false;
+
+  [[nodiscard]] bool budget_left() const { return attempts < max_attempts; }
+
+  /// True (and adopts the candidate) when it still reproduces the failure.
+  bool try_adopt(std::vector<Stmt> candidate) {
+    const std::string text = render(candidate);
+    if (text == render(current)) return false;
+    if (!budget_left()) return false;
+    ++attempts;
+    if (!still_fails(text)) return false;
+    current = std::move(candidate);
+    changed = true;
+    return true;
+  }
+};
+
+/// Try to remove each declared entity of one kind, re-enumerating after
+/// every successful removal (the closure may have taken neighbours along).
+bool pass_drop_entities(Shrinker& sh, const std::string& keyword,
+                        std::set<std::string> RemovalSet::*member) {
+  bool progress = false;
+  std::set<std::string> tried;
+  bool scan = true;
+  while (scan && sh.budget_left()) {
+    scan = false;
+    for (const std::string& name : declared(sh.current, keyword)) {
+      if (!tried.insert(name).second) continue;
+      RemovalSet rm;
+      (rm.*member).insert(name);
+      if (sh.try_adopt(apply_removal(sh.current, rm))) {
+        progress = true;
+        scan = true;  // entity list changed under us; restart enumeration
+        break;
+      }
+      if (!sh.budget_left()) break;
+    }
+  }
+  return progress;
+}
+
+bool pass_drop_signals(Shrinker& sh) {
+  bool progress = false;
+  bool scan = true;
+  while (scan && sh.budget_left()) {
+    scan = false;
+    for (const Stmt& s : sh.current) {
+      if (s.keyword() == "packed") {
+        const std::vector<std::string> inputs = split_list(arg_value(s, "inputs"));
+        if (inputs.size() > 1) {
+          for (std::size_t i = 0; i < inputs.size(); ++i) {
+            std::vector<Stmt> candidate = sh.current;
+            drop_packed_input(candidate, s.entity(), i);
+            if (sh.try_adopt(std::move(candidate))) {
+              progress = scan = true;
+              break;
+            }
+          }
+          if (scan) break;
+        }
+        if (!arg_value(s, "timer").empty()) {
+          std::vector<Stmt> candidate = sh.current;
+          for (Stmt& c : candidate)
+            if (c.keyword() == "packed" && c.entity() == s.entity()) set_arg(c, "timer", "");
+          if (sh.try_adopt(std::move(candidate))) {
+            progress = scan = true;
+            break;
+          }
+        }
+      } else if (s.keyword() == "activate") {
+        const std::vector<std::string> producers = split_list(arg_value(s, "or"));
+        if (producers.size() > 1) {
+          for (std::size_t i = 0; i < producers.size(); ++i) {
+            std::vector<Stmt> candidate = sh.current;
+            for (Stmt& c : candidate) {
+              if (c.keyword() != "activate" || c.entity() != s.entity()) continue;
+              std::vector<std::string> kept = producers;
+              kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(i));
+              if (kept.size() == 1) {
+                // `or=` needs >= 1 entry; a single producer is `from=`.
+                set_arg(c, "or", "");
+                set_arg(c, "from", kept.front());
+              } else {
+                set_arg(c, "or", join_list(kept));
+              }
+            }
+            if (sh.try_adopt(std::move(candidate))) {
+              progress = scan = true;
+              break;
+            }
+          }
+          if (scan) break;
+        }
+      }
+    }
+  }
+  return progress;
+}
+
+bool pass_simplify(Shrinker& sh) {
+  bool progress = false;
+  // Dead weight first: deadline / option lines, then unreferenced sources.
+  for (const char* keyword : {"deadline", "option"}) {
+    bool scan = true;
+    while (scan && sh.budget_left()) {
+      scan = false;
+      for (std::size_t i = 0; i < sh.current.size(); ++i) {
+        if (sh.current[i].keyword() != keyword) continue;
+        std::vector<Stmt> candidate = sh.current;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+        if (sh.try_adopt(std::move(candidate))) {
+          progress = scan = true;
+          break;
+        }
+      }
+    }
+  }
+  if (pass_drop_entities(sh, "source", &RemovalSet::sources)) progress = true;
+
+  // Model simplifications on the surviving sources.
+  bool scan = true;
+  while (scan && sh.budget_left()) {
+    scan = false;
+    for (const Stmt& s : sh.current) {
+      if (s.keyword() != "source" || s.tokens.size() < 3) continue;
+      const std::string& kind = s.tokens[2];
+      const std::string period = arg_value(s, "period");
+      std::vector<Stmt> candidate = sh.current;
+      bool edited = false;
+      for (Stmt& c : candidate) {
+        if (c.keyword() != "source" || c.entity() != s.entity()) continue;
+        if (kind == "sem" && !period.empty()) {
+          c.tokens = {"source", c.entity(), "periodic", "period=" + period};
+          c.rebuild_raw();
+          edited = true;
+        } else if (kind != "periodic" && !period.empty()) {
+          c.tokens = {"source", c.entity(), "periodic", "period=" + period};
+          c.rebuild_raw();
+          edited = true;
+        }
+      }
+      if (edited && sh.try_adopt(std::move(candidate))) {
+        progress = scan = true;
+        break;
+      }
+      // Weaker fallback for SEMs the full rewrite could not keep failing:
+      // zero the jitter only.
+      if (kind == "sem" && !arg_value(s, "jitter").empty()) {
+        candidate = sh.current;
+        for (Stmt& c : candidate)
+          if (c.keyword() == "source" && c.entity() == s.entity()) set_arg(c, "jitter", "");
+        if (sh.try_adopt(std::move(candidate))) {
+          progress = scan = true;
+          break;
+        }
+      }
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+ShrinkResult shrink_config(const std::string& text,
+                           const std::function<bool(const std::string&)>& still_fails,
+                           const ShrinkOptions& options) {
+  Shrinker sh{parse_lines(text), still_fails, 0, options.max_attempts, false};
+  // Strip comment/blank lines once — pure noise for a reproducer.
+  std::vector<Stmt> stripped;
+  for (const Stmt& s : sh.current)
+    if (!s.tokens.empty()) stripped.push_back(s);
+  if (stripped.size() != sh.current.size()) sh.try_adopt(std::move(stripped));
+
+  bool progress = true;
+  while (progress && sh.budget_left()) {
+    progress = false;
+    progress |= pass_drop_entities(sh, "resource", &RemovalSet::resources);
+    progress |= pass_drop_entities(sh, "task", &RemovalSet::tasks);
+    progress |= pass_drop_signals(sh);
+    progress |= pass_simplify(sh);
+  }
+  return {render(sh.current), sh.attempts, sh.changed};
+}
+
+std::string mutate_config(const std::string& text, std::uint64_t seed) {
+  std::vector<Stmt> stmts = parse_lines(text);
+  std::mt19937_64 rng(seed);
+  const auto draw = [&](std::uint64_t n) { return n == 0 ? 0 : rng() % n; };
+  const auto pick_stmt = [&](const std::string& keyword) -> Stmt* {
+    std::vector<Stmt*> matches;
+    for (Stmt& s : stmts)
+      if (s.keyword() == keyword) matches.push_back(&s);
+    if (matches.empty()) return nullptr;
+    return matches[draw(matches.size())];
+  };
+
+  const int ops = 1 + static_cast<int>(draw(3));
+  for (int op = 0; op < ops; ++op) {
+    switch (draw(8)) {
+      case 0: {  // scale a task's execution times
+        if (Stmt* s = pick_stmt("task")) {
+          const std::string cet = arg_value(*s, "cet");
+          const std::size_t colon = cet.find(':');
+          const long factor = draw(2) == 0 ? 2 : 8;
+          try {
+            if (colon == std::string::npos) {
+              set_arg(*s, "cet", std::to_string(std::stol(cet) * factor));
+            } else {
+              set_arg(*s, "cet",
+                      std::to_string(std::stol(cet.substr(0, colon)) * factor) + ":" +
+                          std::to_string(std::stol(cet.substr(colon + 1)) * factor));
+            }
+          } catch (const std::exception&) {
+          }
+        }
+        break;
+      }
+      case 1: {  // perturb a priority
+        if (Stmt* s = pick_stmt("task")) {
+          try {
+            const long p = std::stol(arg_value(*s, "priority"));
+            set_arg(*s, "priority", std::to_string(p + static_cast<long>(draw(5)) - 2));
+          } catch (const std::exception&) {
+          }
+        }
+        break;
+      }
+      case 2: {  // duplicate another task's priority (HL002 regime)
+        Stmt* a = pick_stmt("task");
+        Stmt* b = pick_stmt("task");
+        if (a != nullptr && b != nullptr && a != b &&
+            arg_value(*a, "resource") == arg_value(*b, "resource"))
+          set_arg(*a, "priority", arg_value(*b, "priority"));
+        break;
+      }
+      case 3: {  // inflate or zero a SEM's jitter
+        if (Stmt* s = pick_stmt("source")) {
+          if (s->tokens.size() > 2 && s->tokens[2] == "sem") {
+            try {
+              const long jitter = std::stol(arg_value(*s, "jitter"));
+              set_arg(*s, "jitter", draw(2) == 0 ? "0" : std::to_string(jitter * 4 + 1));
+            } catch (const std::exception&) {
+            }
+          }
+        }
+        break;
+      }
+      case 4: {  // move a SEM's dmin to an extreme
+        if (Stmt* s = pick_stmt("source")) {
+          if (s->tokens.size() > 2 && s->tokens[2] == "sem")
+            set_arg(*s, "dmin", draw(2) == 0 ? "0" : arg_value(*s, "period"));
+        }
+        break;
+      }
+      case 5: {  // drop a task and its dependents
+        const std::vector<std::string> tasks = declared(stmts, "task");
+        if (!tasks.empty()) {
+          RemovalSet rm;
+          rm.tasks.insert(tasks[draw(tasks.size())]);
+          stmts = apply_removal(stmts, rm);
+        }
+        break;
+      }
+      case 6: {  // duplicate a task (clone declaration + activation edges)
+        const std::vector<std::string> tasks = declared(stmts, "task");
+        if (tasks.empty()) break;
+        const std::string victim = tasks[draw(tasks.size())];
+        std::vector<Stmt> clones;
+        for (const Stmt& s : stmts) {
+          if (s.entity() != victim) continue;
+          if (s.keyword() != "task" && s.keyword() != "activate" && s.keyword() != "packed" &&
+              s.keyword() != "unpack")
+            continue;
+          Stmt clone = s;
+          clone.tokens[1] = victim + "_d";
+          clone.rebuild_raw();
+          clones.push_back(std::move(clone));
+        }
+        for (Stmt& c : clones) stmts.push_back(std::move(c));
+        break;
+      }
+      case 7: {  // packed-frame surgery: coupling flip, input drop, timer
+        if (Stmt* s = pick_stmt("packed")) {
+          std::vector<std::string> inputs = split_list(arg_value(*s, "inputs"));
+          if (inputs.empty()) break;
+          const std::string frame = s->entity();
+          switch (draw(3)) {
+            case 0: {  // flip a coupling, keeping the frame sendable
+              const std::size_t i = draw(inputs.size());
+              const bool to_pend = inputs[i].size() > 5 &&
+                                   inputs[i].compare(inputs[i].size() - 5, 5, ":trig") == 0;
+              std::size_t triggering = 0;
+              for (const std::string& part : inputs)
+                if (part.find(":trig") != std::string::npos) ++triggering;
+              const bool has_timer = !arg_value(*s, "timer").empty();
+              if (to_pend && triggering == 1 && !has_timer) break;  // would be HL008
+              inputs[i] = input_name(inputs[i]) + (to_pend ? ":pend" : ":trig");
+              set_arg(*s, "inputs", join_list(inputs));
+              break;
+            }
+            case 1: {  // drop one input (with unpack renumbering)
+              if (inputs.size() > 1) drop_packed_input(stmts, frame, draw(inputs.size()));
+              break;
+            }
+            default: {  // toggle the send timer
+              if (arg_value(*s, "timer").empty())
+                set_arg(*s, "timer", std::to_string(100 * (1 + draw(50))));
+              else if (std::count_if(inputs.begin(), inputs.end(), [](const std::string& p) {
+                         return p.find(":trig") != std::string::npos;
+                       }) > 0)
+                set_arg(*s, "timer", "");
+              break;
+            }
+          }
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+  return render(stmts);
+}
+
+}  // namespace hem::verify

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file shrink.hpp
+/// Lexical `.hemcpa` reduction and mutation for the hemfuzz driver.
+///
+/// `shrink_config` is a greedy ddmin-style minimiser: it repeatedly removes
+/// or simplifies statements of a failing configuration — whole resources
+/// first, then tasks, then individual packed inputs / OR producers / pack
+/// timers, then model simplifications (sem -> periodic, jitter -> 0) and
+/// dead deadline/option lines — keeping every candidate for which the
+/// caller's predicate still reproduces the original failure.  Removing a
+/// declaration pulls its lexical closure along (statements referencing the
+/// name, and the tasks those statements activate, recursively), so most
+/// candidates stay parseable; candidates that are not are simply rejected
+/// by the predicate, which must return false for configurations that do not
+/// reproduce the failure *including* ones that no longer parse.
+///
+/// `mutate_config` is the fuzzing counterpart: seeded, deterministic
+/// perturbations of a valid configuration (priority/jitter/dmin/cet
+/// perturbations, task drop/duplicate, packed-input coupling flips and
+/// timer toggles) used by hemfuzz to diversify the synthesiser's output.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace hem::verify {
+
+struct ShrinkOptions {
+  int max_attempts = 4096;  ///< predicate-evaluation budget
+};
+
+struct ShrinkResult {
+  std::string text;   ///< minimised configuration (== input when nothing shrank)
+  int attempts = 0;   ///< predicate evaluations spent
+  bool changed = false;
+};
+
+/// Minimise `text` while `still_fails(candidate)` holds.  The input itself
+/// is assumed to fail (the predicate is not re-checked on it).
+[[nodiscard]] ShrinkResult shrink_config(const std::string& text,
+                                         const std::function<bool(const std::string&)>& still_fails,
+                                         const ShrinkOptions& options = {});
+
+/// Deterministically perturb a configuration.  Same text + same seed =>
+/// same result.  The result usually parses but is not guaranteed to
+/// (mutations are lexical); callers must tolerate rejects.
+[[nodiscard]] std::string mutate_config(const std::string& text, std::uint64_t seed);
+
+}  // namespace hem::verify

@@ -1,0 +1,141 @@
+// End-to-end tests of the `hemfuzz` driver binary: a clean trunk run over a
+// few seeds exits 0 with no reproducers; an injected-fault run exits 1,
+// writes a parseable reproducer shrunk to <= 3 resources, and buckets the
+// failure identically across two runs; bad usage exits 3.
+// POSIX-only (std::system exit-code decoding); skipped elsewhere.
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model/textual_config.hpp"
+
+namespace hem {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_hemfuzz(const std::string& args, const fs::path& dir) {
+  const fs::path out_file = dir / "stdout.txt";
+  std::ostringstream cmd;
+  cmd << "\"" << HEMFUZZ_BIN << "\" " << args << " > \"" << out_file.string()
+      << "\" 2>&1";
+  const int raw = std::system(cmd.str().c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(out_file);
+  std::ostringstream os;
+  os << in.rdbuf();
+  result.output = os.str();
+  return result;
+}
+
+fs::path fresh_dir(const std::string& leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("hemfuzz_it_" + leaf);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<fs::path> repro_files(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("repro-", 0) == 0) files.push_back(entry.path());
+  }
+  return files;
+}
+
+std::set<std::string> bucket_lines(const std::string& output) {
+  std::set<std::string> buckets;
+  std::istringstream lines(output);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("bucket=", 0) != 0) continue;
+    // Keep only the stable prefix (bucket/oracle/fingerprint); the repro
+    // path differs across output directories.
+    const auto cut = line.find(" seed=");
+    buckets.insert(cut == std::string::npos ? line : line.substr(0, cut));
+  }
+  return buckets;
+}
+
+TEST(HemfuzzTest, CleanSeedsExitZeroWithoutReproducers) {
+  const fs::path dir = fresh_dir("clean");
+  const RunResult r = run_hemfuzz(
+      "--seeds 1..3 --mutations 1 --sim-horizon 20000 --out-dir \"" +
+          dir.string() + "\"",
+      dir);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 failure bucket(s)"), std::string::npos) << r.output;
+  EXPECT_TRUE(repro_files(dir).empty());
+}
+
+TEST(HemfuzzTest, InjectedFaultIsCaughtShrunkAndBucketedDeterministically) {
+  const fs::path dir_a = fresh_dir("inject_a");
+  const std::string args =
+      "--seeds 1..2 --mutations 0 --inject ax3 --sim-horizon 20000";
+  const RunResult a =
+      run_hemfuzz(args + " --out-dir \"" + dir_a.string() + "\"", dir_a);
+  EXPECT_EQ(a.exit_code, 1) << a.output;
+  const auto repros = repro_files(dir_a);
+  ASSERT_FALSE(repros.empty()) << a.output;
+
+  // Every reproducer must still parse (comment header included) and be
+  // shrunk to at most 3 resources.
+  for (const fs::path& repro : repros) {
+    std::ifstream in(repro);
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string text = os.str();
+    int resources = 0;
+    std::istringstream lines(text);
+    for (std::string line; std::getline(lines, line);) {
+      if (line.rfind("resource ", 0) == 0) ++resources;
+    }
+    EXPECT_LE(resources, 3) << repro << "\n" << text;
+    std::ifstream again(repro);
+    EXPECT_NO_THROW((void)cpa::parse_system_config(again))
+        << repro << "\n" << text;
+  }
+
+  // Same seeds + same injection => identical bucket ids on a second run.
+  const fs::path dir_b = fresh_dir("inject_b");
+  const RunResult b =
+      run_hemfuzz(args + " --out-dir \"" + dir_b.string() + "\"", dir_b);
+  EXPECT_EQ(b.exit_code, 1) << b.output;
+  EXPECT_EQ(bucket_lines(a.output), bucket_lines(b.output))
+      << "run A:\n" << a.output << "\nrun B:\n" << b.output;
+}
+
+TEST(HemfuzzTest, UnknownFlagExitsWithUsage) {
+  const fs::path dir = fresh_dir("usage");
+  const RunResult r = run_hemfuzz("--definitely-not-a-flag", dir);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST(HemfuzzTest, BadSeedRangeExitsWithUsage) {
+  const fs::path dir = fresh_dir("badrange");
+  const RunResult r = run_hemfuzz("--seeds 9..2", dir);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+}
+
+}  // namespace
+}  // namespace hem
+
+#endif  // __unix__ || __APPLE__

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "daemon/protocol.hpp"
 #include "verify/lint.hpp"
 
 namespace hem::verify {
@@ -269,6 +270,79 @@ deadline T1 2
     EXPECT_LE(result.diagnostics[i - 1].line, result.diagnostics[i].line) << dump(result);
   EXPECT_EQ(result.count(LintSeverity::kWarning), 2u) << dump(result);
   EXPECT_EQ(result.count(LintSeverity::kError), 1u) << dump(result);
+}
+
+TEST(HemlintJson, FieldsMirrorTheTextModeOutcome) {
+  const auto result = lint(R"(
+resource CPU1 spp
+source s1 periodic period=100
+source unused periodic period=50
+task T1 resource=CPU1 priority=1 cet=10
+activate T1 from=s1
+deadline T1 2
+)");
+  ASSERT_TRUE(result.parse_ok);
+  ASSERT_EQ(result.count(LintSeverity::kWarning), 1u) << dump(result);  // HL005
+  ASSERT_EQ(result.count(LintSeverity::kError), 1u) << dump(result);    // HL010
+
+  const std::string json = write_lint_json(result, "sys.hemcpa", /*werror=*/false);
+  EXPECT_EQ(daemon::json_find(json, "file"), "sys.hemcpa");
+  EXPECT_EQ(daemon::json_find(json, "parse_ok"), "true");
+  EXPECT_EQ(daemon::json_find(json, "warnings"), "1");
+  EXPECT_EQ(daemon::json_find(json, "errors"), "1");
+  // `rejected` must track fails(werror), i.e. the text mode's exit code.
+  EXPECT_EQ(daemon::json_find(json, "rejected") == "true",
+            lint_exit_code(result, /*werror=*/false) != 0);
+  EXPECT_NE(json.find("\"HL005\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"HL010\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\":\"warning\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos) << json;
+  // One object per file, one line each (JSONL): no embedded newlines.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(HemlintJson, RejectedTracksWerror) {
+  const auto result = lint(R"(
+resource CPU1 spp
+source s1 periodic period=100
+source unused periodic period=50
+task T1 resource=CPU1 priority=1 cet=10
+activate T1 from=s1
+)");
+  ASSERT_TRUE(result.parse_ok);
+  ASSERT_EQ(result.count(LintSeverity::kWarning), 1u) << dump(result);
+  ASSERT_EQ(result.count(LintSeverity::kError), 0u) << dump(result);
+  EXPECT_EQ(daemon::json_find(write_lint_json(result, "a", false), "rejected"), "false");
+  EXPECT_EQ(daemon::json_find(write_lint_json(result, "a", true), "rejected"), "true");
+}
+
+TEST(HemlintJson, EscapesQuotesAndBackslashes) {
+  // Entity names are whitespace-delimited tokens, so quotes and backslashes
+  // are legal in them and flow into diagnostic messages (HL005 names the
+  // unreferenced source); the JSON rendering must escape both, and the file
+  // name goes through the same escaper.
+  const auto result = lint(R"(
+resource CPU1 spp
+source s1 periodic period=100
+source un"us\ed periodic period=50
+task T1 resource=CPU1 priority=1 cet=10
+activate T1 from=s1
+)");
+  ASSERT_TRUE(result.parse_ok);
+  ASSERT_NE(find(result, "HL005"), nullptr) << dump(result);
+  const std::string json = write_lint_json(result, "dir\\sys \"v2\".hemcpa", false);
+  EXPECT_NE(json.find("un\\\"us\\\\ed"), std::string::npos) << json;
+  EXPECT_NE(json.find("dir\\\\sys \\\"v2\\\".hemcpa"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(HemlintJson, ParseFailureStillRendersDiagnostics) {
+  const auto result = lint("resource CPU1 spp\nbogus line here\n");
+  ASSERT_FALSE(result.parse_ok);
+  const std::string json = write_lint_json(result, "broken.hemcpa", false);
+  EXPECT_EQ(daemon::json_find(json, "parse_ok"), "false");
+  EXPECT_EQ(daemon::json_find(json, "rejected"), "true");
+  EXPECT_NE(json.find("\"HL000\""), std::string::npos) << json;
 }
 
 TEST(Hemlint, FormatRendersGccStyle) {

@@ -29,8 +29,10 @@
 #include "core/trace_model.hpp"
 #include "hierarchical/inner_update.hpp"
 #include "hierarchical/pack_constructor.hpp"
+#include "model/cpa_engine.hpp"
 #include "model/diagnostics.hpp"
 #include "rtc/compile.hpp"
+#include "scenarios/synth.hpp"
 #include "verify/contracts.hpp"
 #include "verify/model_checker.hpp"
 
@@ -151,6 +153,48 @@ TEST(ModelCheckerProperty, AllSubclassesSatisfyAllAxioms) {
 
     // The engine's degraded-fallback envelope (eq.-8 shape).
     expect_clean(cpa::SporadicEnvelopeModel(rnd.range(0, 100)), "envelope");
+  }
+}
+
+// AX1-AX13 sweep over whole analysed systems: every per-task model the
+// engine publishes (activation, output, hierarchical frame output) from 10
+// seeded synth systems — half of them in the packed/hierarchical regime —
+// must satisfy every axiom, both lazily and after compilation.
+TEST(ModelCheckerProperty, AnalysedSynthSystemsSatisfyAllAxioms) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    scenarios::SynthParams params;
+    params.resources = 5;
+    params.tasks = 15;
+    params.layers = 3;
+    params.seed = seed;
+    params.packed_permille = seed % 2 == 0 ? 300 : 0;
+    const cpa::System sys = scenarios::build_synth_system(params);
+    cpa::EngineOptions eopts;
+    eopts.jobs = 1;
+    const cpa::AnalysisReport report = cpa::CpaEngine(sys, eopts).run();
+    ASSERT_TRUE(report.converged) << "seed " << seed;
+
+    CheckerOptions copts;
+    copts.horizon = 24;  // 15 tasks x several models per task: keep it quick
+    ModelChecker checker(copts);
+    rtc::CompileOptions lower;
+    lower.max_horizon = 24;
+    for (const cpa::TaskResult& task : report.tasks) {
+      const std::string base = "seed" + std::to_string(seed) + "/" + task.name;
+      const std::pair<ModelPtr, const char*> models[] = {{task.activation, "/act"},
+                                                         {task.output, "/out"}};
+      for (const auto& [model, what] : models) {
+        if (model == nullptr) continue;
+        checker.check_model(*model, base + what);
+        model->ensure_compiled(lower);
+        checker.check_compiled(*model, base + what);
+      }
+      if (task.hem_output != nullptr) {
+        checker.check_hierarchical(*task.hem_output, base + "/hem",
+                                   /*outer_bounds_inner=*/false);
+      }
+    }
+    EXPECT_TRUE(checker.ok()) << checker.format();
   }
 }
 

@@ -1,7 +1,7 @@
 // hemlint — static analyzer for .hemcpa configuration files.
 //
 // Usage:
-//   hemlint [--werror] <config> [<config> ...]
+//   hemlint [--werror] [--json] <config> [<config> ...]
 //
 // Parses each configuration (same parser as hemcpa) and runs graph-level
 // static checks WITHOUT running the CPA engine: utilization > 1, duplicate
@@ -13,6 +13,10 @@
 //
 // Options:
 //   --werror   treat warnings as errors (any finding rejects the config)
+//   --json     machine-readable output: one JSON object per input file
+//              (JSONL, schema in verify/lint.hpp), no summary line.  Exit
+//              codes are identical to text mode; `hemfuzz` and CI consume
+//              this to bucket lint/engine disagreements.
 //
 // Exit status — the 0/1/3 subset of the unified code table documented in
 // tools/hemcpa.cpp, README.md, and docs/robustness.md (3 = usage always
@@ -30,21 +34,24 @@
 
 int main(int argc, char** argv) {
   bool werror = false;
+  bool json = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "error: unknown flag '" << arg << "'\n";
-      std::cerr << "usage: hemlint [--werror] <config> [<config> ...]\n";
+      std::cerr << "usage: hemlint [--werror] [--json] <config> [<config> ...]\n";
       return 3;
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: hemlint [--werror] <config> [<config> ...]\n";
+    std::cerr << "usage: hemlint [--werror] [--json] <config> [<config> ...]\n";
     return 3;
   }
 
@@ -58,12 +65,16 @@ int main(int argc, char** argv) {
       return 3;
     }
     const hem::verify::LintResult result = hem::verify::lint_config(in);
-    for (const auto& d : result.diagnostics) std::cout << format(d, file) << "\n";
+    if (json) {
+      std::cout << hem::verify::write_lint_json(result, file, werror) << "\n";
+    } else {
+      for (const auto& d : result.diagnostics) std::cout << format(d, file) << "\n";
+    }
     warnings += result.count(hem::verify::LintSeverity::kWarning);
     errors += result.count(hem::verify::LintSeverity::kError);
     rejected = rejected || result.fails(werror);
   }
-  if (warnings + errors > 0)
+  if (!json && warnings + errors > 0)
     std::cout << warnings << " warning(s), " << errors << " error(s)"
               << (rejected && errors == 0 ? " (warnings rejected by --werror)" : "") << "\n";
   return rejected ? 1 : 0;

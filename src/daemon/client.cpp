@@ -1,7 +1,13 @@
 #include "daemon/client.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/socket.h>
@@ -16,22 +22,52 @@ namespace hem::daemon {
 
 #if HEM_DAEMON_POSIX
 
-Client::Client(const std::string& socket_path, long io_timeout_ms)
+namespace {
+
+/// connect() errors worth retrying: the daemon is starting up (no socket
+/// yet), restarting (stale socket refuses), was interrupted mid-handshake,
+/// or reset us off a full backlog.  Everything else is a configuration
+/// problem that a retry cannot fix.
+[[nodiscard]] bool transient_connect_errno(int err) noexcept {
+  return err == ECONNREFUSED || err == ENOENT || err == EINTR || err == ECONNRESET ||
+         err == EAGAIN;
+}
+
+/// Deterministic per-process jitter source — enough to decorrelate a fleet
+/// of clients hammering one restarting daemon, no <random> needed.
+[[nodiscard]] long backoff_ms(int attempt) noexcept {
+  const long base = 50L << std::min(attempt, 5);  // 50, 100, 200, ... capped
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  const long jitter = static_cast<long>(static_cast<unsigned long>(now) % 32);
+  return std::min(base, 2000L) + jitter;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, long io_timeout_ms, int connect_retries)
     : io_timeout_ms_(io_timeout_ms), reader_(-1) {
   if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path))
     throw std::runtime_error("daemon socket path too long: '" + socket_path + "'");
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("cannot create client socket");
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", socket_path.c_str());
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  int last_errno = 0;
+  for (int attempt = 0; attempt <= std::max(0, connect_retries); ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms(attempt - 1)));
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("cannot create client socket");
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      reader_ = LineReader(fd_);
+      return;
+    }
+    last_errno = errno;
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("cannot connect to daemon at '" + socket_path +
-                             "' (is hemcpad running?)");
+    if (!transient_connect_errno(last_errno)) break;
   }
-  reader_ = LineReader(fd_);
+  throw std::runtime_error("cannot connect to daemon at '" + socket_path +
+                           "' (is hemcpad running?): " + std::strerror(last_errno));
 }
 
 Client::~Client() { close(); }
@@ -95,7 +131,7 @@ std::string Client::drain(bool force_stop) {
 
 #else  // !HEM_DAEMON_POSIX
 
-Client::Client(const std::string&, long io_timeout_ms)
+Client::Client(const std::string&, long io_timeout_ms, int)
     : io_timeout_ms_(io_timeout_ms), reader_(-1) {
   throw std::runtime_error("hemcpad requires a POSIX platform");
 }

@@ -17,9 +17,16 @@ namespace hem::daemon {
 
 class Client {
  public:
-  /// Connect to the daemon socket.  \throws std::runtime_error when the
-  /// socket cannot be reached.
-  explicit Client(const std::string& socket_path, long io_timeout_ms = 10'000);
+  /// Connect to the daemon socket.  Transient connect() failures — the
+  /// socket not existing yet (daemon still starting), ECONNREFUSED (stale
+  /// socket during a restart), EINTR, ECONNRESET (listener backlog reset) —
+  /// are retried up to `connect_retries` extra times with jittered
+  /// exponential backoff (~50 ms, ~100 ms, ~200 ms ... capped at 2 s).
+  /// Non-transient errors (path too long, EACCES, ...) throw immediately.
+  /// \throws std::runtime_error when the socket cannot be reached after
+  /// all retries.
+  explicit Client(const std::string& socket_path, long io_timeout_ms = 10'000,
+                  int connect_retries = 3);
   ~Client();
 
   Client(const Client&) = delete;

@@ -2,14 +2,36 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace hem::daemon {
 
-WarmModelCache::WarmModelCache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+namespace {
+// Used as a gauge: insertions add the entry size, evictions subtract it.
+obs::Counter& g_cache_bytes = obs::registry().counter("daemon.cache.bytes");
+}  // namespace
+
+WarmModelCache::WarmModelCache(std::size_t capacity, std::size_t max_bytes)
+    : capacity_(std::max<std::size_t>(1, capacity)), max_bytes_(max_bytes) {}
 
 WarmModelCache::Entry* WarmModelCache::lookup(std::uint64_t fingerprint) {
   for (Entry& e : entries_)
     if (e.fingerprint == fingerprint) return &e;
   return nullptr;
+}
+
+void WarmModelCache::erase_locked(std::vector<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  g_cache_bytes.add(-static_cast<long>(it->bytes));
+  entries_.erase(it);
+}
+
+void WarmModelCache::evict_lru_locked() {
+  auto oldest = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+  erase_locked(oldest);
+  ++evictions_;
 }
 
 std::shared_ptr<const cpa::EngineSnapshot> WarmModelCache::find_exact(std::uint64_t fingerprint) {
@@ -73,31 +95,44 @@ void WarmModelCache::insert(std::uint64_t fingerprint,
   for (const auto& t : snapshot->tasks) signatures.push_back(t.signature);
   std::sort(signatures.begin(), signatures.end());
 
+  const std::size_t entry_bytes = snapshot->approx_bytes();
+
   std::lock_guard<std::mutex> lock(mx_);
   if (Entry* e = lookup(fingerprint)) {
+    bytes_ -= e->bytes;
+    g_cache_bytes.add(static_cast<long>(entry_bytes) - static_cast<long>(e->bytes));
     e->snapshot = std::move(snapshot);
     e->signatures = std::move(signatures);
     e->last_used = ++clock_;
+    e->bytes = entry_bytes;
+    bytes_ += entry_bytes;
+    while (max_bytes_ != 0 && bytes_ > max_bytes_ && entries_.size() > 1) evict_lru_locked();
     return;
   }
-  if (entries_.size() >= capacity_) {
-    auto oldest = std::min_element(
-        entries_.begin(), entries_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
-    entries_.erase(oldest);
-    ++evictions_;
-  }
+  if (entries_.size() >= capacity_) evict_lru_locked();
   Entry e;
   e.fingerprint = fingerprint;
   e.snapshot = std::move(snapshot);
   e.signatures = std::move(signatures);
   e.last_used = ++clock_;
+  e.bytes = entry_bytes;
+  bytes_ += entry_bytes;
+  g_cache_bytes.add(static_cast<long>(entry_bytes));
   entries_.push_back(std::move(e));
+  // Byte cap: evict LRU-first until under budget, but never the entry just
+  // inserted — one oversized snapshot shrinks the cache, it does not turn
+  // every future insert into a no-op.
+  while (max_bytes_ != 0 && bytes_ > max_bytes_ && entries_.size() > 1) evict_lru_locked();
 }
 
 std::size_t WarmModelCache::size() const {
   std::lock_guard<std::mutex> lock(mx_);
   return entries_.size();
+}
+
+std::size_t WarmModelCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mx_);
+  return bytes_;
 }
 
 long WarmModelCache::exact_hits() const {

@@ -31,8 +31,14 @@ namespace hem::daemon {
 
 class WarmModelCache {
  public:
-  /// Cache keeping at most `capacity` snapshots (LRU eviction, minimum 1).
-  explicit WarmModelCache(std::size_t capacity);
+  /// Cache keeping at most `capacity` snapshots (LRU eviction, minimum 1)
+  /// totalling at most `max_bytes` approximate bytes
+  /// (EngineSnapshot::approx_bytes(); 0 = no byte cap).  The byte cap
+  /// evicts LRU-first but always retains the most recent insertion, so a
+  /// single oversized snapshot degrades the cache to one entry instead of
+  /// disabling it.  The current total is exported as the
+  /// `daemon.cache.bytes` obs counter (used as a gauge).
+  explicit WarmModelCache(std::size_t capacity, std::size_t max_bytes = 0);
 
   /// Snapshot of the byte-identical config, or nullptr.  A null return is
   /// not counted as a miss (callers fall through to best_base, which
@@ -51,6 +57,9 @@ class WarmModelCache {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t max_bytes() const noexcept { return max_bytes_; }
+  /// Approximate bytes held right now (sum of entry approx_bytes()).
+  [[nodiscard]] std::size_t bytes() const;
   [[nodiscard]] long exact_hits() const;
   [[nodiscard]] long base_hits() const;
   [[nodiscard]] long misses() const;
@@ -62,13 +71,18 @@ class WarmModelCache {
     std::shared_ptr<const cpa::EngineSnapshot> snapshot;
     std::vector<std::string> signatures;  ///< sorted task signatures
     std::uint64_t last_used = 0;          ///< logical clock for LRU + tie-break
+    std::size_t bytes = 0;                ///< approx_bytes() at insert time
   };
 
   [[nodiscard]] Entry* lookup(std::uint64_t fingerprint);
+  void erase_locked(std::vector<Entry>::iterator it);
+  void evict_lru_locked();
 
   const std::size_t capacity_;
+  const std::size_t max_bytes_;
   mutable std::mutex mx_;
   std::vector<Entry> entries_;
+  std::size_t bytes_ = 0;  ///< running total of entry bytes
   std::uint64_t clock_ = 0;
   long exact_hits_ = 0;
   long base_hits_ = 0;

@@ -14,6 +14,7 @@
 #include "daemon/model_cache.hpp"
 #include "daemon/protocol.hpp"
 #include "exec/journal.hpp"
+#include "exec/worker_process.hpp"
 #include "model/engine_snapshot.hpp"
 #include "model/textual_config.hpp"
 #include "obs/obs.hpp"
@@ -45,7 +46,13 @@ obs::Counter& g_jobs_cancelled = obs::registry().counter("daemon.jobs_cancelled"
 obs::Counter& g_jobs_abandoned = obs::registry().counter("daemon.jobs_abandoned");
 obs::Counter& g_disconnect_cancels = obs::registry().counter("daemon.disconnect_cancels");
 obs::Counter& g_journal_hits = obs::registry().counter("daemon.journal_hits");
+obs::Counter& g_jobs_crashed = obs::registry().counter("daemon.jobs_crashed");
+obs::Counter& g_jobs_poisoned = obs::registry().counter("daemon.jobs_poisoned");
+obs::Counter& g_poisoned_rejects = obs::registry().counter("daemon.poisoned_rejects");
 obs::Histogram& g_job_ms = obs::registry().histogram("daemon.job_duration_ms");
+
+/// A fingerprint is quarantined once this many workers died running it.
+constexpr int kPoisonThreshold = 2;
 
 [[nodiscard]] std::string error_json(const char* code, const std::string& message) {
   return JsonWriter{}.add("ok", false).add("error", code).add("message", message).str();
@@ -65,6 +72,8 @@ const char* to_string(JobPhase p) noexcept {
     case JobPhase::kFailed: return "failed";
     case JobPhase::kCancelled: return "cancelled";
     case JobPhase::kAbandoned: return "abandoned";
+    case JobPhase::kCrashed: return "crashed";
+    case JobPhase::kPoisoned: return "poisoned";
   }
   return "?";
 }
@@ -105,6 +114,8 @@ struct DaemonCtx {
   std::shared_ptr<Server::JobRecord> rec;  ///< scheduler-side use only
   std::string config_text;
   std::string label;
+  bool isolated = false;  ///< ran in a forked worker; `worker` is meaningful
+  exec::WorkerReport worker;
   exec::AttemptOutcome outcome;
 };
 
@@ -112,31 +123,50 @@ struct DaemonCtx {
 /// run behind the shared exception firewall.  Runs on a pool worker; only
 /// touches reference-counted state so an abandoned (detached) worker can
 /// never reach freed memory.
-[[nodiscard]] exec::AttemptOutcome run_submission(const std::string& text,
-                                                  const std::string& label,
-                                                  const ServerOptions& opt,
+///
+/// With `session` non-null the engine attempt runs in a forked worker
+/// child instead of this thread.  Parsing and the warm-cache lookup still
+/// happen HERE, pre-fork: the cache mutex may be held by a sibling worker
+/// at any instant, and a child forked at that instant would inherit it
+/// locked forever.  The parsed system and the (immutable, lock-free-read)
+/// warm snapshot cross into the child via fork's memory image; only the
+/// serialisable outcome comes back.  Isolated runs cannot return snapshots
+/// (live DAG pointers do not survive the pipe), so keep_report and
+/// make_snapshot are left off and the warm cache simply is not fed.
+[[nodiscard]] exec::AttemptOutcome run_submission(DaemonCtx& ctx, const ServerOptions& opt,
                                                   const std::shared_ptr<WarmModelCache>& cache,
-                                                  std::uint64_t fingerprint,
+                                                  std::uint64_t fingerprint, long budget_ms,
+                                                  exec::WorkerProcess* session,
                                                   const exec::CancelToken* token) {
   exec::AttemptOutcome out;
+  cpa::ParsedSystem parsed;
+  std::shared_ptr<const cpa::EngineSnapshot> warm;
   try {
-    std::istringstream in(text);
-    cpa::ParsedSystem parsed = cpa::parse_system_config(in);
-    std::shared_ptr<const cpa::EngineSnapshot> warm = cache->find_exact(fingerprint);
+    std::istringstream in(ctx.config_text);
+    parsed = cpa::parse_system_config(in);
+    warm = cache->find_exact(fingerprint);
     if (warm == nullptr) warm = cache->best_base(parsed.system);
     if (warm != nullptr) cpa::intern_external_models(parsed.system, *warm);
-    exec::AttemptOptions aopt;
-    aopt.strict = opt.strict;
-    aopt.engine_jobs = opt.engine_jobs;
-    aopt.max_iterations = opt.max_iterations;
-    aopt.warm = warm.get();
-    aopt.keep_report = true;    // stats (warm_seeded) for the result frame
-    aopt.make_snapshot = true;  // feed the warm cache on convergence
-    out = exec::run_analysis_attempt(parsed, label, aopt, token);
   } catch (const std::exception& e) {
     out.message = e.what();  // parse errors: non-transient failure
+    return out;
   }
-  return out;
+  exec::AttemptOptions aopt;
+  aopt.strict = opt.strict;
+  aopt.engine_jobs = opt.engine_jobs;
+  aopt.max_iterations = opt.max_iterations;
+  aopt.warm = warm.get();
+  if (session == nullptr) {
+    aopt.keep_report = true;    // stats (warm_seeded) for the result frame
+    aopt.make_snapshot = true;  // feed the warm cache on convergence
+    return exec::run_analysis_attempt(parsed, ctx.label, aopt, token);
+  }
+  const exec::WorkerLimits limits =
+      exec::limits_from_budget(budget_ms, opt.worker_memory_mb, opt.worker_stack_mb);
+  ctx.worker = session->run(
+      [&parsed, &ctx, &aopt] { return exec::run_analysis_attempt(parsed, ctx.label, aopt, nullptr); },
+      limits, token);
+  return ctx.worker.outcome;
 }
 
 }  // namespace
@@ -167,9 +197,13 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
   std::map<std::string, int> client_active;  ///< queued + running per client
   std::map<std::uint64_t, std::shared_ptr<JobRecord>> jobs;
   std::deque<std::uint64_t> retired;  ///< terminal ids, oldest first (retention)
+  /// Crash ledger: worker deaths per config fingerprint.  Seeded from the
+  /// journal at startup so quarantine survives daemon restarts.
+  std::map<std::uint64_t, int> crash_counts;
 
   // stats
   long submitted = 0, done = 0, failed = 0, cancelled = 0, abandoned = 0;
+  long crashed = 0, poisoned = 0, poisoned_rejects = 0;
   long rej_overloaded = 0, rej_quota = 0, rej_too_large = 0, rej_draining = 0;
   long rej_protocol = 0, rej_busy = 0;
   long disconnect_cancels = 0, journal_hits = 0;
@@ -236,12 +270,22 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
     if (opt.journal_path.empty()) return;
     journal = std::make_unique<exec::Journal>(opt.journal_path);
     try {
-      (void)journal->load();
+      (void)journal->load();  // torn tails are recovered inside load()
     } catch (const std::exception&) {
-      // Availability over history: a corrupt journal is set aside (not
-      // deleted — it may be inspected) and the daemon starts fresh.
+      // Availability over history: a wholesale-corrupt journal (foreign
+      // header) is set aside (not deleted — it may be inspected) and the
+      // daemon starts fresh.
       std::rename(opt.journal_path.c_str(), (opt.journal_path + ".corrupt").c_str());
       journal = std::make_unique<exec::Journal>(opt.journal_path);
+    }
+    // Rebuild the crash ledger so poisoned configs stay quarantined and a
+    // config with one recorded crash keeps its single remaining strike
+    // across restarts.
+    for (const exec::JournalEntry& e : journal->entries()) {
+      if (e.status == "crashed")
+        crash_counts[e.fingerprint] = std::max(crash_counts[e.fingerprint], 1);
+      else if (e.status == "poisoned")
+        crash_counts[e.fingerprint] = std::max(crash_counts[e.fingerprint], kPoisonThreshold);
     }
   }
 
@@ -329,11 +373,26 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
     const ServerOptions o = opt;
     const std::shared_ptr<WarmModelCache> c = cache;
     const std::uint64_t fp = rec->fingerprint;
-    rec->handle = pool->start(rec->label, rec->budget_ms, ctx,
-                              [ctx, o, c, fp](const exec::CancelToken& token) {
-                                ctx->outcome =
-                                    run_submission(ctx->config_text, ctx->label, o, c, fp, &token);
-                              });
+    const long budget = rec->budget_ms;
+    if (opt.isolate && exec::WorkerProcess::supported()) {
+      // Sandboxed dispatch: the pool thread parses and warms pre-fork, the
+      // engine runs in a forked child, and the watchdog's escalation is a
+      // true SIGKILL of that child instead of a thread detach.
+      auto session = std::make_shared<exec::WorkerProcess>();
+      ctx->isolated = true;
+      rec->handle = pool->start(
+          rec->label, budget, ctx,
+          [ctx, o, c, fp, budget, session](const exec::CancelToken& token) {
+            ctx->outcome = run_submission(*ctx, o, c, fp, budget, session.get(), &token);
+          },
+          [session] { session->kill(); });
+    } else {
+      rec->handle = pool->start(rec->label, budget, ctx,
+                                [ctx, o, c, fp, budget](const exec::CancelToken& token) {
+                                  ctx->outcome =
+                                      run_submission(*ctx, o, c, fp, budget, nullptr, &token);
+                                });
+    }
   }
 
   void finish(const exec::JobPool::Handle& slot) {
@@ -357,9 +416,29 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
       rec->converged = out.converged;
       rec->degraded = out.degraded;
       rec->message = out.message;
-      if (out.report != nullptr) rec->warm_seeded = out.report->stats.warm_seeded;
+      rec->warm_seeded =
+          out.report != nullptr ? out.report->stats.warm_seeded : out.warm_seeded;
       obs::observe(g_job_ms, out.duration_ms);
-      if (out.cancelled) {
+      if (ctx->isolated && (ctx->worker.kind == exec::WorkerExit::kCrashed ||
+                            ctx->worker.kind == exec::WorkerExit::kResourceExhausted)) {
+        // The worker process died (signal, OOM, rlimit); the daemon itself
+        // is untouched.  First crash is reported as-is — the client may
+        // resubmit — the second quarantines the config: the ledger spans
+        // submissions and daemon restarts (rebuilt from the journal).
+        const int crashes = ++crash_counts[rec->fingerprint];
+        if (crashes >= kPoisonThreshold) {
+          rec->phase = JobPhase::kPoisoned;
+          rec->message = "poisoned: worker crashed " + std::to_string(crashes) +
+                         " times (last: " + ctx->worker.detail + ")";
+          ++poisoned;
+          obs::bump(g_jobs_poisoned);
+        } else {
+          rec->phase = JobPhase::kCrashed;
+          rec->message = ctx->worker.detail;
+          ++crashed;
+          obs::bump(g_jobs_crashed);
+        }
+      } else if (out.cancelled) {
         rec->phase = JobPhase::kCancelled;
         rec->cancel_reason = out.cancel_reason;
         ++cancelled;
@@ -369,7 +448,9 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
         rec->rows = std::move(out.rows);
         ++done;
         obs::bump(g_jobs_done);
-        cache->insert(rec->fingerprint, out.snapshot);
+        // Isolated runs carry no snapshot (the DAG cannot cross the worker
+        // pipe); only in-process runs feed the warm cache.
+        if (out.snapshot != nullptr) cache->insert(rec->fingerprint, out.snapshot);
       } else {
         rec->phase = JobPhase::kFailed;
         ++failed;
@@ -394,6 +475,8 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
       case JobPhase::kFailed: e.status = "failed"; break;
       case JobPhase::kCancelled: e.status = "cancelled"; break;
       case JobPhase::kAbandoned: e.status = "abandoned"; break;
+      case JobPhase::kCrashed: e.status = "crashed"; break;
+      case JobPhase::kPoisoned: e.status = "poisoned"; break;
       default: return;
     }
     e.attempts = 1;
@@ -627,6 +710,33 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
       obs::bump(g_rej_draining);
       return error_json("draining", "daemon is draining, not accepting work");
     }
+    // Quarantine: a config whose workers already crashed twice is refused
+    // without running — submitting the same bytes again cannot end well.
+    if (const auto cit = crash_counts.find(fp);
+        cit != crash_counts.end() && cit->second >= kPoisonThreshold) {
+      auto rec = std::make_shared<JobRecord>();
+      rec->id = next_job_id++;
+      rec->label = label;
+      rec->client = client;
+      rec->fingerprint = fp;
+      rec->conn_id = conn.id;
+      rec->detach = detach_req == 1;
+      rec->phase = JobPhase::kPoisoned;
+      rec->cached = true;
+      rec->message = "poisoned: this config crashed its worker " +
+                     std::to_string(cit->second) + " times; refusing to re-run";
+      jobs.emplace(rec->id, rec);
+      retire_locked(rec->id);
+      ++poisoned_rejects;
+      obs::bump(g_poisoned_rejects);
+      return JsonWriter{}
+          .add("ok", true)
+          .add("id", static_cast<long>(rec->id))
+          .add("fingerprint", exec::fingerprint_hex(fp))
+          .add("state", "poisoned")
+          .add("cached", true)
+          .str();
+    }
     // Idempotent resubmission: a journaled completed run of the identical
     // bytes is served from the journal without re-running.
     if (journal != nullptr) {
@@ -805,7 +915,12 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
         .add("failed", failed)
         .add("cancelled", cancelled)
         .add("abandoned", abandoned)
+        .add("crashed", crashed)
+        .add("poisoned", poisoned)
+        .add("poisoned_rejects", poisoned_rejects)
+        .add("isolate", opt.isolate && exec::WorkerProcess::supported())
         .add("watchdog_cancels", pool->watchdog_cancels())
+        .add("watchdog_kills", pool->watchdog_kills())
         .add("disconnect_cancels", disconnect_cancels)
         .add("journal_hits", journal_hits)
         .add("rejected_overloaded", rej_overloaded)
@@ -819,6 +934,7 @@ struct Server::Impl : std::enable_shared_from_this<Server::Impl> {
         .add("cache_base_hits", cache->base_hits())
         .add("cache_misses", cache->misses())
         .add("cache_evictions", cache->evictions())
+        .add("cache_bytes", static_cast<long>(cache->bytes()))
         .str();
   }
 
@@ -874,7 +990,7 @@ void Server::start() {
   d.bind_socket();
   try {
     d.load_journal();
-    d.cache = std::make_shared<WarmModelCache>(d.opt.cache_capacity);
+    d.cache = std::make_shared<WarmModelCache>(d.opt.cache_capacity, d.opt.cache_bytes);
     d.pool = std::make_unique<exec::JobPool>(std::max(1, d.opt.pool_width), d.opt.grace_ms);
     d.started_at = steady::now();
     auto self = impl_;

@@ -26,6 +26,16 @@
 ///     (exec::Journal, same format as `hemcpa --batch`) keyed by config
 ///     fingerprint; resubmitting an already-analysed config returns the
 ///     stored result (`"cached":true`) without re-running.
+///   * Process isolation (default on) — every analysis runs in a forked,
+///     rlimit-capped worker process (exec::WorkerProcess).  A config that
+///     segfaults, aborts, or blows its memory budget becomes a `crashed`
+///     job result carrying the signal; the daemon itself never dies.  A
+///     config whose workers crash twice is quarantined (`poisoned`):
+///     journaled, counted, and every later submission of the identical
+///     bytes is refused without running — across daemon restarts, because
+///     the crash ledger is rebuilt from the journal.  Isolated runs skip
+///     warm-cache *insertion* (model DAGs cannot cross the pipe); reads
+///     still warm the child because the lookup happens pre-fork.
 ///   * Graceful drain — request_drain() (SIGTERM, or the `drain` verb)
 ///     stops admission, finishes queued and running jobs, and run() exits
 ///     with code 0; request_force_stop() (second SIGTERM) cancels
@@ -59,14 +69,28 @@ struct ServerOptions {
   long idle_timeout_ms = 30'000;    ///< close connections idle this long
   std::size_t result_retention = 256;  ///< completed job records kept for `result`
   std::size_t cache_capacity = 16;  ///< warm snapshots kept (LRU)
+  std::size_t cache_bytes = 0;      ///< approximate warm-cache byte cap; 0 = none
   std::string journal_path;         ///< terminal-result journal; empty = disabled
   bool strict = false;              ///< force strict mode on every job
   int engine_jobs = 0;              ///< CpaEngine threads per job; 0 = config/default
   int max_iterations = 64;          ///< global engine iterations per job
+  bool isolate = true;         ///< fork one rlimit-capped worker process per job
+  long worker_memory_mb = 0;   ///< per-worker RLIMIT_AS cap in MiB; 0 = inherit
+  long worker_stack_mb = 0;    ///< per-worker RLIMIT_STACK cap in MiB; 0 = inherit
 };
 
-/// Lifecycle of one submitted job.
-enum class JobPhase { kQueued, kRunning, kDone, kFailed, kCancelled, kAbandoned };
+/// Lifecycle of one submitted job.  kCrashed = its worker process died
+/// (signal / OOM / rlimit); kPoisoned = quarantined after crashing twice.
+enum class JobPhase {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kAbandoned,
+  kCrashed,
+  kPoisoned,
+};
 
 [[nodiscard]] const char* to_string(JobPhase p) noexcept;
 

@@ -1,8 +1,15 @@
 #include "exec/analysis_attempt.hpp"
 
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
 #include <new>
 #include <sstream>
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
 
 #include "core/errors.hpp"
 #include "io/csv.hpp"
@@ -35,12 +42,73 @@ std::vector<std::string> report_rows(const std::string& label, const cpa::Analys
          code == ErrorCode::kWindowLimit;
 }
 
+/// `inject_fault=oom`: allocate-and-touch until the allocator gives up,
+/// then die the way a native out-of-memory process does — bypassing the
+/// exception firewall (malloc, not new).  Self-caps RLIMIT_AS so a run
+/// without a worker memory cap storms a sandboxed 512 MiB, not the host.
+[[noreturn]] void oom_fault() {
+#if !defined(_WIN32)
+  struct rlimit rl {};
+  if (::getrlimit(RLIMIT_AS, &rl) == 0) {
+    const auto cap = static_cast<rlim_t>(512) << 20;
+    if (rl.rlim_cur == RLIM_INFINITY || rl.rlim_cur > cap) {
+      rl.rlim_cur = cap;
+      if (rl.rlim_max == RLIM_INFINITY || rl.rlim_max > cap) rl.rlim_max = cap;
+      (void)::setrlimit(RLIMIT_AS, &rl);
+    }
+  }
+#endif
+  constexpr std::size_t kChunk = std::size_t{16} << 20;
+  for (int i = 0; i < (1 << 16); ++i) {
+    void* p = std::malloc(kChunk);
+    if (p == nullptr) break;
+    std::memset(p, 0x5A, kChunk);
+  }
+  std::abort();
+}
+
+/// `inject_fault=stackoverflow`: unbounded non-tail recursion with a live
+/// frame, so the guard page (or RLIMIT_STACK) delivers SIGSEGV.
+int stack_fault(int depth) {  // NOLINT(misc-no-recursion)
+  volatile char pad[4096];
+  pad[0] = static_cast<char>(depth);
+  if (depth < 0) return pad[0];  // unreachable; defeats tail-call folding
+  return stack_fault(depth + 1) + pad[0];
+}
+
+/// Test-only crash hook (`option inject_fault=<kind>`): reproduces the
+/// ways a native analysis can die, so the process sandbox and the chaos
+/// harness exercise real worker deaths.  Kinds are validated at parse
+/// time; an empty kind is the production no-op.
+void trigger_injected_fault(const std::string& kind) {
+  if (kind.empty()) return;
+  if (kind == "abort") std::abort();
+  if (kind == "segv") {
+    (void)std::raise(SIGSEGV);
+    std::abort();  // SIGSEGV ignored/blocked: still die
+  }
+  if (kind == "oom") oom_fault();
+  if (kind == "stackoverflow") {
+    (void)stack_fault(0);
+    std::abort();
+  }
+  if (kind == "spin") {
+    // Burn CPU outside every cancellation point: only SIGKILL (watchdog
+    // escalation) or RLIMIT_CPU (SIGXCPU) can end this attempt.
+    const auto until = steady::now() + std::chrono::minutes(10);
+    while (steady::now() < until) {
+    }
+    std::abort();
+  }
+}
+
 }  // namespace
 
 AttemptOutcome run_analysis_attempt(const cpa::ParsedSystem& parsed, const std::string& label,
                                     const AttemptOptions& options, const CancelToken* cancel) {
   AttemptOutcome out;
   const auto t0 = steady::now();
+  trigger_injected_fault(parsed.inject_fault);
   try {
     cpa::EngineOptions eopts;
     eopts.strict = options.strict || parsed.strict;
@@ -60,6 +128,7 @@ AttemptOutcome run_analysis_attempt(const cpa::ParsedSystem& parsed, const std::
     cpa::AnalysisReport report = engine.run();
     out.converged = report.converged;
     out.degraded = report.degraded();
+    out.warm_seeded = report.stats.warm_seeded;
     if (report.converged) {
       out.ok = true;
       out.rows = report_rows(label, report);

@@ -52,6 +52,7 @@ struct AttemptOutcome {
   bool transient = false;  ///< retry may succeed with raised budgets
   CancelReason cancel_reason = CancelReason::kNone;
   long duration_ms = 0;
+  long warm_seeded = 0;  ///< tasks seeded from the warm snapshot (report stat)
   std::string message;            ///< human-readable failure/cancel detail
   std::vector<std::string> rows;  ///< merged-CSV rows, `label` as config column
   std::shared_ptr<const cpa::AnalysisReport> report;     ///< keep_report only

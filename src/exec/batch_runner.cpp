@@ -14,6 +14,7 @@
 #include "exec/cancel.hpp"
 #include "exec/job_pool.hpp"
 #include "exec/journal.hpp"
+#include "exec/worker_process.hpp"
 #include "io/csv.hpp"
 #include "model/textual_config.hpp"
 #include "obs/obs.hpp"
@@ -33,7 +34,14 @@ obs::Counter& g_jobs_abandoned = obs::registry().counter("batch.jobs_abandoned")
 obs::Counter& g_retries = obs::registry().counter("batch.retries");
 obs::Counter& g_watchdog_cancels = obs::registry().counter("batch.watchdog_cancels");
 obs::Counter& g_journal_skips = obs::registry().counter("batch.journal_skips");
+obs::Counter& g_worker_crashes = obs::registry().counter("batch.worker_crashes");
+obs::Counter& g_crash_respawns = obs::registry().counter("batch.crash_respawns");
+obs::Counter& g_poisoned = obs::registry().counter("batch.poisoned");
 obs::Histogram& g_job_ms = obs::registry().histogram("batch.job_duration_ms");
+
+/// A config is quarantined (kPoisoned) once this many worker processes
+/// have died running it: one supervised respawn, then never again.
+constexpr int kPoisonThreshold = 2;
 
 /// Per-dispatch payload carried through JobPool::Slot::context.  The
 /// outcome is written by the worker before it flips its slot to kFinished
@@ -42,6 +50,8 @@ obs::Histogram& g_job_ms = obs::registry().histogram("batch.job_duration_ms");
 struct AttemptCtx {
   std::size_t index = 0;
   int attempt = 1;
+  bool isolated = false;  ///< ran in a forked worker; `worker` is meaningful
+  WorkerReport worker;
   AttemptOutcome outcome;
 };
 
@@ -100,6 +110,10 @@ const char* to_string(JobState s) noexcept {
       return "cancelled";
     case JobState::kAbandoned:
       return "abandoned";
+    case JobState::kCrashed:
+      return "crashed";
+    case JobState::kPoisoned:
+      return "poisoned";
   }
   return "queued";
 }
@@ -110,7 +124,8 @@ int BatchReport::exit_code() const {
   bool degraded_any = false;
   for (const JobResult& j : jobs) {
     if (j.state == JobState::kFailed || j.state == JobState::kCancelled ||
-        j.state == JobState::kAbandoned)
+        j.state == JobState::kAbandoned || j.state == JobState::kCrashed ||
+        j.state == JobState::kPoisoned)
       failed = true;
     else if (j.state == JobState::kDone && j.degraded)
       degraded_any = true;
@@ -133,6 +148,7 @@ void BatchReport::write_csv(std::ostream& os) const {
 
 void BatchReport::write_summary(std::ostream& os) const {
   long done = 0, degraded_n = 0, failed = 0, cancelled = 0, abandoned_n = 0, queued = 0;
+  long crashed_n = 0, poisoned_n = 0;
   for (const JobResult& j : jobs) {
     switch (j.state) {
       case JobState::kDone:
@@ -148,6 +164,12 @@ void BatchReport::write_summary(std::ostream& os) const {
       case JobState::kAbandoned:
         ++abandoned_n;
         break;
+      case JobState::kCrashed:
+        ++crashed_n;
+        break;
+      case JobState::kPoisoned:
+        ++poisoned_n;
+        break;
       default:
         ++queued;
         break;
@@ -158,9 +180,12 @@ void BatchReport::write_summary(std::ostream& os) const {
   if (failed > 0) os << ", " << failed << " failed";
   if (cancelled > 0) os << ", " << cancelled << " cancelled";
   if (abandoned_n > 0) os << ", " << abandoned_n << " abandoned";
+  if (crashed_n > 0) os << ", " << crashed_n << " crashed";
+  if (poisoned_n > 0) os << ", " << poisoned_n << " poisoned";
   if (queued > 0) os << ", " << queued << " not run";
   if (journal_skips > 0) os << ", " << journal_skips << " restored from journal";
   if (retries > 0) os << ", " << retries << " retries";
+  if (crash_respawns > 0) os << ", " << crash_respawns << " crash respawns";
   if (watchdog_cancels > 0) os << ", " << watchdog_cancels << " watchdog cancels";
   if (interrupted) os << " [interrupted]";
   os << '\n';
@@ -227,10 +252,17 @@ BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, st
   const bool journal_enabled = !options_.journal_path.empty();
   Journal journal(options_.journal_path);
   if (journal_enabled) {
-    if (options_.resume)
+    if (options_.resume) {
       journal.load();  // absent file = fresh batch
-    else
+      const Journal::Recovery& rec = journal.last_recovery();
+      if (rec.torn && log != nullptr)
+        *log << "[batch] journal: torn tail recovered (" << rec.reason << "); kept "
+             << rec.entries_kept << " complete record(s), torn bytes moved to "
+             << rec.quarantine_path << '\n'
+             << std::flush;
+    } else {
       journal.clear();  // fail fast on an unwritable journal location
+    }
   }
 
   // Build the initial ready queue: fingerprint every config and, on
@@ -252,6 +284,8 @@ BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, st
         j.state = e->status == "done"        ? JobState::kDone
                   : e->status == "cancelled" ? JobState::kCancelled
                   : e->status == "abandoned" ? JobState::kAbandoned
+                  : e->status == "crashed"   ? JobState::kCrashed
+                  : e->status == "poisoned"  ? JobState::kPoisoned
                                              : JobState::kFailed;
         j.converged = e->completed();
         j.attempts = e->attempts;
@@ -267,10 +301,12 @@ BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, st
   }
 
   std::vector<std::pair<steady::time_point, std::pair<std::size_t, int>>> delayed;
+  std::vector<int> crash_count(configs_.size(), 0);
   int in_flight = 0;
   bool interrupted = false;
   const int pool_width = std::max(1, options_.parallel_jobs);
   const int max_attempts = 1 + std::max(0, options_.max_retries);
+  const bool isolate = options_.isolate && WorkerProcess::supported();
 
   const auto log_line = [&](const std::string& text) {
     if (log != nullptr) *log << "[batch] " << text << '\n' << std::flush;
@@ -337,10 +373,39 @@ BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, st
       // a hard-abandoned worker can outlive this function safely.
       const std::string path = configs_[index];
       const BatchOptions opt = options_;
-      pool.start(path, options_.job_budget_ms, ctx,
-                 [ctx, path, opt, attempt](const CancelToken& token) {
-                   ctx->outcome = attempt_config(path, opt, attempt, &token);
-                 });
+      if (isolate) {
+        // Fork a sandboxed child for the attempt.  The pool's worker thread
+        // blocks in run() polling the token (a fired token SIGKILLs the
+        // child), and the kill hook gives the watchdog a true SIGKILL
+        // escalation instead of the legacy thread detach.
+        auto session = std::make_shared<WorkerProcess>();
+        ctx->isolated = true;
+        pool.start(
+            path, options_.job_budget_ms, ctx,
+            [ctx, path, opt, attempt, session](const CancelToken& token) {
+              const WorkerLimits limits = limits_from_budget(
+                  opt.job_budget_ms, opt.worker_memory_mb, opt.worker_stack_mb);
+              // The token stays parent-side (a fork would freeze its state),
+              // so the child runs uncancellable and the parent enforces the
+              // budget with SIGKILL.
+              ctx->worker = session->run(
+                  [&path, &opt, attempt] { return attempt_config(path, opt, attempt, nullptr); },
+                  limits, &token);
+              ctx->outcome = ctx->worker.outcome;
+              if (ctx->worker.kind == WorkerExit::kSpawnFailed) {
+                // fork()/pipe() failed: nothing ran, so this is a retryable
+                // environment failure, not a config failure.
+                ctx->outcome.transient = true;
+                ctx->outcome.message = ctx->worker.detail;
+              }
+            },
+            [session] { session->kill(); });
+      } else {
+        pool.start(path, options_.job_budget_ms, ctx,
+                   [ctx, path, opt, attempt](const CancelToken& token) {
+                     ctx->outcome = attempt_config(path, opt, attempt, &token);
+                   });
+      }
       ++in_flight;
     }
 
@@ -371,6 +436,47 @@ BatchReport BatchRunner::run(const volatile std::sig_atomic_t* shutdown_flag, st
       j.transient = out.transient;
       j.message = out.message;
       obs::observe(g_job_ms, out.duration_ms);
+      if (ctx->isolated && (ctx->worker.kind == WorkerExit::kCrashed ||
+                            ctx->worker.kind == WorkerExit::kResourceExhausted)) {
+        // Supervised respawn with two-strikes quarantine: the first worker
+        // death earns one backed-off respawn (absorbs one-off flakes / OOM
+        // pressure), the second poisons the config so --resume and every
+        // later run skip it without re-executing the crasher.
+        const int crashes = ++crash_count[index];
+        obs::bump(g_worker_crashes);
+        if (crashes >= kPoisonThreshold) {
+          j.state = JobState::kPoisoned;
+          j.attempts = crashes;
+          j.message = "poisoned: worker crashed " + std::to_string(crashes) +
+                      " times (last: " + ctx->worker.detail + ")";
+          ++report.poisoned;
+          obs::bump(g_poisoned);
+          journal_terminal(j);
+          log_line(configs_[index] + ": poisoned after " + std::to_string(crashes) +
+                   " worker crashes (" + ctx->worker.detail + ")");
+        } else if (interrupted) {
+          // Shutdown raced the crash: forget it so --resume replays the
+          // full deterministic crash/respawn sequence from scratch.
+          --crash_count[index];
+          j.state = JobState::kQueued;
+          j.attempts = 0;
+          j.message = "interrupted before completion";
+          log_line(configs_[index] + ": interrupted, will re-run on --resume");
+        } else {
+          const long backoff = options_.crash_backoff_ms << (crashes - 1);
+          delayed.emplace_back(steady::now() + std::chrono::milliseconds(backoff),
+                               std::make_pair(index, ctx->attempt));
+          j.state = JobState::kQueued;
+          j.message = ctx->worker.detail;
+          ++report.crash_respawns;
+          obs::bump(g_crash_respawns);
+          log_line(configs_[index] + ": worker crashed (" + ctx->worker.detail +
+                   "), respawning in " + std::to_string(backoff) + " ms (" +
+                   std::to_string(crashes) + "/" + std::to_string(kPoisonThreshold) +
+                   " strikes)");
+        }
+        continue;
+      }
       if (out.cancelled && out.cancel_reason == CancelReason::kShutdown) {
         // Discarded, not journaled: --resume re-runs it from scratch so
         // the merged report stays byte-identical to an uninterrupted run.

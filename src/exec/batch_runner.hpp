@@ -2,11 +2,14 @@
 
 /// \file batch_runner.hpp
 /// Fleet-scale batch execution of `.hemcpa` analyses: a job queue with
-/// cooperative cancellation, a watchdog (soft-cancel -> hard-abandon
-/// escalation), retry-with-backoff for transient failures, an exception
-/// firewall, crash-safe journaling (`journal.hpp`) with `--resume`, and
-/// graceful SIGINT/SIGTERM draining.  Drives `hemcpa --batch`; see
-/// docs/robustness.md for the job lifecycle state machine.
+/// cooperative cancellation, a watchdog (soft-cancel -> SIGKILL for
+/// isolated workers, hard-abandon as the legacy fallback), per-attempt
+/// process isolation (`worker_process.hpp`) with supervised respawn and
+/// two-strikes poisoning, retry-with-backoff for transient failures, an
+/// exception firewall, crash-safe journaling (`journal.hpp`) with
+/// `--resume`, and graceful SIGINT/SIGTERM draining.  Drives
+/// `hemcpa --batch`; see docs/robustness.md for the job lifecycle state
+/// machine.
 ///
 /// Determinism: per-job analysis results are bit-identical for every
 /// worker-pool size (the engine guarantees this per run; the batch layer
@@ -39,13 +42,30 @@ struct BatchOptions {
   Time fixpoint_max_window = 0;      ///< busy-window length override; 0 = default
   std::string journal_path;          ///< empty = journaling disabled
   bool resume = false;               ///< skip configs already terminal in the journal
+  bool isolate = true;               ///< run each attempt in a forked worker process
+  long worker_memory_mb = 0;   ///< per-worker RLIMIT_AS cap in MiB; 0 = inherit
+  long worker_stack_mb = 0;    ///< per-worker RLIMIT_STACK cap in MiB; 0 = inherit
+  long crash_backoff_ms = 250;  ///< respawn delay after a worker crash (doubles per crash)
 };
 
 /// Lifecycle: kQueued -> kRunning -> {kDone, kFailed, kCancelled,
-/// kAbandoned}; transient failures loop back through kRunning until the
-/// retry budget is spent.  Jobs interrupted by shutdown return to kQueued
-/// (they are NOT journaled, so --resume re-runs them).
-enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled, kAbandoned };
+/// kAbandoned, kCrashed, kPoisoned}; transient failures loop back through
+/// kRunning until the retry budget is spent.  Jobs interrupted by shutdown
+/// return to kQueued (they are NOT journaled, so --resume re-runs them).
+/// kCrashed records a worker-process death (signal / OOM / rlimit) whose
+/// respawn budget ran out; a config that crashes its worker twice is
+/// promoted to kPoisoned — quarantined so --resume and every later run
+/// skip it without re-executing.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kAbandoned,
+  kCrashed,
+  kPoisoned,
+};
 
 [[nodiscard]] const char* to_string(JobState s) noexcept;
 
@@ -71,11 +91,13 @@ struct BatchReport {
   long abandoned = 0;
   long retries = 0;
   long journal_skips = 0;
+  long crash_respawns = 0;  ///< worker crashes that earned a supervised respawn
+  long poisoned = 0;        ///< configs quarantined after crashing twice
 
   /// Batch exit-code precedence (documented in README and
-  /// docs/robustness.md): 6 interrupted > 5 failed/cancelled/abandoned
-  /// jobs > 4 degraded-but-complete > 0 clean.  Usage errors (3) never
-  /// reach a report.
+  /// docs/robustness.md): 6 interrupted > 5 failed/cancelled/abandoned/
+  /// crashed/poisoned jobs > 4 degraded-but-complete > 0 clean.  Usage
+  /// errors (3) never reach a report.
   [[nodiscard]] int exit_code() const;
 
   /// Merged CSV: `config,task,...` header, then per config (manifest

@@ -48,11 +48,13 @@ std::size_t JobPool::running() const {
 }
 
 JobPool::Handle JobPool::start(std::string label, long budget_ms, std::shared_ptr<void> context,
-                               std::function<void(const CancelToken&)> work) {
+                               std::function<void(const CancelToken&)> work,
+                               std::function<void()> kill) {
   auto slot = std::make_shared<Slot>();
   slot->label = std::move(label);
   slot->budget_ms = budget_ms;
   slot->context = std::move(context);
+  slot->kill = std::move(kill);
   slot->started = steady::now();
   const std::shared_ptr<Sync> sync = sync_;
   {
@@ -133,6 +135,11 @@ long JobPool::watchdog_cancels() const {
   return watchdog_cancels_;
 }
 
+long JobPool::watchdog_kills() const {
+  std::lock_guard<std::mutex> lk(sync_->mx);
+  return watchdog_kills_;
+}
+
 long JobPool::abandoned() const {
   std::lock_guard<std::mutex> lk(sync_->mx);
   return abandoned_;
@@ -158,12 +165,27 @@ void JobPool::watchdog_loop() {
                           std::to_string(slot->budget_ms) + " ms");
       } else if (slot->soft_cancelled &&
                  now - slot->soft_cancel_at >= std::chrono::milliseconds(grace_ms_)) {
-        slot->phase = Slot::kAbandoned;
-        ++abandoned_;
-        if (log_)
-          lines.push_back("watchdog: abandoning unresponsive " + slot->label + " after " +
-                          std::to_string(grace_ms_) + " ms grace");
-        sync_->cv.notify_all();
+        if (slot->kill && !slot->kill_fired) {
+          // A killable job (process-isolated worker) gets a true SIGKILL
+          // instead of the legacy detach: the hook reaps the child, the
+          // worker thread unwinds within milliseconds, and the job joins
+          // like any finished one.  Re-arm the grace window so abandonment
+          // stays the last resort should even the kill go unanswered.
+          slot->kill_fired = true;
+          slot->soft_cancel_at = now;
+          ++watchdog_kills_;
+          slot->kill();
+          if (log_)
+            lines.push_back("watchdog: killed unresponsive " + slot->label + " after " +
+                            std::to_string(grace_ms_) + " ms grace");
+        } else {
+          slot->phase = Slot::kAbandoned;
+          ++abandoned_;
+          if (log_)
+            lines.push_back("watchdog: abandoning unresponsive " + slot->label + " after " +
+                            std::to_string(grace_ms_) + " ms grace");
+          sync_->cv.notify_all();
+        }
       }
     }
     if (!lines.empty()) {

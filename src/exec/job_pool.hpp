@@ -9,10 +9,19 @@
 /// scheduler's retry/backoff deque, the daemon's per-client fair queues)
 /// and dispatch with `start()` whenever `available()` says a slot is free.
 /// Each job gets a fresh CancelToken and an optional wall-clock budget; a
-/// monitor thread soft-cancels jobs at their budget and marks them
-/// abandoned once the grace period passes without the cancel taking
-/// effect.  `wait_terminal()` hands terminal jobs back to the caller —
-/// finished workers are joined, abandoned workers are detached.
+/// monitor thread soft-cancels jobs at their budget.  What happens when the
+/// grace period passes without the cancel taking effect depends on how the
+/// job was dispatched:
+///
+///   * with a **kill hook** (process-isolated jobs: the hook SIGKILLs the
+///     worker child) the watchdog invokes it once and waits a second grace
+///     window — the reaped worker unwinds within milliseconds, the job is
+///     joined like any finished one, and nothing leaks;
+///   * without one (legacy in-process jobs) the slot is marked abandoned
+///     and its thread detached, exactly the old hard-abandon behaviour.
+///
+/// `wait_terminal()` hands terminal jobs back to the caller — finished
+/// workers are joined, abandoned workers are detached.
 ///
 /// Memory safety of abandonment: a worker thread only ever touches its own
 /// Slot and the shared Sync block, both held via shared_ptr, so a detached
@@ -45,12 +54,19 @@ class JobPool {
     CancelToken token;
     std::shared_ptr<void> context;  ///< caller payload, opaque to the pool
 
+    /// Escalation hook set at dispatch: forcibly end the job's work (the
+    /// isolated dispatch path SIGKILLs the worker child).  Must be
+    /// thread-safe and idempotent; invoked at most once by the watchdog
+    /// when the grace period expires.  Null = legacy detach-on-abandon.
+    std::function<void()> kill;
+
     // Guarded by the pool mutex from here on.
     Phase phase = kRunning;
     std::chrono::steady_clock::time_point started;
     bool soft_cancelled = false;  ///< watchdog or escalating cancel armed
     std::chrono::steady_clock::time_point soft_cancel_at;
     bool watchdog_fired = false;  ///< soft-cancel came from the budget
+    bool kill_fired = false;      ///< the kill hook has been invoked
     std::thread worker;
   };
   using Handle = std::shared_ptr<Slot>;
@@ -76,8 +92,11 @@ class JobPool {
   /// escaped exception is swallowed to keep a poisoned job from taking the
   /// process down).  Never blocks; callers are expected to respect
   /// `available()` but over-dispatch only costs threads, not correctness.
+  /// `kill` (optional) is the watchdog's grace-expiry escalation; see
+  /// Slot::kill.
   Handle start(std::string label, long budget_ms, std::shared_ptr<void> context,
-               std::function<void(const CancelToken&)> work);
+               std::function<void(const CancelToken&)> work,
+               std::function<void()> kill = nullptr);
 
   /// Fire `handle`'s token with `reason`.  With `escalate` the grace timer
   /// is armed too: a worker that does not honour the cancel within grace_ms
@@ -94,6 +113,7 @@ class JobPool {
   [[nodiscard]] std::vector<Handle> wait_terminal(std::chrono::milliseconds timeout);
 
   [[nodiscard]] long watchdog_cancels() const;
+  [[nodiscard]] long watchdog_kills() const;
   [[nodiscard]] long abandoned() const;
 
  private:
@@ -111,6 +131,7 @@ class JobPool {
   std::vector<Handle> active_;  ///< guarded by sync_->mx
   std::uint64_t next_id_ = 1;   ///< guarded by sync_->mx
   long watchdog_cancels_ = 0;   ///< guarded by sync_->mx
+  long watchdog_kills_ = 0;     ///< guarded by sync_->mx
   long abandoned_ = 0;          ///< guarded by sync_->mx
   bool stop_watchdog_ = false;  ///< guarded by sync_->mx
   std::thread watchdog_;

@@ -49,32 +49,81 @@ constexpr const char* kHeader = "hemcpa-journal v1";
 
 /// Consume `key=` at the current position and return the value up to the
 /// next space.  The journal is machine-written, so any deviation is
-/// corruption, not user error.
-std::string take_field(const std::string& line, std::size_t& pos, const char* key,
-                       const std::string& path, int line_no) {
+/// corruption (strict parse) or a torn tail (tolerant parse).
+bool take_field(const std::string& line, std::size_t& pos, const char* key, std::string& value) {
   const std::string prefix = std::string(key) + "=";
-  if (line.compare(pos, prefix.size(), prefix) != 0)
-    corrupt(path, line_no, "expected '" + prefix + "'");
+  if (line.compare(pos, prefix.size(), prefix) != 0) return false;
   pos += prefix.size();
   const std::size_t end = line.find(' ', pos);
-  std::string value = line.substr(pos, end == std::string::npos ? end : end - pos);
+  value = line.substr(pos, end == std::string::npos ? end : end - pos);
   pos = end == std::string::npos ? line.size() : end + 1;
-  return value;
+  return true;
 }
 
-long parse_long(const std::string& value, const std::string& path, int line_no, const char* what) {
+bool parse_long(const std::string& value, long& out) {
   try {
     std::size_t used = 0;
-    const long v = std::stol(value, &used);
-    if (used != value.size() || v < 0) throw std::invalid_argument(what);
-    return v;
+    out = std::stol(value, &used);
+    return used == value.size() && out >= 0;
   } catch (const std::exception&) {
-    corrupt(path, line_no, std::string("bad ") + what + " '" + value + "'");
+    return false;
   }
 }
 
 bool valid_status(const std::string& s) {
-  return s == "done" || s == "failed" || s == "cancelled" || s == "abandoned";
+  return s == "done" || s == "failed" || s == "cancelled" || s == "abandoned" ||
+         s == "crashed" || s == "poisoned";
+}
+
+/// Parse one `job ...` line without throwing; `err` explains a refusal.
+bool parse_job_line(const std::string& line, JournalEntry& e, long& rows, std::string& err) {
+  if (line.rfind("job ", 0) != 0) {
+    err = "expected 'job' or 'end'";
+    return false;
+  }
+  std::size_t pos = 4;
+  std::string v;
+  if (!take_field(line, pos, "fp", v) || v.size() != 16 ||
+      v.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    err = "bad fingerprint '" + v + "'";
+    return false;
+  }
+  e.fingerprint = std::stoull(v, nullptr, 16);
+  if (!take_field(line, pos, "status", e.status) || !valid_status(e.status)) {
+    err = "bad status '" + e.status + "'";
+    return false;
+  }
+  long n = 0;
+  if (!take_field(line, pos, "attempts", v) || !parse_long(v, n)) {
+    err = "bad attempts '" + v + "'";
+    return false;
+  }
+  e.attempts = static_cast<int>(n);
+  if (!take_field(line, pos, "duration_ms", v) || !parse_long(v, n)) {
+    err = "bad duration_ms '" + v + "'";
+    return false;
+  }
+  e.duration_ms = n;
+  if (!take_field(line, pos, "degraded", v) || !parse_long(v, n)) {
+    err = "bad degraded '" + v + "'";
+    return false;
+  }
+  e.degraded = n != 0;
+  if (!take_field(line, pos, "rows", v) || !parse_long(v, rows)) {
+    err = "bad row count '" + v + "'";
+    return false;
+  }
+  // `path=` last: everything to end of line, spaces and '=' included.
+  if (line.compare(pos, 5, "path=") != 0) {
+    err = "expected 'path='";
+    return false;
+  }
+  e.config_path = line.substr(pos + 5);
+  if (e.config_path.empty()) {
+    err = "empty config path";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -105,11 +154,21 @@ std::string fingerprint_hex(std::uint64_t fp) {
 }
 
 bool Journal::load() {
+  recovery_ = Recovery{};
   std::ifstream in(path_, std::ios::binary);
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
-  entries_ = parse(buf.str());
+  const std::string text = buf.str();
+  entries_ = parse_tolerant(text, recovery_);
+  if (recovery_.torn) {
+    // Park the torn bytes for post-mortem, then rewrite the journal as the
+    // salvaged prefix so every later reader sees a well-formed file.
+    recovery_.quarantine_path = path_ + ".torn";
+    std::ofstream tail(recovery_.quarantine_path, std::ios::binary | std::ios::trunc);
+    tail << text.substr(recovery_.valid_bytes);
+    save();
+  }
   return true;
 }
 
@@ -151,51 +210,94 @@ std::string Journal::render() const {
 }
 
 std::vector<JournalEntry> Journal::parse(const std::string& text) {
+  Recovery recovery;
+  std::vector<JournalEntry> entries = parse_tolerant(text, recovery);
+  if (recovery.torn)
+    corrupt("", static_cast<int>(recovery.entries_kept) + 1,
+            recovery.reason + " (torn tail after " + std::to_string(recovery.entries_kept) +
+                " complete record(s))");
+  return entries;
+}
+
+std::vector<JournalEntry> Journal::parse_tolerant(const std::string& text, Recovery& recovery) {
+  recovery = Recovery{};
   std::vector<JournalEntry> entries;
-  std::istringstream in(text);
-  std::string line;
-  int line_no = 0;
-  if (!std::getline(in, line) || line != kHeader)
+  const std::string header_line = std::string(kHeader) + "\n";
+  if (text.size() < header_line.size() ||
+      text.compare(0, header_line.size(), header_line) != 0) {
+    // A machine-written journal can only be short at the front because a
+    // truncation cut the header itself; anything else was never a journal.
+    if (header_line.compare(0, text.size(), text) == 0) {
+      recovery.torn = true;
+      recovery.reason = "truncated header";
+      return entries;
+    }
     corrupt("", 1, std::string("missing header '") + kHeader + "'");
-  ++line_no;
+  }
+
+  std::size_t pos = header_line.size();
+  std::size_t good = pos;  ///< end of the last complete record (or header)
+  int line_no = 1;
   bool ended = false;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line == "end") {
-      ended = true;
+  std::string line;
+  // 1 = complete line consumed, 0 = no bytes left, -1 = final line lacked
+  // its newline (by construction a torn write — the renderer always
+  // terminates lines).
+  const auto next_line = [&](std::string& out_line) -> int {
+    if (pos >= text.size()) return 0;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      out_line = text.substr(pos);
+      pos = text.size();
+      return -1;
+    }
+    out_line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return 1;
+  };
+
+  while (true) {
+    const int got = next_line(line);
+    if (got == 0) {
+      recovery.reason = "missing 'end' trailer (interrupted write?)";
       break;
     }
-    if (line.rfind("job ", 0) != 0) corrupt("", line_no, "expected 'job' or 'end'");
+    ++line_no;
+    if (got < 0) {
+      recovery.reason = "line " + std::to_string(line_no) + " truncated mid-write";
+      break;
+    }
+    if (line == "end") {
+      ended = true;
+      good = pos;
+      break;
+    }
     JournalEntry e;
-    std::size_t pos = 4;
-    const std::string fp = take_field(line, pos, "fp", "", line_no);
-    if (fp.size() != 16 || fp.find_first_not_of("0123456789abcdef") != std::string::npos)
-      corrupt("", line_no, "bad fingerprint '" + fp + "'");
-    e.fingerprint = std::stoull(fp, nullptr, 16);
-    e.status = take_field(line, pos, "status", "", line_no);
-    if (!valid_status(e.status)) corrupt("", line_no, "bad status '" + e.status + "'");
-    e.attempts =
-        static_cast<int>(parse_long(take_field(line, pos, "attempts", "", line_no), "", line_no,
-                                    "attempts"));
-    e.duration_ms =
-        parse_long(take_field(line, pos, "duration_ms", "", line_no), "", line_no, "duration_ms");
-    e.degraded =
-        parse_long(take_field(line, pos, "degraded", "", line_no), "", line_no, "degraded") != 0;
-    const long rows =
-        parse_long(take_field(line, pos, "rows", "", line_no), "", line_no, "row count");
-    // `path=` last: everything to end of line, spaces and '=' included.
-    if (line.compare(pos, 5, "path=") != 0) corrupt("", line_no, "expected 'path='");
-    e.config_path = line.substr(pos + 5);
-    if (e.config_path.empty()) corrupt("", line_no, "empty config path");
+    long rows = 0;
+    std::string err;
+    if (!parse_job_line(line, e, rows, err)) {
+      recovery.reason = "line " + std::to_string(line_no) + ": " + err;
+      break;
+    }
+    bool rows_ok = true;
     for (long i = 0; i < rows; ++i) {
-      if (!std::getline(in, line)) corrupt("", line_no, "truncated row block");
-      ++line_no;
-      if (line.rfind("row ", 0) != 0) corrupt("", line_no, "expected 'row'");
+      const int row_got = next_line(line);
+      if (row_got != 0) ++line_no;
+      if (row_got != 1 || line.rfind("row ", 0) != 0) {
+        recovery.reason = "line " + std::to_string(line_no) + ": truncated row block";
+        rows_ok = false;
+        break;
+      }
       e.rows.push_back(line.substr(4));
     }
+    if (!rows_ok) break;
     entries.push_back(std::move(e));
+    good = pos;
   }
-  if (!ended) corrupt("", line_no, "missing 'end' trailer (interrupted write?)");
+
+  recovery.torn = !ended;
+  recovery.valid_bytes = good;
+  recovery.entries_kept = entries.size();
   return entries;
 }
 

@@ -16,17 +16,27 @@
 ///
 /// ```
 /// hemcpa-journal v1
-/// job fp=<16-hex> status=done|failed|cancelled|abandoned attempts=<n> \
-///     duration_ms=<n> degraded=<0|1> rows=<k> path=<rest of line>
+/// job fp=<16-hex> status=done|failed|cancelled|abandoned|crashed|poisoned
+///     attempts=<n> duration_ms=<n> degraded=<0|1> rows=<k> path=<rest of line>
+///     (one line; wrapped here for width)
 /// row <one merged-CSV data row>          # exactly k of these
 /// ...
 /// end
 /// ```
 ///
 /// `path=` is always the LAST key so config paths may contain spaces or
-/// '='; `end` is the completeness trailer — a journal without it (or with
-/// any malformed record) is rejected as corrupt rather than silently
-/// truncated.  See docs/robustness.md.
+/// '='; `end` is the completeness trailer.  `crashed` records a worker
+/// process death (signal in the batch diagnostics); `poisoned` marks a
+/// config that crashed its worker twice — `--resume` and a restarted
+/// daemon skip it without re-running.
+///
+/// Loading distinguishes two failure shapes.  A *torn tail* — the file is
+/// a truncated prefix of a valid journal, the only state a kill mid-write
+/// can leave — is recovered: every complete record before the tear is
+/// replayed, the torn bytes are quarantined to `<journal>.torn`, and the
+/// journal is rewritten valid.  *Wholesale corruption* (the header line is
+/// not even a prefix of a journal) still throws: that file was never ours.
+/// See docs/robustness.md.
 
 #include <cstdint>
 #include <string>
@@ -50,7 +60,7 @@ namespace hem::exec {
 struct JournalEntry {
   std::string config_path;        ///< as given in the manifest / directory scan
   std::uint64_t fingerprint = 0;  ///< fingerprint_file() of the config at run time
-  std::string status;             ///< done | failed | cancelled | abandoned
+  std::string status;  ///< done | failed | cancelled | abandoned | crashed | poisoned
   int attempts = 1;               ///< total attempts incl. the terminal one
   long duration_ms = 0;           ///< wall clock of the terminal attempt
   bool degraded = false;          ///< report carried fallback bounds
@@ -64,12 +74,28 @@ struct JournalEntry {
 /// atomic whole-file rewrite after every append.
 class Journal {
  public:
+  /// Outcome of torn-tail recovery during load()/parse_tolerant().
+  struct Recovery {
+    bool torn = false;              ///< the text ended mid-record / without `end`
+    std::size_t valid_bytes = 0;    ///< byte length of the replayable prefix
+    std::size_t entries_kept = 0;   ///< complete records salvaged
+    std::string reason;             ///< what the tear looked like
+    std::string quarantine_path;    ///< where load() parked the torn bytes
+  };
+
   explicit Journal(std::string path) : path_(std::move(path)) {}
 
   /// Load an existing journal from disk.  Returns false when the file does
-  /// not exist (fresh batch).
-  /// \throws std::runtime_error on a corrupt or incomplete journal.
+  /// not exist (fresh batch).  A torn tail (truncated write) is recovered,
+  /// not fatal: the complete-record prefix is replayed, the torn bytes move
+  /// to `<journal>.torn`, the journal is rewritten valid, and
+  /// last_recovery() describes what happened.
+  /// \throws std::runtime_error on wholesale corruption (foreign header).
   bool load();
+
+  /// Details of the torn-tail recovery performed by the last load(); torn
+  /// is false when the file was intact.
+  [[nodiscard]] const Recovery& last_recovery() const noexcept { return recovery_; }
 
   /// Record a terminal job and atomically persist the whole journal.
   /// \throws std::runtime_error when the journal cannot be written.
@@ -100,11 +126,20 @@ class Journal {
   /// \throws std::runtime_error on malformed input.
   [[nodiscard]] static std::vector<JournalEntry> parse(const std::string& text);
 
+  /// Tolerant parse: salvage the longest prefix of complete records and
+  /// report everything after it (the torn tail) in `recovery` — tolerant to
+  /// truncation at ANY byte offset of a machine-written journal.
+  /// \throws std::runtime_error only when the first line is not even a
+  ///         truncation of the journal header (wholesale corruption).
+  [[nodiscard]] static std::vector<JournalEntry> parse_tolerant(const std::string& text,
+                                                                Recovery& recovery);
+
  private:
   void save() const;
 
   std::string path_;
   std::vector<JournalEntry> entries_;
+  Recovery recovery_;
 };
 
 }  // namespace hem::exec

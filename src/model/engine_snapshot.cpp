@@ -1,5 +1,6 @@
 #include "model/engine_snapshot.hpp"
 
+#include <set>
 #include <sstream>
 #include <typeinfo>
 
@@ -12,6 +13,32 @@ const EngineSnapshot::TaskSnap* EngineSnapshot::find(const std::string& name) co
   for (const TaskSnap& t : tasks)
     if (t.name == name) return &t;
   return nullptr;
+}
+
+std::size_t EngineSnapshot::approx_bytes() const {
+  // Memoisation tables dominate a warm node, so a flat per-node estimate
+  // beats sizeof(): 4 KiB ≈ a few hundred memoised points plus the node
+  // itself.  Distinctness matters — act_flat of one task is frequently the
+  // out_flat of its producer.
+  constexpr std::size_t kPerNode = 4096;
+  std::set<const void*> nodes;
+  const auto note = [&nodes](const void* p) {
+    if (p != nullptr) nodes.insert(p);
+  };
+  std::size_t bytes = sizeof(EngineSnapshot) + tasks.capacity() * sizeof(TaskSnap);
+  for (const TaskSnap& t : tasks) {
+    bytes += t.name.capacity() + t.resource.capacity() + t.signature.capacity();
+    bytes += t.act_key.capacity() * sizeof(const void*);
+    bytes += t.pack_sources.capacity() * sizeof(ModelPtr);
+    note(t.act_flat.get());
+    note(t.act_hem.get());
+    note(t.out_flat.get());
+    note(t.out_hem.get());
+    note(t.external.get());
+    note(t.pack_timer.get());
+    for (const ModelPtr& s : t.pack_sources) note(s.get());
+  }
+  return bytes + nodes.size() * kPerNode;
 }
 
 std::string task_signature(const System& system, TaskId t) {

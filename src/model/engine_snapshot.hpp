@@ -67,6 +67,13 @@ struct EngineSnapshot {
 
   [[nodiscard]] bool valid() const noexcept { return !tasks.empty(); }
   [[nodiscard]] const TaskSnap* find(const std::string& name) const;
+
+  /// Approximate resident size: struct, string, and vector storage plus a
+  /// fixed per-node estimate for each *distinct* model node reachable from
+  /// the snapshot (nodes shared between tasks are counted once).  A cheap
+  /// heuristic for the daemon's warm-cache byte cap, not an exact census —
+  /// it deliberately does not walk into the model DAG's internals.
+  [[nodiscard]] std::size_t approx_bytes() const;
 };
 
 /// Structural signature of one task: everything its local analysis consumes

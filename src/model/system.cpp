@@ -107,6 +107,17 @@ void System::set_task_priority(TaskId task, int priority) {
   tasks_.at(task).priority = priority;
 }
 
+void System::set_task_slot(TaskId task, Time slot) { tasks_.at(task).slot = slot; }
+
+void System::set_resource_tdma_cycle(ResourceId resource, Time cycle) {
+  ResourceSpec& res = resources_.at(resource);
+  if (res.policy != Policy::kTdma && res.policy != Policy::kFlexRayStatic)
+    throw std::invalid_argument("System: resource '" + res.name + "' has no TDMA cycle");
+  if (cycle <= 0)
+    throw std::invalid_argument("System: resource '" + res.name + "' needs a positive cycle");
+  res.tdma_cycle = cycle;
+}
+
 void System::validate() const {
   if (tasks_.empty()) throw std::invalid_argument("System: no tasks");
   for (TaskId i = 0; i < tasks_.size(); ++i) {

@@ -134,6 +134,16 @@ class System {
   /// Replace a task's priority (used by priority optimisation).
   void set_task_priority(TaskId task, int priority);
 
+  /// Replace a task's round-robin/TDMA slot (used by the synthesiser, which
+  /// only knows slot sizes once execution times are assigned).
+  void set_task_slot(TaskId task, Time slot);
+
+  /// Replace a TDMA/FlexRay resource's cycle length — again for builders
+  /// that size the cycle from the slots they assigned after the fact.
+  /// \throws std::invalid_argument for a non-positive cycle or a resource
+  ///         whose policy has no cycle.
+  void set_resource_tdma_cycle(ResourceId resource, Time cycle);
+
   /// Visit every external event-model slot of `task`'s activation (the
   /// ExternalActivation model, PackedActivation ModelPtr sources, and the
   /// pack timer) and let `fn` substitute a replacement node (return nullptr

@@ -251,6 +251,7 @@ struct ParserState {
   double sim_drop = 0.0;
   Time sim_jitter = 0;
   Count sim_burst = 1;
+  std::string inject_fault;
   std::vector<verify::Diagnostic> warnings;
   ConfigIndex index;
   std::map<std::string, ResourceId> resources;
@@ -497,9 +498,9 @@ void parse_option(ParserState& st, const Stmt& s) {
   const int line = s.line;
   const Args args(s, 1);
   args.allow({"jobs", "trace", "metrics", "strict", "overload_check", "sim_drop", "sim_jitter",
-              "sim_burst"});
+              "sim_burst", "inject_fault"});
   for (const char* key : {"jobs", "trace", "metrics", "strict", "overload_check", "sim_drop",
-                          "sim_jitter", "sim_burst"})
+                          "sim_jitter", "sim_burst", "inject_fault"})
     if (args.has(key)) st.index.options[key] = {line, args.col(key)};
   if (args.has("jobs")) {
     const Time jobs = args.time("jobs", /*allow_negative=*/true);
@@ -553,6 +554,14 @@ void parse_option(ParserState& st, const Stmt& s) {
       fail_at(line, args.col("sim_burst"),
               "sim_burst must be >= 1, got " + std::to_string(burst));
     st.sim_burst = burst;
+  }
+  if (args.has("inject_fault")) {
+    const std::string v = args.str("inject_fault");
+    if (v != "abort" && v != "segv" && v != "oom" && v != "stackoverflow" && v != "spin" &&
+        v != "none")
+      fail_at(line, args.col("inject_fault"),
+              "inject_fault must be abort|segv|oom|stackoverflow|spin|none, got '" + v + "'");
+    st.inject_fault = v == "none" ? "" : v;
   }
 }
 
@@ -652,6 +661,7 @@ ParsedSystem parse_system_config(std::istream& in, std::vector<verify::Diagnosti
   parsed.sim_drop = st.sim_drop;
   parsed.sim_jitter = st.sim_jitter;
   parsed.sim_burst = st.sim_burst;
+  parsed.inject_fault = std::move(st.inject_fault);
   parsed.warnings = st.warnings;
   parsed.index = std::move(st.index);
   if (diags != nullptr) *diags = parsed.warnings;

@@ -92,6 +92,11 @@ struct ParsedSystem {
   double sim_drop = 0.0;  ///< `option sim_drop=<rate>`; --sim fault default
   Time sim_jitter = 0;    ///< `option sim_jitter=<time>`
   Count sim_burst = 1;    ///< `option sim_burst=<count>`
+  /// `option inject_fault=abort|segv|oom|stackoverflow|spin` — test-only
+  /// crash hook: the attempt layer kills its own process this way before
+  /// analysing, so worker isolation and the chaos harness can rehearse
+  /// real crashes.  Empty = never fault (the production default).
+  std::string inject_fault;
   std::vector<verify::Diagnostic> warnings;  ///< positioned parser warnings
   ConfigIndex index;
 };

@@ -91,11 +91,14 @@ void Registry::reset() {
 }
 
 Registry& registry() {
-  // Meyers singleton: probes at namespace scope in other translation units
-  // call this during static initialisation; construction on first use keeps
-  // that order-safe.
-  static Registry instance;
-  return instance;
+  // Leaked singleton: probes at namespace scope in other translation units
+  // call this during static initialisation (construction on first use keeps
+  // that order-safe), and a worker thread hard-abandoned by the JobPool
+  // watchdog may still bump counters while the process exits — a destructed
+  // registry would hand that thread freed memory.  Never destroying it
+  // makes process exit safe without std::_Exit.
+  static Registry* instance = new Registry;
+  return *instance;
 }
 
 // ---------------------------------------------------------------------------

@@ -66,6 +66,9 @@ cpa::System build_synth_system(const SynthParams& params) {
     throw std::invalid_argument("synth: utilization must be in (0, 1)");
   if (params.min_period < 1 || params.max_period < params.min_period)
     throw std::invalid_argument("synth: need 1 <= min_period <= max_period");
+  if (params.tdma_permille < 0 || params.rr_permille < 0 ||
+      params.tdma_permille + params.rr_permille > 1000)
+    throw std::invalid_argument("synth: need tdma_permille + rr_permille in [0, 1000]");
 
   const auto n_res = static_cast<std::size_t>(params.resources);
   const auto n_tasks = static_cast<std::size_t>(params.tasks);
@@ -74,14 +77,37 @@ cpa::System build_synth_system(const SynthParams& params) {
   std::mt19937_64 rng(params.seed);
   cpa::System sys;
 
-  // Resources: contiguous layer blocks, every fourth one a CAN bus.
+  // Resources: contiguous layer blocks, every fourth one a CAN bus.  With
+  // tdma/rr_permille > 0 a deterministic share of the CPUs is re-policied
+  // time-driven: (r * 131) mod 1000 walks a permutation of the residues
+  // (gcd(131, 1000) = 1) that is well-spread even over the first handful
+  // of indices, so the share is near-exact at any fleet size and
+  // — crucially — costs zero RNG draws: the same seed still produces the
+  // same periods, chains, and utilisation shares for every other resource.
+  // TDMA cycles are provisional here; they are sized from the slots once
+  // execution times exist (below).
   std::vector<std::size_t> layer_of(n_res);
   for (std::size_t r = 0; r < n_res; ++r) {
     layer_of[r] = r * layers / n_res;
     cpa::ResourceSpec spec;
-    spec.policy = r % 4 == 3 ? cpa::Policy::kSpnpCan : cpa::Policy::kSppPreemptive;
-    spec.name = (spec.policy == cpa::Policy::kSpnpCan ? "bus" : "cpu") + std::to_string(r) +
-                "_l" + std::to_string(layer_of[r]);
+    const char* prefix = "cpu";
+    if (r % 4 == 3) {
+      spec.policy = cpa::Policy::kSpnpCan;
+      prefix = "bus";
+    } else {
+      const int mix = static_cast<int>(r * 131 % 1000);
+      if (mix < params.tdma_permille) {
+        spec.policy = cpa::Policy::kTdma;
+        spec.tdma_cycle = 1;  // provisional; sized from the slots below
+        prefix = "tdma";
+      } else if (mix < params.tdma_permille + params.rr_permille) {
+        spec.policy = cpa::Policy::kRoundRobin;
+        prefix = "rr";
+      } else {
+        spec.policy = cpa::Policy::kSppPreemptive;
+      }
+    }
+    spec.name = prefix + std::to_string(r) + "_l" + std::to_string(layer_of[r]);
     sys.add_resource(std::move(spec));
   }
 
@@ -201,17 +227,29 @@ cpa::System build_synth_system(const SynthParams& params) {
   }
 
   // Execution times: UUniFast utilisation shares within each resource,
-  // scaled by the task's effective activation period.
+  // scaled by the task's effective activation period.  Time-driven
+  // resources additionally get their slot table here — one slot per task,
+  // sized to fit its WCET, with TDMA cycles of twice the slot sum so every
+  // task's slot recurs with slack.  All slot arithmetic is derived from
+  // already-drawn values: still zero extra RNG draws.
   for (std::size_t r = 0; r < n_res; ++r) {
     const std::vector<double> shares =
         uunifast(rng, on_resource[r].size(), params.utilization);
+    Time slot_sum = 0;
     for (std::size_t i = 0; i < on_resource[r].size(); ++i) {
       const cpa::TaskId t = on_resource[r][i];
       const Time wcet = std::max<Time>(
           1, static_cast<Time>(shares[i] * static_cast<double>(eff_period[t])));
       const Time bcet = std::max<Time>(1, wcet / 2);
       sys.set_task_cet(t, sched::ExecutionTime{bcet, wcet});
+      const cpa::Policy policy = sys.resources()[r].policy;
+      if (policy == cpa::Policy::kTdma || policy == cpa::Policy::kRoundRobin) {
+        sys.set_task_slot(t, wcet);
+        slot_sum = sat_add(slot_sum, wcet);
+      }
     }
+    if (sys.resources()[r].policy == cpa::Policy::kTdma)
+      sys.set_resource_tdma_cycle(r, sat_mul(slot_sum, 2));
   }
 
   return sys;

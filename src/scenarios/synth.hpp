@@ -49,6 +49,15 @@ struct SynthParams {
   /// the paper's hierarchical regime.  0 (the default) draws nothing from
   /// the RNG, so existing seeds keep producing byte-identical systems.
   int packed_permille = 0;
+  /// Per-mille of CPU resources re-policied as TDMA / round-robin (time-
+  /// driven arbitration alongside the priority-driven default).  Selection
+  /// is pure modulo arithmetic over the resource index — zero RNG draws,
+  /// so any (tdma, rr) mix leaves every other draw of the same seed
+  /// untouched.  TDMA/RR tasks get slots sized from their worst-case
+  /// execution times and TDMA cycles of twice the slot sum, which keeps
+  /// the time-driven resources schedulable at the same utilisation target.
+  int tdma_permille = 0;
+  int rr_permille = 0;
 };
 
 /// Build the synthetic system.  Throws std::invalid_argument on degenerate

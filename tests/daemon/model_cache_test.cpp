@@ -124,5 +124,64 @@ TEST(WarmModelCacheTest, EvictedSnapshotStaysUsableWhileHeld) {
   EXPECT_EQ(held->tasks[0].name, "A");
 }
 
+// ---- approximate byte accounting (--cache-bytes) ----------------------
+
+TEST(WarmModelCacheTest, ApproxBytesIsPositiveAndDedupsSharedNodes) {
+  const auto snap = snapshot_of(kConfigA);
+  const std::size_t bytes = snap->approx_bytes();
+  EXPECT_GT(bytes, sizeof(cpa::EngineSnapshot));
+  // A snapshot with more tasks (and more distinct model nodes) costs more.
+  EXPECT_GT(snapshot_of(kConfigAPlus)->approx_bytes(), bytes);
+  // Duplicating a task that shares every node must not double the node
+  // estimate: distinct nodes are counted once.
+  cpa::EngineSnapshot doubled = *snap;
+  doubled.tasks.push_back(doubled.tasks[0]);
+  EXPECT_LT(doubled.approx_bytes(), 2 * bytes);
+}
+
+TEST(WarmModelCacheTest, BytesTrackInsertReplaceAndEvict) {
+  WarmModelCache cache(4, /*max_bytes=*/0);  // unlimited: pure accounting
+  EXPECT_EQ(cache.bytes(), 0u);
+  const auto snap_a = snapshot_of(kConfigA);
+  const auto snap_b = snapshot_of(kConfigB);
+  cache.insert(0xAAAA, snap_a);
+  EXPECT_EQ(cache.bytes(), snap_a->approx_bytes());
+  cache.insert(0xBBBB, snap_b);
+  EXPECT_EQ(cache.bytes(), snap_a->approx_bytes() + snap_b->approx_bytes());
+  // Replacing a fingerprint swaps its contribution, not adds to it.
+  cache.insert(0xAAAA, snap_b);
+  EXPECT_EQ(cache.bytes(), 2 * snap_b->approx_bytes());
+}
+
+TEST(WarmModelCacheTest, ByteCapEvictsLruButKeepsTheNewestInsertion) {
+  const auto snap_a = snapshot_of(kConfigA);
+  const auto snap_b = snapshot_of(kConfigB);
+  const auto snap_c = snapshot_of(kConfigAPlus);
+  // Cap sized for roughly one snapshot: every insert evicts the rest.
+  WarmModelCache cache(16, snap_a->approx_bytes());
+  cache.insert(0xAAAA, snap_a);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.insert(0xBBBB, snap_b);
+  // The byte cap never evicts the entry just inserted, even when it alone
+  // exceeds the cap — an always-empty cache would be useless.
+  EXPECT_EQ(cache.find_exact(0xBBBB), snap_b);
+  EXPECT_EQ(cache.find_exact(0xAAAA), nullptr);
+  EXPECT_GE(cache.evictions(), 1);
+  cache.insert(0xCCCC, snap_c);
+  EXPECT_EQ(cache.find_exact(0xCCCC), snap_c);
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.max_bytes(), snap_a->approx_bytes());
+}
+
+TEST(WarmModelCacheTest, ZeroByteCapMeansUnlimited) {
+  WarmModelCache cache(8);  // default max_bytes = 0
+  EXPECT_EQ(cache.max_bytes(), 0u);
+  cache.insert(0xAAAA, snapshot_of(kConfigA));
+  cache.insert(0xBBBB, snapshot_of(kConfigB));
+  cache.insert(0xCCCC, snapshot_of(kConfigAPlus));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 0);
+}
+
 }  // namespace
 }  // namespace hem::daemon

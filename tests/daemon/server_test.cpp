@@ -13,6 +13,7 @@
 
 #include "daemon/client.hpp"
 #include "daemon/protocol.hpp"
+#include "exec/worker_process.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 
@@ -163,8 +164,13 @@ TEST_F(ServerFixture, JournalServesIdempotentResubmission) {
 
 TEST_F(ServerFixture, WarmCacheSeedsResubmittedConfig) {
   // No journal: resubmission re-runs, but warm-seeded from the cache, and
-  // the results must be byte-identical to the cold run.
-  start(test_options("warm"));
+  // the results must be byte-identical to the cold run.  Snapshot capture
+  // is an in-process feature (EngineSnapshot holds live node pointers that
+  // cannot cross the worker pipe), so this runs the daemon --no-isolate —
+  // the deployment mode for trusted cache-heavy fleets.
+  ServerOptions warm_opts = test_options("warm");
+  warm_opts.isolate = false;
+  start(warm_opts);
   Client client = connect();
   const std::string sub = client.submit(kTinyConfig);
   const std::string cold = client.wait_result(std::stoull(json_find(sub, "id")), 20'000);
@@ -376,7 +382,11 @@ TEST_F(ServerFixture, SecondDaemonOnLiveSocketRefusesToStart) {
 }
 
 TEST_F(ServerFixture, StatsExposeQueueAndCacheCounters) {
-  start(test_options("stats"));
+  // Warm snapshots are only captured in-process (see the warm-cache test),
+  // so the cache_entries expectation needs --no-isolate.
+  ServerOptions opts = test_options("stats");
+  opts.isolate = false;
+  start(opts);
   Client client = connect();
   const std::string sub = client.submit(kTinyConfig);
   (void)client.wait_result(std::stoull(json_find(sub, "id")), 20'000);
@@ -386,6 +396,7 @@ TEST_F(ServerFixture, StatsExposeQueueAndCacheCounters) {
   EXPECT_EQ(json_find(stats, "done"), "1");
   EXPECT_EQ(json_find(stats, "pool_width"), "1");
   EXPECT_EQ(json_find(stats, "cache_entries"), "1");
+  EXPECT_EQ(json_find(stats, "isolate"), "false");
   EXPECT_EQ(json_find(stats, "draining"), "false");
   EXPECT_TRUE(wait_until(
       [&] {
@@ -393,6 +404,137 @@ TEST_F(ServerFixture, StatsExposeQueueAndCacheCounters) {
         return json_find(s, "queue_depth") == "0" && json_find(s, "running") == "0";
       },
       5s));
+}
+
+// ---- client connect retries --------------------------------------------
+
+TEST(DaemonClientTest, NoRetriesFailsFastWithAClearMessage) {
+  const std::string missing =
+      (fs::path(::testing::TempDir()) / ("noclient." + std::to_string(::getpid()) + ".sock"))
+          .string();
+  fs::remove(missing);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    Client client(missing, /*io_timeout_ms=*/1000, /*connect_retries=*/0);
+    FAIL() << "expected the connect to fail";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cannot connect to daemon"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(missing), std::string::npos) << msg;
+    EXPECT_NE(msg.find("hemcpad"), std::string::npos) << msg;
+  }
+  // Zero retries means zero backoff sleeps: the failure is immediate.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+}
+
+TEST(DaemonClientTest, RetriesGiveUpOnceTheBudgetIsSpent) {
+  const std::string missing =
+      (fs::path(::testing::TempDir()) / ("noclient2." + std::to_string(::getpid()) + ".sock"))
+          .string();
+  fs::remove(missing);
+  EXPECT_THROW(Client(missing, /*io_timeout_ms=*/1000, /*connect_retries=*/2),
+               std::runtime_error);
+}
+
+TEST_F(ServerFixture, ClientRetriesConnectUntilTheDaemonComesUp) {
+  // The daemon binds its socket ~300ms after the client starts dialling;
+  // the client's jittered exponential backoff must ride out the gap (this
+  // is the restart window every `hemcpad` client verb has to survive).
+  ServerOptions opts = test_options("lateboot");
+  const std::string socket_path = opts.socket_path;
+  fs::remove(socket_path);
+  std::thread boot([&] {
+    std::this_thread::sleep_for(300ms);
+    start(opts);
+  });
+  try {
+    Client client(socket_path, /*io_timeout_ms=*/120'000, /*connect_retries=*/8);
+    EXPECT_EQ(json_find(client.ping(), "ok"), "true");
+  } catch (...) {
+    boot.join();
+    throw;
+  }
+  boot.join();
+}
+
+// ---- crash isolation -------------------------------------------------
+
+const char* kCrasherConfig =
+    "option inject_fault=segv\n"
+    "resource CPU1 spp\n"
+    "source s1 periodic period=250\n"
+    "task C resource=CPU1 priority=1 cet=24\n"
+    "activate C from=s1\n";
+
+TEST_F(ServerFixture, CrashingConfigIsIsolatedThenPoisoned) {
+  if (!exec::WorkerProcess::supported()) GTEST_SKIP() << "no process isolation here";
+  ServerOptions opts = test_options("poison");
+  opts.journal_path = opts.socket_path + ".journal";
+  fs::remove(opts.journal_path);
+  start(opts);
+  Client client = connect();
+
+  // First crash: the worker process dies, the daemon records it and lives.
+  const std::string sub1 = client.submit(kCrasherConfig);
+  ASSERT_EQ(json_find(sub1, "ok"), "true") << sub1;
+  const std::string res1 = client.wait_result(std::stoull(json_find(sub1, "id")), 20'000);
+  EXPECT_EQ(json_find(res1, "state"), "crashed") << res1;
+  EXPECT_NE(json_find(res1, "message").find("signal"), std::string::npos) << res1;
+
+  // Second crash promotes the config to poisoned.
+  const std::string sub2 = client.submit(kCrasherConfig);
+  ASSERT_EQ(json_find(sub2, "ok"), "true") << sub2;
+  EXPECT_EQ(json_find(sub2, "cached"), "false");  // crashed != terminal-done: re-runs
+  const std::string res2 = client.wait_result(std::stoull(json_find(sub2, "id")), 20'000);
+  EXPECT_EQ(json_find(res2, "state"), "poisoned") << res2;
+
+  // Third submission short-circuits: quarantined, nothing runs.
+  const std::string sub3 = client.submit(kCrasherConfig);
+  EXPECT_EQ(json_find(sub3, "state"), "poisoned") << sub3;
+  EXPECT_EQ(json_find(sub3, "cached"), "true");
+
+  // The daemon kept serving through all of it.
+  const std::string ok = client.submit(kTinyConfig);
+  const std::string res = client.wait_result(std::stoull(json_find(ok, "id")), 20'000);
+  EXPECT_EQ(json_find(res, "state"), "done");
+
+  const std::string stats = client.stats();
+  EXPECT_EQ(json_find(stats, "crashed"), "1");
+  EXPECT_EQ(json_find(stats, "poisoned"), "1");
+  EXPECT_EQ(json_find(stats, "poisoned_rejects"), "1");
+  EXPECT_EQ(json_find(stats, "isolate"), "true");
+}
+
+TEST_F(ServerFixture, PoisonQuarantineSurvivesDaemonRestart) {
+  if (!exec::WorkerProcess::supported()) GTEST_SKIP() << "no process isolation here";
+  ServerOptions opts = test_options("poisonjournal");
+  opts.journal_path = opts.socket_path + ".journal";
+  fs::remove(opts.journal_path);
+  start(opts);
+  {
+    Client client = connect();
+    const std::string sub1 = client.submit(kCrasherConfig);
+    (void)client.wait_result(std::stoull(json_find(sub1, "id")), 20'000);
+    const std::string sub2 = client.submit(kCrasherConfig);
+    const std::string res2 = client.wait_result(std::stoull(json_find(sub2, "id")), 20'000);
+    ASSERT_EQ(json_find(res2, "state"), "poisoned") << res2;
+    client.drain();
+  }
+  EXPECT_EQ(server_->wait(), 0);
+
+  // A fresh daemon on the same journal seeds its crash ledger from the
+  // `poisoned` record: the config is refused without forking a worker.
+  ServerOptions opts2 = test_options("poisonjournal2");
+  opts2.journal_path = opts.journal_path;
+  start(opts2);
+  Client client = connect();
+  const std::string resub = client.submit(kCrasherConfig);
+  EXPECT_EQ(json_find(resub, "state"), "poisoned") << resub;
+  EXPECT_EQ(json_find(resub, "cached"), "true");
+  // And it still serves clean work.
+  const std::string ok = client.submit(kTinyConfig);
+  const std::string res = client.wait_result(std::stoull(json_find(ok, "id")), 20'000);
+  EXPECT_EQ(json_find(res, "state"), "done");
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exec/journal.hpp"
+#include "exec/worker_process.hpp"
 
 namespace hem::exec {
 namespace {
@@ -345,6 +346,107 @@ TEST(BatchRunnerTest, RunIsSingleShot) {
   BatchRunner runner({a}, BatchOptions{});
   (void)runner.run();
   EXPECT_THROW((void)runner.run(), std::logic_error);
+}
+
+const char* kCrasherConfig =
+    "option inject_fault=segv\n"
+    "resource CPU1 spp\n"
+    "source s1 periodic period=250\n"
+    "task C resource=CPU1 priority=1 cet=24\n"
+    "activate C from=s1\n";
+
+TEST(BatchRunnerTest, WorkerCrashEarnsOneRespawnThenPoisonsTheConfig) {
+  if (!WorkerProcess::supported()) GTEST_SKIP() << "no process isolation here";
+  TempDir dir("batch_poison");
+  const auto crasher = dir.write("crash.hemcpa", kCrasherConfig);
+  const auto good = dir.write("ok.hemcpa", kTinyConfig);
+  BatchOptions opt;
+  opt.journal_path = dir.file("out.journal");
+  opt.crash_backoff_ms = 1;
+  const BatchReport report = BatchRunner({crasher, good}, opt).run();
+
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_EQ(report.jobs[0].state, JobState::kPoisoned);
+  EXPECT_EQ(report.jobs[0].attempts, 2);  // crash -> respawn -> crash again
+  EXPECT_NE(report.jobs[0].message.find("poisoned"), std::string::npos)
+      << report.jobs[0].message;
+  // Natively the crash detail names the fatal signal; under ASan the
+  // intercepted segfault becomes a nonzero exit status instead.
+  EXPECT_TRUE(report.jobs[0].message.find("signal") != std::string::npos ||
+              report.jobs[0].message.find("status") != std::string::npos)
+      << report.jobs[0].message;
+  EXPECT_EQ(report.crash_respawns, 1);
+  EXPECT_EQ(report.poisoned, 1);
+  // The crash never took the batch down: the clean config completed.
+  EXPECT_EQ(report.jobs[1].state, JobState::kDone);
+  EXPECT_EQ(report.exit_code(), 5);
+
+  // The quarantine is durable: the journal carries a `poisoned` record.
+  Journal journal(opt.journal_path);
+  ASSERT_TRUE(journal.load());
+  bool found = false;
+  for (const JournalEntry& e : journal.entries()) {
+    if (e.config_path != crasher) continue;
+    found = true;
+    EXPECT_EQ(e.status, "poisoned");
+    EXPECT_EQ(e.attempts, 2);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BatchRunnerTest, ResumeSkipsPoisonedConfigsWithoutReExecuting) {
+  if (!WorkerProcess::supported()) GTEST_SKIP() << "no process isolation here";
+  TempDir dir("batch_poison_resume");
+  const auto crasher = dir.write("crash.hemcpa", kCrasherConfig);
+  const auto good = dir.write("ok.hemcpa", kTinyConfig);
+  BatchOptions opt;
+  opt.journal_path = dir.file("out.journal");
+  opt.crash_backoff_ms = 1;
+  const BatchReport first = BatchRunner({crasher, good}, opt).run();
+  ASSERT_EQ(first.exit_code(), 5);
+
+  opt.resume = true;
+  const BatchReport second = BatchRunner({crasher, good}, opt).run();
+  ASSERT_EQ(second.jobs.size(), 2u);
+  EXPECT_TRUE(second.jobs[0].from_journal);
+  EXPECT_EQ(second.jobs[0].state, JobState::kPoisoned);
+  EXPECT_EQ(second.crash_respawns, 0);  // nothing was re-executed
+  EXPECT_EQ(second.poisoned, 0);        // restored, not newly quarantined
+  EXPECT_EQ(second.journal_skips, 2);
+  EXPECT_EQ(second.exit_code(), 5);
+  EXPECT_EQ(csv_of(second), csv_of(first));  // placeholder row is stable
+}
+
+TEST(BatchRunnerTest, AbortFaultIsClassifiedNotFatal) {
+  if (!WorkerProcess::supported()) GTEST_SKIP() << "no process isolation here";
+  TempDir dir("batch_abort_fault");
+  const auto aborter = dir.write(
+      "abort.hemcpa",
+      "option inject_fault=abort\n"
+      "resource CPU1 spp\n"
+      "source s1 periodic period=250\n"
+      "task C resource=CPU1 priority=1 cet=24\n"
+      "activate C from=s1\n");
+  BatchOptions opt;
+  opt.crash_backoff_ms = 1;
+  const BatchReport report = BatchRunner({aborter}, opt).run();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].state, JobState::kPoisoned);
+  EXPECT_EQ(report.exit_code(), 5);
+}
+
+TEST(BatchRunnerTest, NoIsolateStillCompletesCleanConfigs) {
+  TempDir dir("batch_no_isolate");
+  const auto a = dir.write("a.hemcpa", kTinyConfig);
+  const auto b = dir.write("b.hemcpa", kTinyConfig2);
+  BatchOptions opt;
+  opt.isolate = false;
+  const BatchReport report = BatchRunner({a, b}, opt).run();
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_EQ(report.jobs[0].state, JobState::kDone);
+  EXPECT_EQ(report.jobs[1].state, JobState::kDone);
+  EXPECT_EQ(report.crash_respawns, 0);
+  EXPECT_EQ(report.exit_code(), 0);
 }
 
 TEST(BatchRunnerTest, CollectConfigsFromDirectorySorted) {

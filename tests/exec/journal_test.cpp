@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -166,12 +167,135 @@ TEST(JournalTest, ParseRejectsCorruptInput) {
   EXPECT_THROW((void)Journal::parse("hemcpa-journal v1\nwat\nend\n"), std::runtime_error);
 }
 
-TEST(JournalTest, LoadThrowsOnTornFile) {
+TEST(JournalTest, ParseAcceptsCrashedAndPoisonedStatuses) {
+  const auto out = Journal::parse(
+      "hemcpa-journal v1\n"
+      "job fp=0000000000000001 status=crashed attempts=1 duration_ms=1 "
+      "degraded=0 rows=0 path=a\n"
+      "job fp=0000000000000002 status=poisoned attempts=2 duration_ms=1 "
+      "degraded=0 rows=0 path=b\n"
+      "end\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].status, "crashed");
+  EXPECT_EQ(out[1].status, "poisoned");
+  EXPECT_FALSE(out[0].completed());
+  EXPECT_FALSE(out[1].completed());
+}
+
+TEST(JournalTest, LoadRecoversTornTail) {
   TempFile f("journal_torn.journal");
-  f.write("hemcpa-journal v1\n"
-          "job fp=0000000000000001 status=done attempts=1 duration_ms=1 "
-          "degraded=0 rows=1 path=a.hemcpa\n"
-          "row a.hemcpa,T,R,1,1,1,1,0.1,converged\n");  // no `end`
+  const std::string complete =
+      "hemcpa-journal v1\n"
+      "job fp=0000000000000001 status=done attempts=1 duration_ms=1 "
+      "degraded=0 rows=1 path=a.hemcpa\n"
+      "row a.hemcpa,T,R,1,1,1,1,0.1,converged\n";
+  const std::string torn_tail =
+      "job fp=0000000000000002 status=do";  // killed mid-record, no `end`
+  f.write(complete + torn_tail);
+  Journal j(f.path());
+  ASSERT_TRUE(j.load());
+  ASSERT_EQ(j.entries().size(), 1u);
+  EXPECT_EQ(j.entries()[0].config_path, "a.hemcpa");
+  EXPECT_TRUE(j.last_recovery().torn);
+  EXPECT_EQ(j.last_recovery().valid_bytes, complete.size());
+  EXPECT_EQ(j.last_recovery().entries_kept, 1u);
+  // The torn bytes are quarantined verbatim next to the journal...
+  std::ifstream quarantined(j.last_recovery().quarantine_path, std::ios::binary);
+  ASSERT_TRUE(quarantined.good());
+  std::ostringstream qbuf;
+  qbuf << quarantined.rdbuf();
+  EXPECT_EQ(qbuf.str(), torn_tail);
+  // ...and the journal itself is rewritten valid: a second load is clean.
+  Journal j2(f.path());
+  ASSERT_TRUE(j2.load());
+  EXPECT_FALSE(j2.last_recovery().torn);
+  ASSERT_EQ(j2.entries().size(), 1u);
+  std::remove(j.last_recovery().quarantine_path.c_str());
+}
+
+TEST(JournalTest, TruncationAtEveryByteOffsetSalvagesExactlyThePrefix) {
+  // A machine-written journal interrupted at ANY byte offset must split
+  // cleanly: every complete record before the tear is replayed, nothing
+  // after it leaks through, and the strict parser refuses the same text.
+  std::vector<JournalEntry> in;
+  in.push_back(entry("a.hemcpa", 0x1, "done"));
+  in.push_back(entry("b dir/with=weird path.hemcpa", 0x2, "crashed"));
+  in.push_back(entry("c.hemcpa", 0x3, "poisoned"));
+  TempFile f("journal_offsets.journal");
+  Journal whole(f.path());
+  for (const auto& e : in) whole.add(e);
+  const std::string text = whole.render();
+
+  // Byte offsets where each record becomes complete (end of its last line).
+  std::vector<std::size_t> record_ends;
+  {
+    Journal::Recovery r;
+    for (std::size_t cut = 0; cut < text.size(); ++cut) {
+      const auto got = Journal::parse_tolerant(text.substr(0, cut), r);
+      if (record_ends.size() < got.size()) record_ends.push_back(r.valid_bytes);
+    }
+  }
+  ASSERT_EQ(record_ends.size(), in.size());
+
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    const std::string torn = text.substr(0, cut);
+    Journal::Recovery r;
+    std::vector<JournalEntry> got;
+    ASSERT_NO_THROW(got = Journal::parse_tolerant(torn, r)) << "offset " << cut;
+    ASSERT_TRUE(r.torn) << "offset " << cut;
+    // Exactly the records whose bytes are fully inside the prefix survive.
+    std::size_t expect = 0;
+    while (expect < record_ends.size() && record_ends[expect] <= cut) ++expect;
+    ASSERT_EQ(got.size(), expect) << "offset " << cut;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].config_path, in[i].config_path) << "offset " << cut;
+      EXPECT_EQ(got[i].fingerprint, in[i].fingerprint) << "offset " << cut;
+      EXPECT_EQ(got[i].status, in[i].status) << "offset " << cut;
+      EXPECT_EQ(got[i].rows, in[i].rows) << "offset " << cut;
+    }
+    EXPECT_LE(r.valid_bytes, cut) << "offset " << cut;
+    // The strict parser must reject every torn prefix (the daemon relies on
+    // this split to tell tears from foreign files).
+    EXPECT_THROW((void)Journal::parse(torn), std::runtime_error) << "offset " << cut;
+  }
+  // The untruncated text parses strictly, as a sanity anchor.
+  EXPECT_EQ(Journal::parse(text).size(), in.size());
+}
+
+TEST(JournalTest, LoadRecoversEveryTruncationOffsetOfARealFile) {
+  std::vector<JournalEntry> in;
+  in.push_back(entry("a.hemcpa", 0xA, "done"));
+  in.push_back(entry("b.hemcpa", 0xB, "failed"));
+  TempFile f("journal_load_offsets.journal");
+  Journal whole(f.path());
+  for (const auto& e : in) whole.add(e);
+  const std::string text = whole.render();
+
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    TempFile torn("journal_load_offsets_cut.journal");
+    torn.write(text.substr(0, cut));
+    Journal j(torn.path());
+    ASSERT_TRUE(j.load()) << "offset " << cut;
+    ASSERT_TRUE(j.last_recovery().torn) << "offset " << cut;
+    // Quarantine holds exactly the bytes past the salvaged prefix.
+    std::ifstream q(j.last_recovery().quarantine_path, std::ios::binary);
+    ASSERT_TRUE(q.good()) << "offset " << cut;
+    std::ostringstream qbuf;
+    qbuf << q.rdbuf();
+    EXPECT_EQ(qbuf.str(), text.substr(j.last_recovery().valid_bytes, cut - j.last_recovery().valid_bytes))
+        << "offset " << cut;
+    // The rewritten journal is whole again.
+    Journal again(torn.path());
+    ASSERT_TRUE(again.load()) << "offset " << cut;
+    EXPECT_FALSE(again.last_recovery().torn) << "offset " << cut;
+    EXPECT_EQ(again.entries().size(), j.entries().size()) << "offset " << cut;
+    std::remove(j.last_recovery().quarantine_path.c_str());
+  }
+}
+
+TEST(JournalTest, LoadStillThrowsOnForeignFile) {
+  TempFile f("journal_foreign.journal");
+  f.write("totally unrelated file contents\nnot a journal\n");
   Journal j(f.path());
   EXPECT_THROW((void)j.load(), std::runtime_error);
 }

@@ -63,6 +63,23 @@ TEST(SynthRoundtripTest, PackedSystemsRoundTripBitIdentical) {
   }
 }
 
+TEST(SynthRoundtripTest, TimeDrivenSystemsRoundTripBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    scenarios::SynthParams p = small_params(seed);
+    p.resources = 8;  // wide enough for the modulo walk to hit both policies
+    p.tasks = 32;
+    p.tdma_permille = 300;
+    p.rr_permille = 300;
+    const System original = scenarios::build_synth_system(p);
+    const std::string text = scenarios::to_config_text(original);
+    std::istringstream in(text);
+    const ParsedSystem parsed = parse_system_config(in);
+    EXPECT_EQ(run_fingerprint(original), run_fingerprint(parsed.system))
+        << "seed " << seed << " (tdma/rr) round-trip changed the analysis\n"
+        << text;
+  }
+}
+
 TEST(SynthRoundtripTest, SerialisedTextIsStableAcrossCalls) {
   const System sys = scenarios::build_synth_system(small_params(7, 400));
   EXPECT_EQ(scenarios::to_config_text(sys), scenarios::to_config_text(sys));

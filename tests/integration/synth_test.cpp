@@ -86,6 +86,73 @@ TEST(SynthSystemTest, ConvergesUnderAnalysis) {
   EXPECT_FALSE(report.degraded());
 }
 
+TEST(SynthSystemTest, TimeDrivenMixIsDeterministicAndWellFormed) {
+  scenarios::SynthParams p = small_params();
+  p.tdma_permille = 250;
+  p.rr_permille = 250;
+  const System a = scenarios::build_synth_system(p);
+  const System b = scenarios::build_synth_system(p);
+  a.validate();
+  // Deterministic: same seed + same mix => identical systems.
+  ASSERT_EQ(a.resources().size(), b.resources().size());
+  for (std::size_t r = 0; r < a.resources().size(); ++r) {
+    EXPECT_EQ(a.resources()[r].policy, b.resources()[r].policy);
+    EXPECT_EQ(a.resources()[r].tdma_cycle, b.resources()[r].tdma_cycle);
+  }
+  // Both time-driven policies actually appear at this mix and fleet size.
+  int tdma = 0;
+  int rr = 0;
+  for (const ResourceSpec& r : a.resources()) {
+    tdma += r.policy == Policy::kTdma;
+    rr += r.policy == Policy::kRoundRobin;
+  }
+  EXPECT_GT(tdma, 0);
+  EXPECT_GT(rr, 0);
+  // Slots fit their task's WCET and TDMA cycles cover the slot sum twice.
+  std::vector<Time> slot_sum(a.resources().size(), 0);
+  for (const TaskSpec& t : a.tasks()) {
+    const Policy policy = a.resources()[t.resource].policy;
+    if (policy != Policy::kTdma && policy != Policy::kRoundRobin) continue;
+    EXPECT_GE(t.slot, t.cet.worst);
+    slot_sum[t.resource] += t.slot;
+  }
+  for (std::size_t r = 0; r < a.resources().size(); ++r)
+    if (a.resources()[r].policy == Policy::kTdma)
+      EXPECT_EQ(a.resources()[r].tdma_cycle, 2 * slot_sum[r]);
+}
+
+TEST(SynthSystemTest, TimeDrivenMixConsumesNoExtraRandomness) {
+  // Re-policying resources must not shift any RNG draw: the same seed has
+  // to produce the same activation streams and execution times whether the
+  // mix is on or off — that is what keeps historic seeds reproducible.
+  scenarios::SynthParams plain = small_params();
+  scenarios::SynthParams mixed = small_params();
+  mixed.tdma_permille = 300;
+  mixed.rr_permille = 200;
+  const System a = scenarios::build_synth_system(plain);
+  const System b = scenarios::build_synth_system(mixed);
+  ASSERT_EQ(a.tasks().size(), b.tasks().size());
+  for (std::size_t t = 0; t < a.tasks().size(); ++t) {
+    EXPECT_EQ(a.tasks()[t].name, b.tasks()[t].name);
+    EXPECT_EQ(a.tasks()[t].cet.best, b.tasks()[t].cet.best);
+    EXPECT_EQ(a.tasks()[t].cet.worst, b.tasks()[t].cet.worst);
+    const auto* ea = std::get_if<ExternalActivation>(&a.activation(t));
+    const auto* eb = std::get_if<ExternalActivation>(&b.activation(t));
+    ASSERT_EQ(ea == nullptr, eb == nullptr);
+    if (ea != nullptr) EXPECT_EQ(ea->model->describe(), eb->model->describe());
+  }
+}
+
+TEST(SynthSystemTest, RejectsBadTimeDrivenMix) {
+  scenarios::SynthParams p = small_params();
+  p.tdma_permille = 600;
+  p.rr_permille = 600;  // sum > 1000
+  EXPECT_THROW((void)scenarios::build_synth_system(p), std::invalid_argument);
+  p = small_params();
+  p.rr_permille = -1;
+  EXPECT_THROW((void)scenarios::build_synth_system(p), std::invalid_argument);
+}
+
 TEST(SynthSystemTest, RejectsDegenerateParameters) {
   scenarios::SynthParams p;
   p.resources = 0;

@@ -1,0 +1,189 @@
+// End-to-end isolation test for `hemcpa --batch --isolate`: forks the real
+// binary over a 30-config fleet where 3 configs deliberately segfault their
+// worker (`option inject_fault=segv`) and checks the crash-only contract —
+// the batch survives every crash, the crashers end up quarantined as
+// `poisoned` in a complete journal, the merged CSV is bit-identical at any
+// --batch-jobs width, and a --resume skips the quarantined configs without
+// re-executing them.  POSIX-only (fork/exec/waitpid); skipped elsewhere.
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/journal.hpp"
+
+namespace hem {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kConfigs = 30;
+// Sorted into the front, middle, and back of the manifest so crashes land
+// at different points of every scheduling order.
+constexpr int kCrashers[] = {2, 14, 27};
+
+bool is_crasher(int index) {
+  for (const int c : kCrashers)
+    if (c == index) return true;
+  return false;
+}
+
+std::string quick_config(int index) {
+  std::ostringstream os;
+  os << "resource CPU spp\n"
+     << "source s sem period=" << 100 + 10 * index << " jitter=" << 5 * (index % 7) << "\n"
+     << "task T resource=CPU priority=1 cet=" << 2 + index % 5 << "\n"
+     << "activate T from=s\n";
+  return os.str();
+}
+
+std::string crasher_config() {
+  return "option inject_fault=segv\n"
+         "resource CPU spp\n"
+         "source s periodic period=250\n"
+         "task T resource=CPU priority=1 cet=24\n"
+         "activate T from=s\n";
+}
+
+class WorkerIsolationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) / (std::string("hemcpa_isolation_it_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "configs");
+    for (int i = 0; i < kConfigs; ++i) {
+      std::ostringstream name;
+      name << "configs/" << (i < 10 ? "0" : "") << i << (is_crasher(i) ? "_crash" : "_ok")
+           << ".hemcpa";
+      write(name.str(), is_crasher(i) ? crasher_config() : quick_config(i));
+    }
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  void write(const std::string& rel, const std::string& text) const {
+    std::ofstream out(dir_ / rel, std::ios::binary);
+    out << text;
+  }
+
+  [[nodiscard]] std::string path(const std::string& rel) const { return (dir_ / rel).string(); }
+
+  static int run_hemcpa(const std::vector<std::string>& args) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      const int null_fd = ::open("/dev/null", O_WRONLY);
+      if (null_fd >= 0) {
+        ::dup2(null_fd, STDOUT_FILENO);
+        ::dup2(null_fd, STDERR_FILENO);
+        ::close(null_fd);
+      }
+      std::vector<char*> argv;
+      std::string bin = HEMCPA_BIN;
+      argv.push_back(bin.data());
+      std::vector<std::string> copy = args;
+      for (std::string& a : copy) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(HEMCPA_BIN, argv.data());
+      ::_exit(127);
+    }
+    if (pid < 0) return -1;
+    int status = 0;
+    pid_t reaped;
+    do {
+      reaped = ::waitpid(pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    if (reaped != pid) return -2;
+    if (WIFSIGNALED(status)) return -(1000 + WTERMSIG(status));
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  [[nodiscard]] std::vector<std::string> batch_args(const std::string& out_csv, int batch_jobs,
+                                                    bool resume = false) const {
+    std::vector<std::string> args = {
+        "--batch",           path("configs"),
+        "--out",             out_csv,
+        "--batch-jobs",      std::to_string(batch_jobs),
+        "--retries",         "0",
+        "--crash-backoff-ms", "10",  // keep the respawn delay out of the test budget
+    };
+    if (resume) args.push_back("--resume");
+    return args;
+  }
+
+  static std::string slurp(const std::string& file) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WorkerIsolationFixture, CrashingFleetSurvivesQuarantinesAndStaysDeterministic) {
+  // Serial run: the 3 crashers poison (crash -> respawn -> crash again),
+  // the 27 clean configs complete.  Poisoned jobs dominate the exit code.
+  const std::string serial_csv = path("serial.csv");
+  ASSERT_EQ(run_hemcpa(batch_args(serial_csv, /*batch_jobs=*/1)), 5);
+  ASSERT_TRUE(fs::exists(serial_csv));
+
+  // Journal must be complete and carry exactly 27 done + 3 poisoned.
+  exec::Journal journal(path("serial.csv.journal"));
+  ASSERT_TRUE(journal.load());
+  ASSERT_EQ(journal.entries().size(), static_cast<std::size_t>(kConfigs));
+  std::map<std::string, int> by_status;
+  for (const exec::JournalEntry& e : journal.entries()) {
+    by_status[e.status] += 1;
+    const bool crasher = e.config_path.find("_crash") != std::string::npos;
+    EXPECT_EQ(e.status, crasher ? "poisoned" : "done") << e.config_path;
+  }
+  EXPECT_EQ(by_status["done"], kConfigs - 3);
+  EXPECT_EQ(by_status["poisoned"], 3);
+
+  // Parallel run over the same fleet: same exit code, and the merged CSV
+  // is byte-identical — scheduling order must never leak into results.
+  const std::string wide_csv = path("wide.csv");
+  ASSERT_EQ(run_hemcpa(batch_args(wide_csv, /*batch_jobs=*/4)), 5);
+  ASSERT_TRUE(fs::exists(wide_csv));
+  EXPECT_EQ(slurp(wide_csv), slurp(serial_csv));
+
+  // Every clean config contributes a real data row; the crashers appear
+  // only as placeholder rows carrying their quarantined state.
+  const std::string csv = slurp(serial_csv);
+  EXPECT_NE(csv.find(",poisoned\n"), std::string::npos);
+  EXPECT_EQ(csv.find(",crashed\n"), std::string::npos);
+
+  // --resume over an all-terminal journal re-executes nothing (poisoned
+  // configs are quarantined, not retried) and rewrites the CSV unchanged.
+  ASSERT_EQ(run_hemcpa(batch_args(wide_csv, /*batch_jobs=*/4, /*resume=*/true)), 5);
+  EXPECT_EQ(slurp(wide_csv), slurp(serial_csv));
+  exec::Journal resumed(path("wide.csv.journal"));
+  ASSERT_TRUE(resumed.load());
+  EXPECT_EQ(resumed.entries().size(), static_cast<std::size_t>(kConfigs));
+}
+
+TEST_F(WorkerIsolationFixture, IsolationFlagsAreValidated) {
+  EXPECT_EQ(run_hemcpa({"--batch", path("configs"), "--worker-memory-mb", "-1"}), 3);
+  EXPECT_EQ(run_hemcpa({"--batch", path("configs"), "--crash-backoff-ms", "ten"}), 3);
+}
+
+}  // namespace
+}  // namespace hem
+
+#endif  // POSIX

@@ -58,6 +58,17 @@
 //   --resume                       skip configs already terminal in the
 //                                  journal (byte-identical merged CSV)
 //   --strict                       force strict mode on every job
+//   --isolate / --no-isolate       run every attempt in a forked, rlimit-
+//                                  capped worker process (default ON where
+//                                  supported): a crashing config becomes a
+//                                  journaled `crashed`/`poisoned` record,
+//                                  never the death of the batch
+//   --worker-memory-mb <n>         RLIMIT_AS cap per worker process (MiB;
+//                                  0 = inherit)
+//   --worker-stack-mb <n>          RLIMIT_STACK cap per worker process
+//                                  (MiB; 0 = inherit)
+//   --crash-backoff-ms <ms>        respawn delay after a worker crash
+//                                  (default 250; doubles per crash)
 //   --trace-out <file> / --metrics observability, as in single-run mode
 //
 // Reads a system description (see src/model/textual_config.hpp for the
@@ -79,8 +90,10 @@
 //      carries conservative fallback bounds (see --diagnostics), or
 //      --verify found a model-algebra axiom violation; batch: every job
 //      done but some carry fallback bounds
-//   5  batch only: at least one job failed, was watchdog-cancelled, or was
-//      abandoned (the merged CSV carries a placeholder row for each)
+//   5  batch only: at least one job failed, was watchdog-cancelled, was
+//      abandoned, crashed its worker process, or was poisoned (crashed
+//      twice and quarantined; the merged CSV carries a placeholder row
+//      for each)
 //   6  batch only: interrupted by SIGINT/SIGTERM after draining in-flight
 //      jobs; the journal is flushed and `--resume` continues the batch
 
@@ -168,6 +181,8 @@ int batch_usage() {
                "[--retry-backoff-ms <ms>]\n"
                "              [--max-iterations <n>] [--engine-budget-ms <ms>] "
                "[--fixpoint-steps <n>] [--fixpoint-window <ticks>]\n"
+               "              [--isolate|--no-isolate] [--worker-memory-mb <n>] "
+               "[--worker-stack-mb <n>] [--crash-backoff-ms <ms>]\n"
                "              [--resume] [--strict] [--trace-out <file>] [--metrics]\n";
   return 3;
 }
@@ -224,6 +239,19 @@ int run_batch(int argc, char** argv) {
     } else if (flag == "--fixpoint-window") {
       if (!take_count(1, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
       bopts.fixpoint_max_window = slot;
+    } else if (flag == "--isolate") {
+      bopts.isolate = true;
+    } else if (flag == "--no-isolate") {
+      bopts.isolate = false;
+    } else if (flag == "--worker-memory-mb") {
+      if (!take_count(0, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.worker_memory_mb = slot;
+    } else if (flag == "--worker-stack-mb") {
+      if (!take_count(0, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.worker_stack_mb = slot;
+    } else if (flag == "--crash-backoff-ms") {
+      if (!take_count(0, slot)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      bopts.crash_backoff_ms = slot;
     } else if (flag == "--resume") {
       bopts.resume = true;
     } else if (flag == "--strict") {
@@ -247,8 +275,12 @@ int run_batch(int argc, char** argv) {
     return 3;
   }
 
-  obs::Tracer tracer;
-  if (!trace_out.empty()) obs::set_tracer(&tracer);
+  // Heap-allocated so it can be leaked when a worker thread was hard-
+  // abandoned (--no-isolate legacy escalation): such a thread may finish a
+  // span long after this function returns, and the sink it pinned must
+  // stay valid.  Leaking a tracer at exit is cheaper than std::_Exit.
+  auto* tracer = new obs::Tracer;
+  if (!trace_out.empty()) obs::set_tracer(tracer);
   if (want_metrics) obs::set_counting(true);
 
   // Drain gracefully on SIGINT/SIGTERM: the scheduler polls the flag,
@@ -301,19 +333,18 @@ int run_batch(int argc, char** argv) {
       std::cerr << "error: cannot open trace output file '" << trace_out << "'\n";
       return 3;
     }
-    obs::write_chrome_trace(trace_file, tracer, obs::registry());
+    obs::write_chrome_trace(trace_file, *tracer, obs::registry());
   }
 
-  const int code = report.exit_code();
-  if (report.abandoned > 0) {
-    // Hard-abandoned worker threads are detached and may still be wedged
-    // inside an uncancellable analysis; skip static destruction so they
-    // cannot race the runtime teardown.
-    std::cout.flush();
-    std::cerr.flush();
-    std::_Exit(code);
-  }
-  return code;
+  // A hard-abandoned worker thread (legacy --no-isolate escalation) may
+  // still be wedged inside an uncancellable analysis, but a normal return
+  // is safe even then: the only shared state such a thread touches on its
+  // way out is the obs registry (a deliberately leaked singleton, see
+  // obs.cpp) and the tracer, which we leak here for exactly that case.
+  // No std::_Exit: static destruction has nothing left to race.
+  obs::set_tracer(nullptr);
+  if (report.abandoned == 0) delete tracer;
+  return report.exit_code();
 }
 
 }  // namespace

@@ -5,20 +5,28 @@
 //   hemcpad serve --socket <path> [--pool-jobs <n>] [--queue-max <n>]
 //                 [--client-quota <n>] [--budget-ms <ms>] [--max-budget-ms <ms>]
 //                 [--grace-ms <ms>] [--max-frame-bytes <n>] [--io-timeout-ms <ms>]
-//                 [--idle-timeout-ms <ms>] [--cache-size <n>] [--journal <file>]
-//                 [--max-connections <n>] [--strict] [--jobs <n>]
-//                 [--max-iterations <n>]
+//                 [--idle-timeout-ms <ms>] [--cache-size <n>] [--cache-bytes <n>]
+//                 [--journal <file>] [--max-connections <n>] [--strict] [--jobs <n>]
+//                 [--max-iterations <n>] [--isolate|--no-isolate]
+//                 [--worker-memory-mb <n>] [--worker-stack-mb <n>]
 //
 //   The daemon analyses configurations submitted over the Unix-domain
 //   socket, keeping finished model DAGs warm in an in-memory cache so
 //   resubmissions and variants converge in a fraction of the cold time.
+//   By default every analysis runs in a forked, rlimit-capped worker
+//   process (--isolate): a config that segfaults, aborts, or exhausts its
+//   memory budget becomes a `crashed` job result instead of killing the
+//   daemon, and a config that crashes its worker twice is quarantined
+//   (`poisoned`) — later submissions of the same bytes are refused without
+//   running, across restarts.  --no-isolate restores in-process execution
+//   (and with it warm-cache insertion, which isolated runs skip).
 //   SIGTERM/SIGINT drains gracefully (stop admission, finish queued and
 //   running work, exit 0); a second signal force-stops (cancel everything,
-//   exit 6).  See docs/daemon.md.
+//   exit 6).  See docs/daemon.md and docs/robustness.md.
 //
 // Client:
 //   hemcpad submit <config-file> --socket <path> [--wait] [--budget-ms <ms>]
-//                  [--client <name>] [--label <name>] [--detach]
+//                  [--client <name>] [--label <name>] [--detach] [--retries <n>]
 //   hemcpad status <id>  --socket <path>
 //   hemcpad result <id>  --socket <path> [--timeout-ms <ms>]
 //   hemcpad cancel <id>  --socket <path>
@@ -26,10 +34,16 @@
 //   hemcpad ping         --socket <path>
 //   hemcpad drain        --socket <path> [--force]
 //
+//   All client verbs accept --retries <n> (default 3): transient connect
+//   failures — daemon still starting, restarting, or resetting a full
+//   backlog — are retried with jittered exponential backoff before the
+//   verb gives up with exit 3.
+//
 // Exit codes (documented in docs/robustness.md):
 //   serve:  0 clean drain | 2 startup failure | 6 forced shutdown | 3 usage
 //   client: 0 ok/done | 2 job failed | 4 done but degraded |
-//           5 cancelled/abandoned/rejected | 3 usage or connect failure
+//           5 cancelled/abandoned/crashed/poisoned/rejected |
+//           3 usage or connect failure
 
 #include <csignal>
 #include <cstring>
@@ -48,10 +62,13 @@ namespace {
 
 int usage() {
   std::cerr << "usage: hemcpad serve --socket <path> [server options]\n"
+               "                     [--isolate|--no-isolate] [--worker-memory-mb <n>]\n"
+               "                     [--worker-stack-mb <n>] [--cache-bytes <n>]\n"
                "       hemcpad submit <config> --socket <path> [--wait] [--budget-ms <ms>]\n"
                "                      [--client <name>] [--label <name>] [--detach]\n"
                "       hemcpad status|result|cancel <id> --socket <path>\n"
-               "       hemcpad stats|ping|drain --socket <path> [--force]\n";
+               "       hemcpad stats|ping|drain --socket <path> [--force]\n"
+               "       (client verbs: --retries <n> retries transient connects, default 3)\n";
   return 3;
 }
 
@@ -134,6 +151,19 @@ int run_serve(int argc, char** argv) {
     } else if (flag == "--max-iterations") {
       if (!take(1)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
       opts.max_iterations = static_cast<int>(v);
+    } else if (flag == "--cache-bytes") {
+      if (!take(0)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      opts.cache_bytes = static_cast<std::size_t>(v);
+    } else if (flag == "--isolate") {
+      opts.isolate = true;
+    } else if (flag == "--no-isolate") {
+      opts.isolate = false;
+    } else if (flag == "--worker-memory-mb") {
+      if (!take(0)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      opts.worker_memory_mb = v;
+    } else if (flag == "--worker-stack-mb") {
+      if (!take(0)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      opts.worker_stack_mb = v;
     } else {
       std::cerr << "error: unknown serve option '" << flag << "'\n";
       return usage();
@@ -187,6 +217,7 @@ struct ClientArgs {
   std::string operand;  ///< config file or job id
   long long budget_ms = 0;
   long long timeout_ms = 60'000;
+  long long retries = 3;
   std::string client_name;
   std::string label;
   bool wait = false;
@@ -212,6 +243,9 @@ int parse_client_args(int argc, char** argv, int first, bool needs_operand, Clie
     } else if (flag == "--timeout-ms") {
       if (!take(0)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
       out.timeout_ms = v;
+    } else if (flag == "--retries") {
+      if (!take(0)) return bad_number(flag, i + 1 < argc ? argv[i + 1] : "");
+      out.retries = v;
     } else if (flag == "--client" && i + 1 < argc && argv[i + 1][0] != '\0') {
       out.client_name = argv[++i];
     } else if (flag == "--label" && i + 1 < argc && argv[i + 1][0] != '\0') {
@@ -257,7 +291,8 @@ int run_client(const std::string& verb, int argc, char** argv) {
   if (const int rc = parse_client_args(argc, argv, 2, needs_operand, args); rc != 0) return rc;
 
   try {
-    hem::daemon::Client client(args.socket_path, args.timeout_ms + 5000);
+    hem::daemon::Client client(args.socket_path, args.timeout_ms + 5000,
+                               static_cast<int>(args.retries));
     std::string response;
     if (verb == "submit") {
       std::ifstream in(args.operand, std::ios::binary);
